@@ -1,0 +1,94 @@
+"""Ablation: minimum speed and number of voltage levels.
+
+The paper's stated future work: "experiment with different values of
+S_min/S_max and different number of speed levels between them".  This
+bench builds synthetic level tables with (a) varying S_min at 16 levels
+and (b) varying level counts over the Transmeta range, and measures how
+the greedy scheme's advantage depends on them — the paper's explanation
+is that a high S_min and few levels *help* GSS by stopping it from
+draining all slack early.
+"""
+
+import numpy as np
+from conftest import BENCH_RUNS
+
+from repro.core import get_policy
+from repro.offline import build_plan
+from repro.power import DiscretePowerModel, PAPER_OVERHEAD
+from repro.sim import sample_realization, simulate
+from repro.workloads import application_with_load, figure3_graph
+
+
+def _table(f_min, f_max, n_levels, v_min=1.1, v_max=1.65):
+    fs = np.linspace(f_min, f_max, n_levels)
+    vs = np.linspace(v_min, v_max, n_levels)
+    return [(float(f), float(v)) for f, v in zip(fs, vs)]
+
+
+def _mean_normalized(power, scheme, n_runs=BENCH_RUNS, seed=17):
+    app = application_with_load(figure3_graph(alpha=0.5), 0.6, 2)
+    plan_static = build_plan(app, 2, reserve=0.0)
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan_dyn = build_plan(app, 2, reserve=reserve,
+                          structure=plan_static.structure)
+    rng = np.random.default_rng(seed)
+    from repro.power import NO_OVERHEAD
+    ratios = []
+    for _ in range(n_runs):
+        rl = sample_realization(plan_static.structure, rng)
+        npm = get_policy("NPM").start_run(plan_static, power, NO_OVERHEAD,
+                                          realization=rl)
+        base = simulate(plan_static, npm, power, NO_OVERHEAD, rl)
+        policy = get_policy(scheme)
+        plan = plan_dyn if policy.requires_reserve else plan_static
+        run = policy.start_run(plan, power, PAPER_OVERHEAD,
+                               realization=rl)
+        res = simulate(plan, run, power, PAPER_OVERHEAD, rl)
+        ratios.append(res.total_energy / base.total_energy)
+    return float(np.mean(ratios))
+
+
+def test_smin_ablation(benchmark):
+    """Sweep S_min at a fixed 16-level ladder."""
+    rows = []
+    for f_min in (100.0, 200.0, 350.0, 500.0):
+        power = DiscretePowerModel(_table(f_min, 700.0, 16),
+                                   name=f"smin-{f_min:.0f}")
+        rows.append((f_min / 700.0,
+                     _mean_normalized(power, "GSS"),
+                     _mean_normalized(power, "SS1")))
+    print("\n# ablation-smin  [16 levels, load=0.6, alpha=0.5]")
+    print(f"{'s_min':>8} {'GSS':>8} {'SS1':>8}")
+    for smin, gss, ss1 in rows:
+        print(f"{smin:>8.3f} {gss:>8.3f} {ss1:>8.3f}")
+    # all results are meaningful normalized energies
+    for _, gss, ss1 in rows:
+        assert 0 < gss <= 1 and 0 < ss1 <= 1
+    # with a very high floor the schemes converge (nothing to decide)
+    assert abs(rows[-1][1] - rows[-1][2]) <= abs(rows[0][1] - rows[0][2]) \
+        + 0.05
+
+    power = DiscretePowerModel(_table(350.0, 700.0, 16))
+    benchmark(_mean_normalized, power, "GSS", 10, 1)
+
+
+def test_level_count_ablation(benchmark):
+    """Sweep the number of levels over the Transmeta range."""
+    rows = []
+    for n_levels in (2, 4, 8, 16, 32):
+        power = DiscretePowerModel(_table(200.0, 700.0, n_levels),
+                                   name=f"lv{n_levels}")
+        rows.append((n_levels,
+                     _mean_normalized(power, "GSS"),
+                     _mean_normalized(power, "SS2")))
+    print("\n# ablation-levels  [200-700MHz, load=0.6, alpha=0.5]")
+    print(f"{'levels':>8} {'GSS':>8} {'SS2':>8}")
+    for n, gss, ss2 in rows:
+        print(f"{n:>8d} {gss:>8.3f} {ss2:>8.3f}")
+    for _, gss, ss2 in rows:
+        assert 0 < gss <= 1 and 0 < ss2 <= 1
+    # more levels can only help (or tie) the ideal-speed tracking of GSS
+    assert rows[-1][1] <= rows[0][1] + 0.03
+
+    power = DiscretePowerModel(_table(200.0, 700.0, 8))
+    benchmark(_mean_normalized, power, "SS2", 10, 1)

@@ -1,0 +1,46 @@
+"""Ablation: sensitivity to the voltage-switch overhead.
+
+The paper's conclusion points at overhead as the reason speculative
+schemes exist ("reducing the number of speed changes and thus the
+overhead") and its future work asks how overhead magnitude shifts the
+balance.  This bench sweeps the switch time from free to 100x the
+paper's 5 µs and reports where GSS loses its lead.
+"""
+
+from conftest import BENCH_RUNS, assert_valid_normalized_series
+
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    render_series,
+    sweep_overhead,
+)
+from repro.power import OverheadModel
+from repro.workloads import application_with_load, figure3_graph
+
+#: switch times in ms: 0, 5 µs (paper), 50 µs, 500 µs
+ADJUST_TIMES = (0.0, 0.005, 0.05, 0.5)
+
+
+def test_overhead_ablation(benchmark):
+    cfg = RunConfig(power_model="transmeta", n_runs=BENCH_RUNS, seed=3)
+    series = sweep_overhead(figure3_graph(), cfg, load=0.6,
+                            adjust_times=ADJUST_TIMES,
+                            name="ablation-overhead")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    # energy of every dynamic scheme is non-decreasing in switch cost
+    for scheme in ("GSS", "SS1", "SS2", "AS"):
+        means = [series.get(t, scheme).mean for t in ADJUST_TIMES]
+        assert means[0] <= means[-1] + 1e-6, scheme
+    # SPM pays a single switch: it is nearly overhead-insensitive
+    spm = [series.get(t, "SPM").mean for t in ADJUST_TIMES[:-1]]
+    assert max(spm) - min(spm) < 0.03
+
+    app = application_with_load(figure3_graph(), 0.6, 2)
+    heavy = RunConfig(power_model="transmeta", n_runs=20, seed=1,
+                      overhead=OverheadModel(comp_cycles=300,
+                                             adjust_time=0.05))
+    benchmark(evaluate_application, app, heavy)

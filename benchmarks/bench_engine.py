@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+Not tied to a paper artifact: these exist so performance regressions in
+the dispatch loop (which executes millions of times in a full figure
+run) are caught by `pytest benchmarks/ --benchmark-only`.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core import get_policy
+from repro.graph import GraphGenConfig, random_graph
+from repro.offline import build_plan
+from repro.power import PAPER_OVERHEAD, transmeta_model
+from repro.sim import sample_realization, simulate
+from repro.workloads import application_with_load
+
+
+def _large_app():
+    cfg = GraphGenConfig(or_depth=3, p_branch=0.9, min_tasks=6,
+                         max_tasks=12, max_width=4)
+    graph = random_graph(random.Random(42), cfg)
+    return application_with_load(graph, 0.6, 4)
+
+
+def test_offline_phase_throughput(benchmark):
+    app = _large_app()
+    plan = benchmark(build_plan, app, 4, 0.0065)
+    assert plan.t_worst <= app.deadline
+
+
+def test_online_gss_run_throughput(benchmark):
+    power = transmeta_model()
+    app = _large_app()
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan = build_plan(app, 4, reserve=reserve)
+    rng = np.random.default_rng(0)
+    rls = [sample_realization(plan.structure, rng) for _ in range(16)]
+    policy = get_policy("GSS")
+    idx = {"i": 0}
+
+    def one():
+        rl = rls[idx["i"] % len(rls)]
+        idx["i"] += 1
+        run = policy.start_run(plan, power, PAPER_OVERHEAD,
+                               realization=rl)
+        return simulate(plan, run, power, PAPER_OVERHEAD, rl)
+
+    res = benchmark(one)
+    assert res.met_deadline
+
+
+def test_realization_sampling_throughput(benchmark):
+    app = _large_app()
+    plan = build_plan(app, 4)
+    rng = np.random.default_rng(1)
+    rl = benchmark(sample_realization, plan.structure, rng)
+    assert rl.actuals

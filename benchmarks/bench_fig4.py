@@ -1,0 +1,64 @@
+"""Figure 4: normalized energy vs load — ATR, dual-processor.
+
+Regenerates both sub-figures (4a Transmeta, 4b Intel XScale) at bench
+size, prints the series, asserts the paper's shape claims, and times the
+per-point evaluation kernel.
+"""
+
+from conftest import BENCH_LOADS, BENCH_RUNS, assert_valid_normalized_series
+
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    render_series,
+    sweep_load,
+)
+from repro.experiments.figures import ATR_ALPHA
+from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+
+def _series(model):
+    cfg = RunConfig(power_model=model, n_processors=2, n_runs=BENCH_RUNS,
+                    seed=2002)
+    graph = atr_graph(AtrConfig(alpha=ATR_ALPHA))
+    return sweep_load(graph, cfg, loads=BENCH_LOADS,
+                      name=f"figure4-{model}-bench")
+
+
+def test_figure4a_transmeta(benchmark):
+    series = _series("transmeta")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    # paper shape 1: normalized energy dips then rises with load
+    gss = [series.get(x, "GSS").mean for x in BENCH_LOADS]
+    assert min(gss[1:-1]) <= gss[0] + 1e-6
+    assert gss[-1] > min(gss)
+    # paper shape 2: dynamic slack makes GSS beat SPM at high load
+    assert series.get(0.8, "GSS").mean < series.get(0.8, "SPM").mean
+
+    graph = atr_graph(AtrConfig(alpha=ATR_ALPHA))
+    app = application_with_load(graph, 0.5, 2)
+    cfg = RunConfig(power_model="transmeta", n_runs=20, seed=1)
+    benchmark(evaluate_application, app, cfg)
+
+
+def test_figure4b_xscale(benchmark):
+    series = _series("xscale")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    # paper shape: with few/wide levels SPM shows sharp jumps; by load
+    # 0.8 SPM is pinned at S_max (same energy as NPM)
+    assert series.get(0.8, "SPM").mean == 1.0
+    # greedy benefits from S_min and coarse levels: at moderate-to-high
+    # load it is at least competitive with static speculation
+    assert series.get(0.6, "GSS").mean <= \
+        series.get(0.6, "SS1").mean + 0.02
+
+    graph = atr_graph(AtrConfig(alpha=ATR_ALPHA))
+    app = application_with_load(graph, 0.5, 2)
+    cfg = RunConfig(power_model="xscale", n_runs=20, seed=1)
+    benchmark(evaluate_application, app, cfg)

@@ -1,0 +1,70 @@
+"""Figure 5: normalized energy vs load — ATR, 6 processors, 5 µs switch.
+
+The paper's observation for this figure: with more processors the
+dynamic schemes lose ground (synchronization-forced idleness), and the
+curves show more/sharper jumps.  We regenerate both sub-figures at bench
+size and verify the processor-count effect against the Figure 4
+configuration directly.
+"""
+
+from conftest import BENCH_LOADS, BENCH_RUNS, assert_valid_normalized_series
+
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    render_series,
+    sweep_load,
+)
+from repro.experiments.figures import ATR_ALPHA
+from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+_WIDE_ATR = AtrConfig(alpha=ATR_ALPHA, max_rois=6,
+                      roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15,
+                                 0.10))
+
+
+def _series(model):
+    cfg = RunConfig(power_model=model, n_processors=6, n_runs=BENCH_RUNS,
+                    seed=2002)
+    return sweep_load(atr_graph(_WIDE_ATR), cfg, loads=BENCH_LOADS,
+                      name=f"figure5-{model}-bench")
+
+
+def test_figure5a_transmeta(benchmark):
+    series = _series("transmeta")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    app = application_with_load(atr_graph(_WIDE_ATR), 0.5, 6)
+    cfg = RunConfig(power_model="transmeta", n_processors=6, n_runs=20,
+                    seed=1)
+    benchmark(evaluate_application, app, cfg)
+
+
+def test_figure5b_xscale(benchmark):
+    series = _series("xscale")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    app = application_with_load(atr_graph(_WIDE_ATR), 0.5, 6)
+    cfg = RunConfig(power_model="xscale", n_processors=6, n_runs=20,
+                    seed=1)
+    benchmark(evaluate_application, app, cfg)
+
+
+def test_more_processors_hurt_dynamic_schemes():
+    """Paper: 'when the number of processors increases, the performance
+    of the dynamic schemes decreases' — compare m=2 vs m=6 at the same
+    load (paired seeds)."""
+    results = {}
+    for m in (2, 6):
+        cfg = RunConfig(power_model="transmeta", n_processors=m,
+                        n_runs=BENCH_RUNS, seed=7)
+        app = application_with_load(atr_graph(_WIDE_ATR), 0.5, m)
+        results[m] = evaluate_application(app, cfg)
+    gss2 = results[2].normalized["GSS"].mean()
+    gss6 = results[6].normalized["GSS"].mean()
+    print(f"\nGSS normalized energy: m=2 {gss2:.3f}  m=6 {gss6:.3f}")
+    assert gss6 > gss2 - 0.02  # m=6 saves no more than m=2

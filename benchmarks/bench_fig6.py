@@ -1,0 +1,57 @@
+"""Figure 6: normalized energy vs α — synthetic app, dual-processor.
+
+Shape claims reproduced: the dynamic schemes' savings shrink as α grows
+(less run-time slack); SPM is essentially α-insensitive; on the XScale
+model at load 0.9 SPM runs at S_max and matches NPM exactly.
+"""
+
+from conftest import BENCH_ALPHAS, BENCH_RUNS, assert_valid_normalized_series
+
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    render_series,
+    sweep_alpha,
+)
+from repro.experiments.figures import FIG6_LOAD
+from repro.workloads import application_with_load, figure3_graph
+
+
+def _series(model):
+    cfg = RunConfig(power_model=model, n_processors=2, n_runs=BENCH_RUNS,
+                    seed=2002)
+    return sweep_alpha(figure3_graph, cfg, load=FIG6_LOAD,
+                       alphas=BENCH_ALPHAS,
+                       name=f"figure6-{model}-bench")
+
+
+def test_figure6a_transmeta(benchmark):
+    series = _series("transmeta")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    # dynamic savings shrink as alpha rises
+    assert series.get(0.2, "GSS").mean < series.get(0.8, "GSS").mean
+    assert series.get(0.2, "AS").mean < series.get(0.8, "AS").mean
+
+    app = application_with_load(figure3_graph(alpha=0.5), FIG6_LOAD, 2)
+    cfg = RunConfig(power_model="transmeta", n_runs=20, seed=1)
+    benchmark(evaluate_application, app, cfg)
+
+
+def test_figure6b_xscale(benchmark):
+    series = _series("xscale")
+    print()
+    print(render_series(series))
+    assert_valid_normalized_series(series)
+
+    # the paper's SPM observation at load 0.9 on XScale: equal to NPM
+    for a in BENCH_ALPHAS:
+        assert series.get(a, "SPM").mean == 1.0
+    # dynamic schemes still save despite the coarse levels
+    assert series.get(0.5, "GSS").mean < 0.9
+
+    app = application_with_load(figure3_graph(alpha=0.5), FIG6_LOAD, 2)
+    cfg = RunConfig(power_model="xscale", n_runs=20, seed=1)
+    benchmark(evaluate_application, app, cfg)

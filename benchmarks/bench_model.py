@@ -1,0 +1,71 @@
+"""Benchmarks for the model figures (Figures 1, 2 and 3).
+
+* Figure 1a/1b: the AND and OR structures — rebuilt and validated;
+* Figure 2: the dispatch algorithm — timed on one full simulated run;
+* Figure 3: the synthetic application — graph construction + offline
+  phase timed (this is the per-application setup cost of the system).
+"""
+
+import numpy as np
+
+from repro.core import get_policy
+from repro.graph import enumerate_paths, validate_graph
+from repro.offline import build_plan
+from repro.power import PAPER_OVERHEAD, transmeta_model
+from repro.sim import sample_realization, simulate
+from repro.workloads import (
+    application_with_load,
+    figure1a_graph,
+    figure1b_graph,
+    figure3_graph,
+)
+
+
+def test_figure1_structures(benchmark):
+    """Figure 1: AND parallelism and OR alternative paths."""
+    st_a = validate_graph(figure1a_graph())
+    st_b = validate_graph(figure1b_graph())
+    assert len(enumerate_paths(st_a)) == 1   # AND: one path, parallel
+    assert len(enumerate_paths(st_b)) == 2   # OR: alternative paths
+    probs = sorted(p.probability for p in enumerate_paths(st_b))
+    assert probs == [0.3, 0.7]
+
+    def rebuild():
+        return validate_graph(figure1b_graph())
+
+    benchmark(rebuild)
+
+
+def test_figure3_synthetic_application(benchmark):
+    """Figure 3: the reconstructed synthetic AND/OR application."""
+    g = figure3_graph()
+    st = validate_graph(g)
+    assert g.branch_probabilities("O1") == {"F": 0.35, "G": 0.65}
+    assert g.branch_probabilities("O3") == {"I": 0.30, "J": 0.70}
+    assert len(enumerate_paths(st)) == 10
+
+    def offline_phase():
+        app = application_with_load(figure3_graph(), 0.5, 2)
+        return build_plan(app, 2, reserve=0.0065)
+
+    plan = benchmark(offline_phase)
+    assert plan.t_worst <= plan.deadline
+
+
+def test_figure2_dispatch_algorithm(benchmark):
+    """Figure 2: one full online-phase run of the GSS algorithm."""
+    power = transmeta_model()
+    app = application_with_load(figure3_graph(), 0.5, 2)
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan = build_plan(app, 2, reserve=reserve)
+    rng = np.random.default_rng(0)
+    rl = sample_realization(plan.structure, rng)
+    policy = get_policy("GSS")
+
+    def one_run():
+        run = policy.start_run(plan, power, PAPER_OVERHEAD,
+                               realization=rl)
+        return simulate(plan, run, power, PAPER_OVERHEAD, rl)
+
+    res = benchmark(one_run)
+    assert res.met_deadline

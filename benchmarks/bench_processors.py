@@ -1,0 +1,51 @@
+"""Processor-count sweep (the paper's 4-/6-processor observation).
+
+"When ATR is executed on 4 or 6 processor systems, similar results are
+obtained with more energy consumed by each scheme … when the number of
+processors increases, the performance of the dynamic schemes decreases
+due to the limited parallelism and the frequent idleness of the
+processors."  This bench sweeps m = 1, 2, 4, 6 at fixed load and checks
+the monotone degradation, tying it to the workload's measured
+parallelism (`repro.analysis.graph_metrics`).
+"""
+
+from conftest import BENCH_RUNS
+
+from repro.analysis import graph_metrics
+from repro.experiments import RunConfig, evaluate_application
+from repro.graph import validate_graph
+from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+_ATR = AtrConfig(alpha=0.9, max_rois=6,
+                 roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
+PROCS = (1, 2, 4, 6)
+
+
+def _gss_mean(m, n_runs=BENCH_RUNS, seed=13):
+    cfg = RunConfig(power_model="transmeta", n_processors=m,
+                    n_runs=n_runs, seed=seed)
+    app = application_with_load(atr_graph(_ATR), 0.5, m)
+    res = evaluate_application(app, cfg)
+    return res.mean_normalized()
+
+
+def test_processor_count_sweep(benchmark):
+    metrics = graph_metrics(validate_graph(atr_graph(_ATR)))
+    rows = {m: _gss_mean(m) for m in PROCS}
+    schemes = list(next(iter(rows.values())))
+    print(f"\n# processor sweep  [wide ATR, load=0.5, transmeta; "
+          f"expected parallelism {metrics.expected_parallelism:.2f}]")
+    print(f"{'m':>4} " + " ".join(f"{s:>7}" for s in schemes))
+    for m, means in rows.items():
+        print(f"{m:>4} " + " ".join(f"{means[s]:7.3f}" for s in schemes))
+
+    # dynamic savings shrink monotonically once m exceeds the
+    # application's parallelism (~2.5 for this ATR)
+    gss = [rows[m]["GSS"] for m in PROCS]
+    assert gss[1] <= gss[2] + 0.02 and gss[2] <= gss[3] + 0.02
+    # and every scheme is valid normalized energy
+    for means in rows.values():
+        for s, v in means.items():
+            assert 0 < v <= 1 + 1e-9, s
+
+    benchmark(_gss_mean, 4, 10, 1)

@@ -1,0 +1,55 @@
+"""Benchmarks for Table 1 and Table 2 (the processor level tables).
+
+The tables themselves are static data; what the simulation exercises at
+high frequency is level lookup (snap-up / bracket / power).  These
+benches regenerate the tables, assert the structural properties the
+paper states, and time the lookup hot path.
+"""
+
+import numpy as np
+
+from repro.experiments import table1, table2
+from repro.power import (
+    INTEL_XSCALE,
+    TRANSMETA_TM5400,
+    transmeta_model,
+    xscale_model,
+)
+
+
+def test_table1_transmeta(benchmark):
+    """Table 1: 16 Transmeta TM5400 levels, 200 MHz/1.10 V - 700/1.65."""
+    text = table1()
+    assert len(TRANSMETA_TM5400) == 16
+    assert "700" in text and "1.65" in text
+    assert "200" in text and "1.10" in text
+    print()
+    print(text)
+
+    model = transmeta_model()
+    speeds = np.linspace(0.0, 1.0, 1000)
+
+    def snap_all():
+        return [model.snap_up(s) for s in speeds]
+
+    result = benchmark(snap_all)
+    assert all(r in model.levels() for r in result)
+
+
+def test_table2_xscale(benchmark):
+    """Table 2: 5 Intel XScale levels, 150 MHz/0.75 V - 1000/1.8."""
+    text = table2()
+    assert len(INTEL_XSCALE) == 5
+    assert "1000" in text and "1.80" in text
+    assert "150" in text and "0.75" in text
+    print()
+    print(text)
+
+    model = xscale_model()
+    speeds = np.linspace(0.0, 1.0, 1000)
+
+    def power_all():
+        return [model.power(model.snap_up(s)) for s in speeds]
+
+    result = benchmark(power_all)
+    assert max(result) <= 1.0 + 1e-12

@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every table and figure of the paper has one bench module.  Each bench
+
+* regenerates the experiment (small Monte-Carlo counts — the full-size
+  series is produced by ``python -m repro figN --runs 1000`` and is
+  recorded in EXPERIMENTS.md),
+* asserts the *shape* properties the paper reports, and
+* times the underlying kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import RunConfig
+
+#: Monte-Carlo runs per benchmark point — small so `--benchmark-only`
+#: finishes in seconds; shape assertions are robust at this size.
+BENCH_RUNS = 60
+
+#: loads exercised by the bench-size figure sweeps
+BENCH_LOADS = (0.2, 0.4, 0.6, 0.8)
+
+#: alphas exercised by the bench-size Figure 6 sweep
+BENCH_ALPHAS = (0.2, 0.5, 0.8)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return RunConfig(n_runs=BENCH_RUNS, seed=2002)
+
+
+def assert_valid_normalized_series(series):
+    """Common sanity: every point is a valid normalized energy."""
+    assert series.points, "series is empty"
+    for p in series.points:
+        assert 0.0 < p.mean <= 1.0 + 1e-9, p
+        assert p.n_runs > 0

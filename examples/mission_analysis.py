@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Mission-level analysis: frame streams, slack anatomy, energy bounds.
+
+Goes beyond the paper's per-instance evaluation to what an adopter asks:
+
+1. *where does the saving come from?* — decompose the slack sources
+   (static vs path vs run-time) with `repro.analysis.slack`;
+2. *does my application parallelize?* — work/span metrics per execution
+   path with `repro.analysis.critical`;
+3. *how close to optimal are we?* — the continuous clairvoyant bound
+   per realization with `repro.analysis.bounds`;
+4. *what does a mission cost?* — a 200-frame ATR stream under every
+   scheme, with response-time jitter.
+
+Run:  python examples/mission_analysis.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    continuous_uniform_bound,
+    graph_metrics,
+    npm_energy,
+    slack_profile,
+)
+from repro.offline import build_plan
+from repro.sim import sample_realization
+from repro.workloads import (
+    AtrConfig,
+    application_with_load,
+    atr_graph,
+    compare_streams,
+    render_stream_report,
+    worst_case_length,
+)
+from repro.power import transmeta_model
+
+
+def main():
+    graph = atr_graph(AtrConfig(alpha=0.9))
+    app = application_with_load(graph, load=0.5, n_processors=2)
+    plan = build_plan(app, 2)
+    power = transmeta_model()
+
+    print("=== parallelism (work/span per execution path) ===")
+    m = graph_metrics(plan.structure)
+    print(f"expected work {m.expected_work:7.2f} ms   "
+          f"max {m.max_work:7.2f} ms")
+    print(f"expected span {m.expected_span:7.2f} ms   "
+          f"max {m.max_span:7.2f} ms")
+    print(f"expected parallelism {m.expected_parallelism:.2f} "
+          f"-> effective processors of 2: "
+          f"{m.effective_processors(2):.2f}, of 6: "
+          f"{m.effective_processors(6):.2f}")
+    print("  (this is why Figure 5's six processors save less: the\n"
+          "   application cannot keep them busy)\n")
+
+    print("=== slack anatomy at load 0.5 ===")
+    prof = slack_profile(plan)
+    print(f"deadline            {prof.deadline:8.2f} ms")
+    print(f"static slack        {prof.static_slack:8.2f} ms "
+          f"({prof.static_fraction:.0%} of D) -> SPM's material")
+    print(f"expected path slack {prof.expected_path_slack:8.2f} ms "
+          f"-> OR branches skipping work")
+    print(f"expected run-time   {prof.expected_runtime_slack:8.2f} ms "
+          f"-> actual < WCET (α = 0.9 keeps this small)\n")
+
+    print("=== distance to the clairvoyant continuous bound ===")
+    rng = np.random.default_rng(42)
+    gaps = []
+    for _ in range(200):
+        rl = sample_realization(plan.structure, rng)
+        bound = continuous_uniform_bound(plan, power, rl)
+        base = npm_energy(plan, power, rl)
+        gaps.append(bound / base)
+    print(f"bound/NPM over 200 realizations: "
+          f"mean {np.mean(gaps):.3f}, min {np.min(gaps):.3f}, "
+          f"max {np.max(gaps):.3f}")
+    print("  (compare to the schemes' ~0.5: the residual gap is level\n"
+          "   quantization, S_min and switch overhead)\n")
+
+    print("=== 200-frame ATR mission (period = deadline) ===")
+    period = worst_case_length(graph, 2) / 0.5
+    results = compare_streams(graph, period,
+                              ["NPM", "SPM", "GSS", "SS1", "SS2", "AS"],
+                              n_frames=200, power_model="transmeta",
+                              n_processors=2, seed=7)
+    print(render_stream_report(results))
+
+
+if __name__ == "__main__":
+    main()

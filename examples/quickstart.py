@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Quickstart: build an AND/OR application, run every scheme, compare.
+
+This walks the full pipeline on the paper's Figure 1 structures:
+
+1. build a small AND/OR graph with the fluent builder,
+2. attach a deadline via the load metric,
+3. run the offline phase (canonical schedules, shifting, LSTs),
+4. simulate one run of each scheme on a shared realization,
+5. evaluate 500 Monte-Carlo runs and print normalized energies.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    ALL_SCHEMES,
+    GraphBuilder,
+    RunConfig,
+    evaluate_application,
+    get_policy,
+    sample_realization,
+    simulate,
+    transmeta_model,
+)
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD
+from repro.workloads import application_with_load
+
+
+def build_demo_graph():
+    """Figure 1's AND structure feeding its OR structure."""
+    b = GraphBuilder("quickstart")
+    b.task("A", 8, 5)
+    # AND: B and C run in parallel after A1
+    b.and_split("A1", after="A", branches=[("B", 5, 3), ("C", 4, 2)])
+    b.and_join("A2", ["B", "C"])
+    # OR: one of F/G runs, with known probabilities
+    b.or_branch("O3", after=["A2"],
+                paths={"F": ((8, 6), 0.30), "G": ((5, 3), 0.70)})
+    b.or_merge("O4", ["F", "G"])
+    b.task("H", 5, 3, after=["O4"])
+    return b.build_graph()
+
+
+def main():
+    graph = build_demo_graph()
+    app = application_with_load(graph, load=0.5, n_processors=2)
+    print(f"application: {app.name}   deadline D = {app.deadline:.1f} "
+          f"(load 0.5 on 2 processors)")
+
+    power = transmeta_model()
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan_static = build_plan(app, 2, reserve=0.0)
+    plan_dyn = build_plan(app, 2, reserve=reserve)
+    print(f"offline phase: T_worst = {plan_static.t_worst:.2f}, "
+          f"T_avg = {plan_static.t_avg:.2f}, "
+          f"static slack = {plan_static.static_slack:.2f}\n")
+
+    # one paired run of every scheme on the same realization
+    rng = np.random.default_rng(7)
+    rl = sample_realization(plan_static.structure, rng)
+    print(f"{'scheme':>8} {'finish':>9} {'switches':>9} {'energy':>9}")
+    for name in ALL_SCHEMES:
+        policy = get_policy(name)
+        plan = plan_dyn if policy.requires_reserve else plan_static
+        overhead = NO_OVERHEAD if name == "NPM" else PAPER_OVERHEAD
+        run = policy.start_run(plan, power, overhead, realization=rl)
+        res = simulate(plan, run, power, overhead, rl)
+        print(f"{name:>8} {res.finish_time:>9.2f} "
+              f"{res.n_speed_changes:>9d} {res.total_energy:>9.2f}")
+
+    # Monte-Carlo comparison, normalized to NPM per realization
+    cfg = RunConfig(schemes=tuple(ALL_SCHEMES), n_runs=500, seed=2002)
+    result = evaluate_application(app, cfg)
+    print("\nmean normalized energy over 500 runs (lower is better):")
+    for scheme, mean in result.mean_normalized().items():
+        bar = "#" * int(mean * 40)
+        print(f"{scheme:>8} {mean:6.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""The statistics toolkit: beyond mean curves.
+
+The paper reports mean normalized energies; this example shows the
+machinery for digging deeper on one configuration (the Figure 3 app at
+load 0.6 on the XScale model):
+
+1. **exact path enumeration** — the per-execution-path energies behind
+   the mean (why GSS's distribution is multi-modal);
+2. **path-conditional Monte-Carlo** — the same decomposition observed
+   empirically, with per-path frequencies converging to the branch
+   probabilities;
+3. **distributions** — percentiles and a histogram per scheme;
+4. **paired significance** — which scheme differences are real
+   (paired t-tests on shared realizations);
+5. **misprofiling regret** — what inaccurate branch probabilities cost
+   each scheme (spoiler: the greedy scheme has nothing to be wrong
+   about, and speculation is protected by its GSS floor).
+
+Run:  python examples/statistics_toolkit.py
+"""
+
+from repro.experiments import (
+    RunConfig,
+    compare_all,
+    evaluate_application,
+    exact_evaluation,
+    misprofile_evaluation,
+    render_comparison,
+    render_distributions,
+    render_exact,
+    render_histogram,
+    render_misprofile,
+    result_distributions,
+)
+from repro.workloads import application_with_load, figure3_graph
+
+
+def main():
+    app = application_with_load(figure3_graph(), 0.6, 2)
+    cfg = RunConfig(power_model="xscale", n_runs=800, seed=2002)
+
+    print("=== 1. exact path enumeration ===")
+    exact = exact_evaluation(app, cfg)
+    print(render_exact(exact))
+
+    print("=== 2. path-conditional Monte-Carlo ===")
+    result = evaluate_application(app, cfg)
+    freq = result.path_frequencies()
+    cond = result.conditional_normalized("GSS")
+    print(f"{'path':>20} {'p(exact)':>9} {'p(observed)':>12} "
+          f"{'GSS mean':>9}")
+    for key, prob in sorted(exact.path_probability.items(),
+                            key=lambda kv: -kv[1]):
+        obs = freq.get(key, 0.0)
+        mean = cond[key].mean() if key in cond else float("nan")
+        print(f"{key:>20} {prob:>9.3f} {obs:>12.3f} {mean:>9.3f}")
+    print()
+
+    print("=== 3. distributions ===")
+    print(render_distributions(result_distributions(result)))
+    print(render_histogram("GSS", result.normalized["GSS"], bins=12))
+
+    print("=== 4. paired significance ===")
+    print(render_comparison(compare_all(
+        result, schemes=["GSS", "SS1", "SS2", "AS"])))
+
+    print("=== 5. misprofiling regret ===")
+    quick = cfg.with_(n_runs=300)
+    results = {g: misprofile_evaluation(figure3_graph(), 0.6, quick, g)
+               for g in (-2.0, 0.25, 4.0)}
+    print(render_misprofile(results))
+    print("(γ<0 inverts the branch likelihoods — even then the regret "
+          "is bounded\n by the GSS guarantee floor; GSS and SPM are "
+          "exactly zero by design)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""repro — reproduction of *Power Aware Scheduling for AND/OR Graphs in
+Multi-Processor Real-Time Systems* (Zhu, AbouGhazaleh, Mossé, Melhem;
+ICPP 2002).
+
+The package implements the paper's extended AND/OR application model,
+the two processor power configurations (Transmeta TM5400, Intel XScale),
+the offline canonical-schedule/shifting phase, the online Figure 2
+dispatch protocol, and all evaluated schemes — NPM, SPM, greedy slack
+sharing (GSS), static speculation (SS¹/SS²) and adaptive speculation
+(AS) — plus the Monte-Carlo harness regenerating every table and figure
+of the evaluation.  See DESIGN.md for the paper→module map.
+
+Quickstart::
+
+    from repro import GraphBuilder, RunConfig, evaluate_application
+    from repro.workloads import atr_graph, application_with_load
+
+    app = application_with_load(atr_graph(), load=0.5, n_processors=2)
+    result = evaluate_application(app, RunConfig(n_runs=100))
+    print(result.mean_normalized())
+"""
+
+from .core import (
+    ALL_SCHEMES,
+    PAPER_SCHEMES,
+    AdaptiveSpeculation,
+    ClairvoyantOracle,
+    GreedySlackSharing,
+    NoPowerManagement,
+    SpeedPolicy,
+    StaticPowerManagement,
+    StaticSpeculationOneSpeed,
+    StaticSpeculationTwoSpeeds,
+    get_policy,
+)
+from .errors import (
+    ConfigError,
+    DeadlineMissError,
+    GraphError,
+    InfeasibleError,
+    PowerModelError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from .experiments import RunConfig, evaluate_application
+from .graph import (
+    AndOrGraph,
+    Application,
+    GraphBuilder,
+    NodeKind,
+    validate_graph,
+)
+from .offline import OfflinePlan, build_plan
+from .power import (
+    ContinuousPowerModel,
+    DiscretePowerModel,
+    OverheadModel,
+    PowerModel,
+    make_power_model,
+    transmeta_model,
+    xscale_model,
+)
+from .sim import Realization, sample_realization, simulate
+from .types import EnergyBreakdown, SimResult, TaskStats
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph model
+    "AndOrGraph",
+    "Application",
+    "GraphBuilder",
+    "NodeKind",
+    "validate_graph",
+    "TaskStats",
+    # power
+    "PowerModel",
+    "ContinuousPowerModel",
+    "DiscretePowerModel",
+    "OverheadModel",
+    "make_power_model",
+    "transmeta_model",
+    "xscale_model",
+    # offline + online
+    "OfflinePlan",
+    "build_plan",
+    "simulate",
+    "Realization",
+    "sample_realization",
+    "SimResult",
+    "EnergyBreakdown",
+    # schemes
+    "SpeedPolicy",
+    "NoPowerManagement",
+    "StaticPowerManagement",
+    "GreedySlackSharing",
+    "StaticSpeculationOneSpeed",
+    "StaticSpeculationTwoSpeeds",
+    "AdaptiveSpeculation",
+    "ClairvoyantOracle",
+    "get_policy",
+    "PAPER_SCHEMES",
+    "ALL_SCHEMES",
+    # experiments
+    "RunConfig",
+    "evaluate_application",
+    # errors
+    "ReproError",
+    "GraphError",
+    "ValidationError",
+    "InfeasibleError",
+    "PowerModelError",
+    "SimulationError",
+    "DeadlineMissError",
+    "ConfigError",
+]

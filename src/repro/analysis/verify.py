@@ -1,0 +1,186 @@
+"""Independent verification of simulated schedules.
+
+The engine is the system under test, so the test suite needs an oracle
+that does *not* share its code paths.  :func:`verify_trace` re-checks a
+traced :class:`~repro.types.SimResult` against the application graph and
+the power model from first principles:
+
+* **precedence** — no task starts before every predecessor on its
+  executed path has finished (AND/OR semantics resolved from the
+  recorded path choices);
+* **mutual exclusion** — no two tasks overlap on one processor;
+* **legality** — every speed is an available level (discrete models),
+  no actual execution time exceeds the WCET;
+* **section synchronization** — no task of a later program section
+  starts before the previous section drained (the paper's "all
+  processors synchronize at an OR node");
+* **timeliness** — the application finishes by its deadline;
+* **energy** — the busy energy equals the per-record sum.
+
+Violations are returned as a list of human-readable strings (empty =
+verified); :func:`assert_valid_trace` raises instead, for use in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..graph.andor import Application
+from ..graph.sections import SectionStructure
+from ..power.model import DiscretePowerModel, PowerModel
+from ..types import SimResult, TaskRecord
+
+_EPS = 1e-6
+
+
+def executed_sections(structure: SectionStructure,
+                      result: SimResult) -> List[int]:
+    """The section ids visited by a traced run, in execution order."""
+    order = [structure.root_id]
+    sid = structure.root_id
+    while True:
+        exit_or = structure.section(sid).exit_or
+        if exit_or is None:
+            break
+        branches = structure.branches(exit_or)
+        if not branches:
+            break
+        if len(branches) == 1:
+            sid = branches[0][0]
+        else:
+            choice = result.path_choices.get(exit_or)
+            if choice is None:
+                break  # application ended before this OR fired? defensive
+            sid = int(choice)
+        order.append(sid)
+    return order
+
+
+def verify_trace(app: Application, structure: SectionStructure,
+                 result: SimResult,
+                 power: Optional[PowerModel] = None) -> List[str]:
+    """Check a traced run; returns a list of violations (empty = OK)."""
+    problems: List[str] = []
+    if not result.trace:
+        return ["trace is empty (simulate with collect_trace=True)"]
+    graph = app.graph
+    records: Dict[str, TaskRecord] = {}
+    for rec in result.trace:
+        if rec.name in records:
+            problems.append(f"task {rec.name!r} appears twice in trace")
+        records[rec.name] = rec
+
+    # legality of each record
+    for rec in result.trace:
+        node = graph.node(rec.name)
+        if not node.is_computation:
+            problems.append(f"{rec.name!r} is not a computation node")
+            continue
+        if rec.actual_cycles > node.wcet * (1 + _EPS):
+            problems.append(
+                f"{rec.name!r}: actual {rec.actual_cycles} > WCET "
+                f"{node.wcet}")
+        if rec.finish < rec.start - _EPS:
+            problems.append(f"{rec.name!r}: finish before start")
+        expected_wall = rec.actual_cycles / rec.speed
+        if abs(rec.duration - expected_wall) > _EPS * max(expected_wall, 1):
+            problems.append(
+                f"{rec.name!r}: duration {rec.duration:.6g} != actual/"
+                f"speed {expected_wall:.6g}")
+        if isinstance(power, DiscretePowerModel):
+            if not any(abs(rec.speed - lv) < 1e-9
+                       for lv in power.levels()):
+                problems.append(
+                    f"{rec.name!r}: speed {rec.speed} is not a level of "
+                    f"{power.name}")
+
+    # mutual exclusion per processor
+    by_proc: Dict[int, List[TaskRecord]] = {}
+    for rec in result.trace:
+        by_proc.setdefault(rec.processor, []).append(rec)
+    for pid, recs in by_proc.items():
+        recs = sorted(recs, key=lambda r: r.start)
+        for a, b in zip(recs, recs[1:]):
+            if b.start < a.finish - _EPS:
+                problems.append(
+                    f"processor {pid}: {a.name!r} and {b.name!r} overlap "
+                    f"([{a.start:.4g},{a.finish:.4g}] vs start "
+                    f"{b.start:.4g})")
+
+    # executed path and coverage
+    sections = executed_sections(structure, result)
+    expected_tasks = set()
+    for sid in sections:
+        for n in structure.section(sid).nodes:
+            if graph.node(n).is_computation:
+                expected_tasks.add(n)
+    traced = set(records)
+    if traced != expected_tasks:
+        missing = sorted(expected_tasks - traced)
+        extra = sorted(traced - expected_tasks)
+        if missing:
+            problems.append(f"tasks on executed path not run: {missing}")
+        if extra:
+            problems.append(f"tasks run off the executed path: {extra}")
+
+    # finish times per node (AND nodes inherit max of predecessors)
+    finish: Dict[str, float] = {}
+
+    def resolve_finish(name: str, section_nodes: set) -> float:
+        if name in finish:
+            return finish[name]
+        node = graph.node(name)
+        if node.is_computation:
+            f = records[name].finish if name in records else 0.0
+        else:  # AND node
+            f = max((resolve_finish(p, section_nodes)
+                     for p in graph.predecessors(name)
+                     if p in section_nodes), default=0.0)
+        finish[name] = f
+        return f
+
+    # precedence within sections + section synchronization
+    prev_drain = 0.0
+    for sid in sections:
+        nodes = set(structure.section(sid).nodes)
+        drain = prev_drain
+        for name in structure.section(sid).nodes:
+            node = graph.node(name)
+            if not node.is_computation or name not in records:
+                continue
+            rec = records[name]
+            if rec.start < prev_drain - _EPS:
+                problems.append(
+                    f"{name!r} started at {rec.start:.6g} before its "
+                    f"section's OR fired at {prev_drain:.6g}")
+            for p in graph.predecessors(name):
+                if p not in nodes:
+                    continue  # the entry OR: covered by prev_drain
+                pf = resolve_finish(p, nodes)
+                if rec.start < pf - _EPS:
+                    problems.append(
+                        f"{name!r} started at {rec.start:.6g} before "
+                        f"predecessor {p!r} finished at {pf:.6g}")
+            drain = max(drain, rec.finish)
+        prev_drain = drain
+
+    # timeliness and totals
+    if result.finish_time > app.deadline * (1 + _EPS):
+        problems.append(
+            f"finished at {result.finish_time:.6g} past deadline "
+            f"{app.deadline:.6g}")
+    busy_from_trace = sum(r.energy for r in result.trace)
+    if abs(busy_from_trace - result.energy.busy) > \
+            _EPS * max(busy_from_trace, 1.0):
+        problems.append(
+            f"busy energy {result.energy.busy:.6g} != trace sum "
+            f"{busy_from_trace:.6g}")
+    return problems
+
+
+def assert_valid_trace(app: Application, structure: SectionStructure,
+                       result: SimResult,
+                       power: Optional[PowerModel] = None) -> None:
+    """Raise ``AssertionError`` listing every violation found."""
+    problems = verify_trace(app, structure, result, power)
+    assert not problems, "; ".join(problems)

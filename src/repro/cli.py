@@ -1,0 +1,294 @@
+"""Command-line interface: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro tables
+    python -m repro fig4 [--runs 1000] [--jobs 4] [--csv out.csv]
+    python -m repro fig5 ...
+    python -m repro fig6 ...
+    python -m repro run --app atr --load 0.5 --model xscale --procs 2
+    python -m repro gantt --app fig3 --scheme GSS --load 0.5
+
+Figures print the same series the paper plots (normalized energy per
+scheme) as aligned tables plus the mean speed-change counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from .core.registry import ALL_SCHEMES, PAPER_SCHEMES
+from .experiments.figures import ALL_FIGURES
+from .experiments.report import render_series, render_speed_changes, series_to_csv
+from .experiments.runner import RunConfig, evaluate_application
+from .experiments.tables import all_tables
+from .types import SeriesResult
+from .workloads.atr import atr_graph
+from .workloads.scaling import application_with_load
+from .workloads.synthetic import figure3_graph
+
+_APPS = {
+    "atr": atr_graph,
+    "fig3": figure3_graph,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Power Aware Scheduling for AND/OR Graphs in "
+                    "Multi-Processor Real-Time Systems' (ICPP 2002)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="print Table 1 and Table 2")
+
+    for fig in ("fig4", "fig5", "fig6"):
+        fp = sub.add_parser(fig, help=f"regenerate {fig} (both power models)")
+        fp.add_argument("--runs", type=int, default=1000,
+                        help="Monte-Carlo runs per point (paper: 1000)")
+        fp.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (0 = all cores)")
+        fp.add_argument("--seed", type=int, default=2002)
+        fp.add_argument("--oracle", action="store_true",
+                        help="include the clairvoyant lower bound")
+        fp.add_argument("--csv", type=str, default=None,
+                        help="also write the series to this CSV file")
+        fp.add_argument("--chart", action="store_true",
+                        help="also render an ASCII chart of each series")
+        fp.add_argument("--save", type=str, default=None,
+                        help="persist the series bundle to this JSON file")
+
+    rp = sub.add_parser("run", help="evaluate one application at one point")
+    rp.add_argument("--app", choices=sorted(_APPS), default="atr")
+    rp.add_argument("--load", type=float, default=0.5)
+    rp.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    rp.add_argument("--procs", type=int, default=2)
+    rp.add_argument("--runs", type=int, default=1000)
+    rp.add_argument("--seed", type=int, default=2002)
+    rp.add_argument("--schemes", nargs="*", default=list(PAPER_SCHEMES),
+                    help=f"subset of {list(ALL_SCHEMES)}")
+
+    gp = sub.add_parser("gantt", help="trace one run and print its schedule")
+    gp.add_argument("--app", choices=sorted(_APPS), default="fig3")
+    gp.add_argument("--scheme", default="GSS")
+    gp.add_argument("--load", type=float, default=0.5)
+    gp.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    gp.add_argument("--procs", type=int, default=2)
+    gp.add_argument("--seed", type=int, default=2002)
+
+    ap = sub.add_parser("analyze",
+                        help="work/span, slack anatomy and plan summary")
+    ap.add_argument("--app", choices=sorted(_APPS), default="atr")
+    ap.add_argument("--load", type=float, default=0.5)
+    ap.add_argument("--procs", type=int, default=2)
+
+    sp = sub.add_parser("stream",
+                        help="simulate a periodic frame mission")
+    sp.add_argument("--app", choices=sorted(_APPS), default="atr")
+    sp.add_argument("--load", type=float, default=0.5)
+    sp.add_argument("--frames", type=int, default=100)
+    sp.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    sp.add_argument("--procs", type=int, default=2)
+    sp.add_argument("--seed", type=int, default=2002)
+    sp.add_argument("--schemes", nargs="*",
+                    default=["NPM", "SPM", "GSS", "SS1", "SS2", "AS"])
+
+    ex = sub.add_parser("exact",
+                        help="deterministic path-enumeration evaluation")
+    ex.add_argument("--app", choices=sorted(_APPS), default="fig3")
+    ex.add_argument("--load", type=float, default=0.6)
+    ex.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    ex.add_argument("--procs", type=int, default=2)
+
+    mp = sub.add_parser("misprofile",
+                        help="robustness to wrong branch probabilities")
+    mp.add_argument("--app", choices=sorted(_APPS), default="fig3")
+    mp.add_argument("--load", type=float, default=0.7)
+    mp.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    mp.add_argument("--procs", type=int, default=2)
+    mp.add_argument("--runs", type=int, default=300)
+    mp.add_argument("--gammas", nargs="*", type=float,
+                    default=[-2.0, 0.25, 1.0, 4.0])
+    mp.add_argument("--seed", type=int, default=2002)
+
+    rep = sub.add_parser("report",
+                         help="regenerate all figures into a markdown "
+                              "report")
+    rep.add_argument("-o", "--output", type=str, default="results.md")
+    rep.add_argument("--runs", type=int, default=1000)
+    rep.add_argument("--seed", type=int, default=2002)
+    rep.add_argument("--jobs", type=int, default=1)
+    rep.add_argument("--figures", nargs="*", default=None,
+                     choices=["fig4", "fig5", "fig6"])
+
+    su = sub.add_parser("suite",
+                        help="evaluate every workload x scheme x model")
+    su.add_argument("--runs", type=int, default=300)
+    su.add_argument("--loads", nargs="*", type=float, default=[0.4, 0.7])
+    su.add_argument("--models", nargs="*", default=["transmeta",
+                                                    "xscale"])
+    su.add_argument("--procs", type=int, default=2)
+    su.add_argument("--seed", type=int, default=2002)
+    return p
+
+
+def _emit_figure(series_by_model: Dict[str, SeriesResult],
+                 csv_path: Optional[str], chart: bool = False) -> None:
+    chunks = []
+    for model, series in series_by_model.items():
+        print(render_series(series))
+        if chart:
+            from .experiments.chart import render_chart
+            print(render_chart(series))
+        print(render_speed_changes(series))
+        chunks.append(series_to_csv(series))
+    if csv_path:
+        with open(csv_path, "w", encoding="utf-8") as fh:
+            fh.write("\n".join(chunks))
+        print(f"(csv written to {csv_path})")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "tables":
+        print(all_tables())
+        return 0
+
+    if args.command in ALL_FIGURES:
+        schemes = list(PAPER_SCHEMES)
+        if args.oracle:
+            schemes.append("ORACLE")
+        series = ALL_FIGURES[args.command](
+            n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
+            seed=args.seed)
+        _emit_figure(series, args.csv, chart=args.chart)
+        if args.save:
+            from .experiments.persist import save_series
+            save_series(series, args.save)
+            print(f"(series bundle written to {args.save})")
+        return 0
+
+    if args.command == "run":
+        graph = _APPS[args.app]()
+        app = application_with_load(graph, args.load, args.procs)
+        cfg = RunConfig(schemes=tuple(args.schemes),
+                        power_model=args.model,
+                        n_processors=args.procs, n_runs=args.runs,
+                        seed=args.seed)
+        result = evaluate_application(app, cfg)
+        print(f"app={args.app} load={args.load} model={args.model} "
+              f"m={args.procs} runs={args.runs}")
+        print(f"{'scheme':>8} {'E/E_NPM':>10} {'switches':>10}")
+        means = result.mean_normalized()
+        switches = result.mean_speed_changes()
+        for scheme in result.normalized:
+            print(f"{scheme:>8} {means[scheme]:>10.4f} "
+                  f"{switches[scheme]:>10.1f}")
+        return 0
+
+    if args.command == "gantt":
+        from .sim.trace import render_gantt, trace_one_run
+        graph = _APPS[args.app]()
+        app = application_with_load(graph, args.load, args.procs)
+        result = trace_one_run(app, args.scheme, power_model=args.model,
+                               seed=args.seed)
+        print(render_gantt(result, app.deadline))
+        return 0
+
+    if args.command == "analyze":
+        from .analysis import graph_metrics, slack_profile
+        from .offline import build_plan
+        graph = _APPS[args.app]()
+        app = application_with_load(graph, args.load, args.procs)
+        plan = build_plan(app, args.procs)
+        m = graph_metrics(plan.structure)
+        prof = slack_profile(plan)
+        print(f"app={args.app}  load={args.load}  m={args.procs}  "
+              f"D={app.deadline:.2f}")
+        print(f"offline: T_worst={plan.t_worst:.2f}  "
+              f"T_avg={plan.t_avg:.2f}  sections="
+              f"{len(plan.sections)}")
+        print(f"work: expected={m.expected_work:.2f}  "
+              f"max={m.max_work:.2f}")
+        print(f"span: expected={m.expected_span:.2f}  "
+              f"max={m.max_span:.2f}")
+        print(f"parallelism: {m.expected_parallelism:.2f}  "
+              f"(effective of {args.procs}: "
+              f"{m.effective_processors(args.procs):.2f})")
+        print(f"slack: static={prof.static_slack:.2f} "
+              f"({prof.static_fraction:.0%} of D)  "
+              f"path={prof.expected_path_slack:.2f}  "
+              f"runtime={prof.expected_runtime_slack:.2f}")
+        return 0
+
+    if args.command == "stream":
+        from .workloads.frames import compare_streams, render_stream_report
+        from .workloads.scaling import worst_case_length
+        graph = _APPS[args.app]()
+        period = worst_case_length(graph, args.procs) / args.load
+        schemes = list(dict.fromkeys(["NPM"] + list(args.schemes)))
+        results = compare_streams(graph, period, schemes, args.frames,
+                                  power_model=args.model,
+                                  n_processors=args.procs,
+                                  seed=args.seed)
+        print(f"mission: {args.frames} frames, period {period:.2f} "
+              f"(load {args.load}), {args.model}, m={args.procs}")
+        print(render_stream_report(results))
+        return 0
+
+    if args.command == "exact":
+        from .experiments.exact import exact_evaluation, render_exact
+        graph = _APPS[args.app]()
+        app = application_with_load(graph, args.load, args.procs)
+        cfg = RunConfig(power_model=args.model,
+                        n_processors=args.procs, n_runs=1)
+        print(f"exact path-enumeration: app={args.app} load={args.load} "
+              f"model={args.model} m={args.procs}")
+        print(render_exact(exact_evaluation(app, cfg)))
+        return 0
+
+    if args.command == "misprofile":
+        from .experiments.misprofile import (
+            misprofile_evaluation,
+            render_misprofile,
+        )
+        graph = _APPS[args.app]()
+        cfg = RunConfig(power_model=args.model,
+                        n_processors=args.procs, n_runs=args.runs,
+                        seed=args.seed)
+        results = {g: misprofile_evaluation(graph, args.load, cfg, g)
+                   for g in args.gammas}
+        print(f"misprofiling regret: app={args.app} load={args.load} "
+              f"model={args.model} ({args.runs} runs/γ)")
+        print(render_misprofile(results))
+        return 0
+
+    if args.command == "report":
+        from .experiments.report_md import write_report
+        write_report(args.output, n_runs=args.runs, seed=args.seed,
+                     n_jobs=args.jobs, figures=args.figures)
+        print(f"report written to {args.output}")
+        return 0
+
+    if args.command == "suite":
+        from .experiments.suite import SuiteConfig, render_suite, run_suite
+        cfg = SuiteConfig(loads=tuple(args.loads),
+                          models=tuple(args.models),
+                          n_processors=args.procs, n_runs=args.runs,
+                          seed=args.seed)
+        print(render_suite(run_suite(cfg)))
+        return 0
+
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""AS — adaptive speculation at each OR node (Section 4.2).
+
+When the statistical characteristics of the paths differ substantially,
+a single static speculation is poor; the adaptive scheme re-speculates
+every time an OR node fires, using the profile of the *remaining* tasks
+along the selected path:
+
+.. math:: S_{spec} = S_{max} \\cdot \\tilde a(t) / (D - t)
+
+where ``ã(t)`` is the average-case remaining execution time stored at
+the PMP for the chosen path (weighted over any OR nodes still ahead).
+As with the static speculative schemes, each task executes at
+``max(S_spec, S_GSS)``, so the deadline guarantee is inherited.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+from .base import PolicyRun, SpeedPolicy, speculative_speed
+
+
+class _AdaptiveRun(PolicyRun):
+    fixed_speed = None
+
+    def __init__(self, name: str, plan: OfflinePlan, power: PowerModel):
+        self.name = name
+        self._plan = plan
+        self._power = power
+        self._level = speculative_speed(plan.t_avg, plan.deadline, power)
+
+    def floor(self, t: float) -> float:
+        return self._level
+
+    def on_or_fired(self, or_name: str, target_sid: int, t: float) -> None:
+        stats = self._plan.remaining_stats(or_name, target_sid)
+        self._level = speculative_speed(stats.average,
+                                        self._plan.deadline - t,
+                                        self._power)
+
+
+class AdaptiveSpeculation(SpeedPolicy):
+    """Re-speculate the speed after every OR synchronization node."""
+
+    name = "AS"
+    requires_reserve = True
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        return _AdaptiveRun(self.name, plan, power)

@@ -1,0 +1,84 @@
+"""Policy interface shared by all scheduling schemes.
+
+A :class:`SpeedPolicy` is stateless configuration ("the scheme"); calling
+:meth:`SpeedPolicy.start_run` yields a :class:`PolicyRun` holding the
+per-run state the engine consults:
+
+* ``fixed_speed`` — if not ``None``, the engine runs every task at this
+  level and never visits power-management points (NPM, SPM, oracle);
+* ``floor(t)`` — for dynamic schemes, the speculative speed floor at
+  time ``t``; the engine executes each task at
+  ``snap_up(max(floor(t), S_greedy))`` where ``S_greedy`` is the greedy
+  slack-sharing guarantee speed from the offline plan (Section 4: "we
+  choose the maximum speed between S_spec and S_GSS");
+* ``on_or_fired`` — hook invoked when an OR node fires, used by the
+  adaptive scheme to re-speculate.
+
+Dynamic schemes set ``requires_reserve`` so the experiment harness knows
+to hand them the overhead-inflated offline plan.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+
+
+class PolicyRun(abc.ABC):
+    """Per-run scheme state consumed by :func:`repro.sim.engine.simulate`."""
+
+    name: str = "abstract"
+    #: run everything at this level; ``None`` enables dynamic speed setting
+    fixed_speed: Optional[float] = None
+
+    def floor(self, t: float) -> float:
+        """Speculative speed floor at time ``t`` (0 = pure greedy)."""
+        return 0.0
+
+    def on_or_fired(self, or_name: str, target_sid: int, t: float) -> None:
+        """Called when an OR node fires and selects a path."""
+
+
+class SpeedPolicy(abc.ABC):
+    """A scheduling scheme; produces one :class:`PolicyRun` per run."""
+
+    #: scheme label used in reports and figures
+    name: str = "abstract"
+    #: True if the scheme changes speeds at runtime and therefore needs
+    #: the per-task overhead reserve built into its offline plan
+    requires_reserve: bool = True
+
+    @abc.abstractmethod
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        """Create the per-run state for one simulation."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class _FixedRun(PolicyRun):
+    """Trivial run state for fixed-speed schemes."""
+
+    def __init__(self, name: str, speed: float):
+        self.name = name
+        self.fixed_speed = speed
+
+
+def speculative_speed(work: float, horizon: float,
+                      power: PowerModel) -> float:
+    """``S_max * work / horizon`` snapped up to a level and clamped.
+
+    ``work`` is expected remaining execution time at maximum speed;
+    ``horizon`` the wall-clock time available for it.
+    """
+    if horizon <= 0:
+        return power.s_max
+    raw = work / horizon
+    return power.snap_up(min(raw, power.s_max))

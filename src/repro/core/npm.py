@@ -1,0 +1,28 @@
+"""NPM — no power management (the normalization baseline).
+
+Every task runs at maximum speed; idle processors still draw the idle
+power (5 % of max).  All energies the experiments report are normalized
+to NPM's energy on the same realization, exactly as in Section 5.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+from .base import PolicyRun, SpeedPolicy, _FixedRun
+
+
+class NoPowerManagement(SpeedPolicy):
+    """Run everything at ``S_max``; no PMPs, no overheads."""
+
+    name = "NPM"
+    requires_reserve = False
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        return _FixedRun(self.name, power.s_max)

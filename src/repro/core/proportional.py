@@ -1,0 +1,68 @@
+"""PS — proportional (worst-case) speculation.  Extension.
+
+The uniprocessor related work the paper builds on (Mossé et al. [14])
+includes a *proportional* scheme: instead of letting the current task
+greedily consume all available slack, stretch the **remaining
+worst-case work** evenly over the time left:
+
+.. math:: S_{prop}(t) = S_{max} \\cdot w(t) / (D - t)
+
+where ``w(t)`` is the worst-case remaining execution time from the
+current PMP.  On the AND/OR model, ``w(t)`` is exactly the per-path
+``w_i`` profile the offline phase stores at each OR node, so the scheme
+drops straight into the speculative-floor framework: it is "AS with
+worst-case instead of average-case statistics".  It is deadline-safe
+for the same reason as SS/AS (the executed speed is
+``max(S_prop, S_GSS)``), and it brackets the design space:
+
+* GSS — no floor (all slack to the current task),
+* AS  — average-case floor (optimistic),
+* PS  — worst-case floor (pessimistic; fewest regrets, least saving).
+
+The paper's observation that the greedy scheme benefits from a high
+``S_min`` can be read as: ``S_min`` acts as a crude constant
+proportional floor.  PS makes that floor exact, which the ablation
+benches use to test the explanation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+from .base import PolicyRun, SpeedPolicy, speculative_speed
+
+
+class _ProportionalRun(PolicyRun):
+    fixed_speed = None
+
+    def __init__(self, name: str, plan: OfflinePlan, power: PowerModel):
+        self.name = name
+        self._plan = plan
+        self._power = power
+        self._level = speculative_speed(plan.t_worst, plan.deadline,
+                                        power)
+
+    def floor(self, t: float) -> float:
+        return self._level
+
+    def on_or_fired(self, or_name: str, target_sid: int, t: float) -> None:
+        stats = self._plan.remaining_stats(or_name, target_sid)
+        self._level = speculative_speed(stats.worst,
+                                        self._plan.deadline - t,
+                                        self._power)
+
+
+class ProportionalSpeculation(SpeedPolicy):
+    """Worst-case-remaining speculative floor, refreshed at OR nodes."""
+
+    name = "PS"
+    requires_reserve = True
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        return _ProportionalRun(self.name, plan, power)

@@ -1,0 +1,67 @@
+"""Name → scheme registry.
+
+The experiment harness, CLI and benches refer to schemes by the paper's
+labels; :func:`get_policy` resolves them.  Labels are case-insensitive
+and the common aliases from the paper's figures are accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..errors import ConfigError
+from .adaptive_spec import AdaptiveSpeculation
+from .base import SpeedPolicy
+from .clairvoyant import ClairvoyantOracle
+from .gss import GreedySlackSharing
+from .npm import NoPowerManagement
+from .proportional import ProportionalSpeculation
+from .spm import StaticPowerManagement
+from .static_spec import StaticSpeculationOneSpeed, StaticSpeculationTwoSpeeds
+
+_REGISTRY: Dict[str, Type[SpeedPolicy]] = {
+    "npm": NoPowerManagement,
+    "spm": StaticPowerManagement,
+    "gss": GreedySlackSharing,
+    "ss1": StaticSpeculationOneSpeed,
+    "ss2": StaticSpeculationTwoSpeeds,
+    "as": AdaptiveSpeculation,
+    "ps": ProportionalSpeculation,
+    "oracle": ClairvoyantOracle,
+}
+
+_ALIASES = {
+    "greedy": "gss",
+    "static": "spm",
+    "ss-1": "ss1",
+    "ss-2": "ss2",
+    "adaptive": "as",
+    "proportional": "ps",
+    "clairvoyant": "oracle",
+}
+
+#: the five schemes evaluated in the paper's figures, in legend order
+PAPER_SCHEMES = ("SPM", "GSS", "SS1", "SS2", "AS")
+
+#: everything, including the baseline and the extensions
+ALL_SCHEMES = ("NPM",) + PAPER_SCHEMES + ("PS", "ORACLE")
+
+
+def available_schemes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def get_policy(name: str) -> SpeedPolicy:
+    """Instantiate a scheme by (case-insensitive) name or alias."""
+    key = name.lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]()
+    except KeyError:
+        raise ConfigError(
+            f"unknown scheme {name!r}; available: {available_schemes()}"
+        ) from None
+
+
+def get_policies(names) -> List[SpeedPolicy]:
+    return [get_policy(n) for n in names]

@@ -1,0 +1,52 @@
+"""SPM — static power management.
+
+Uses *static* slack only: the canonical worst-case finish time of the
+longest path, ``T_worst``, versus the deadline ``D``.  All processors are
+set once, before the application starts, to the lowest level that still
+fits the worst case (accounting for the single voltage switch):
+
+.. math:: S_{SPM} = \\mathrm{snap\\_up}\\big(S_{max} \\cdot
+          T_{worst} / (D - t_{adj})\\big)
+
+Because SPM ignores runtime behaviour entirely, its energy curves depend
+only on the load — the paper points this out when varying α (Figure 6),
+where SPM's curve is flat while the dynamic schemes move.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+from .base import PolicyRun, SpeedPolicy, _FixedRun
+
+
+class StaticPowerManagement(SpeedPolicy):
+    """One statically chosen speed for the whole application."""
+
+    name = "SPM"
+    requires_reserve = False
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        return _FixedRun(self.name, spm_speed(plan, power, overhead))
+
+
+def spm_speed(plan: OfflinePlan, power: PowerModel,
+              overhead: OverheadModel) -> float:
+    """The statically chosen SPM level for a plan.
+
+    Falls back to ``S_max`` (no switch, hence no switch overhead) when
+    the slowdown would not fit once the switch time is reserved.
+    """
+    deadline = plan.deadline
+    horizon = deadline - overhead.adjust_time
+    if horizon <= 0 or plan.t_worst >= horizon:
+        return power.s_max
+    raw = plan.t_worst / horizon
+    speed = power.snap_up(min(raw, power.s_max))
+    return speed

@@ -1,0 +1,98 @@
+"""Static speculative schemes SS¹ and SS² (Section 4.1).
+
+Both decide a speculative speed *before the application starts* from its
+statistical profile: the expected (probability-weighted over paths)
+average-case finish time ``T_avg``:
+
+.. math:: S_{spec} = S_{max} \\cdot T_{avg} / D
+
+* **SS¹** — rounds ``S_spec`` up to the next available level and uses it
+  as a constant floor for the whole run.
+* **SS²** — brackets ``S_spec`` between adjacent levels
+  ``f_lo ≤ S_spec ≤ f_hi`` and runs the low level until the switch point
+
+  .. math:: \\theta = D \\, (f_{hi} - S_{spec}) / (f_{hi} - f_{lo})
+
+  then the high level, so the *average* amount of work exactly fits the
+  deadline with at most one extra speed change.
+
+Timeliness is preserved because the executed speed of each task is
+``max(S_spec(t), S_GSS)`` — never below the greedy guarantee (the paper's
+argument for why the SS schemes inherit Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..offline.plan import OfflinePlan
+from ..power.model import PowerModel
+from ..power.overhead import OverheadModel
+from ..sim.realization import Realization
+from .base import PolicyRun, SpeedPolicy, speculative_speed
+
+
+class _ConstantFloorRun(PolicyRun):
+    fixed_speed = None
+
+    def __init__(self, name: str, level: float):
+        self.name = name
+        self._level = level
+
+    def floor(self, t: float) -> float:
+        return self._level
+
+
+class _TwoSpeedRun(PolicyRun):
+    fixed_speed = None
+
+    def __init__(self, name: str, f_lo: float, f_hi: float, theta: float):
+        self.name = name
+        self.f_lo = f_lo
+        self.f_hi = f_hi
+        self.theta = theta
+
+    def floor(self, t: float) -> float:
+        return self.f_lo if t < self.theta else self.f_hi
+
+
+class StaticSpeculationOneSpeed(SpeedPolicy):
+    """SS¹: one statically speculated speed, rounded up to a level."""
+
+    name = "SS1"
+    requires_reserve = True
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        level = speculative_speed(plan.t_avg, plan.deadline, power)
+        return _ConstantFloorRun(self.name, level)
+
+
+class StaticSpeculationTwoSpeeds(SpeedPolicy):
+    """SS²: two adjacent levels with a precomputed switch point θ."""
+
+    name = "SS2"
+    requires_reserve = True
+
+    def start_run(self, plan: OfflinePlan, power: PowerModel,
+                  overhead: OverheadModel,
+                  realization: Optional[Realization] = None) -> PolicyRun:
+        f_lo, f_hi, theta = two_speed_plan(plan.t_avg, plan.deadline, power)
+        return _TwoSpeedRun(self.name, f_lo, f_hi, theta)
+
+
+def two_speed_plan(t_avg: float, deadline: float, power: PowerModel):
+    """Compute SS²'s ``(f_lo, f_hi, theta)`` for a given profile.
+
+    Degenerates to a constant level (θ = 0) when the speculated speed
+    lands exactly on a level or below the minimum speed.
+    """
+    if deadline <= 0:
+        return power.s_max, power.s_max, 0.0
+    raw = min(t_avg / deadline, power.s_max)
+    f_lo, f_hi = power.bracket(raw)
+    if f_hi - f_lo <= 1e-12 or raw <= f_lo or f_hi - raw <= 1e-12:
+        return f_hi, f_hi, 0.0
+    theta = deadline * (f_hi - raw) / (f_hi - f_lo)
+    return f_lo, f_hi, theta

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the common cases (malformed graphs, infeasible
+deadlines, bad power-model parameters).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """A structural problem with an AND/OR graph.
+
+    Raised for cycles, dangling edges, duplicate node names, OR branch
+    probabilities that do not sum to one, and violations of the
+    section-structured OR semantics the paper assumes (all processors
+    synchronize at an OR node).
+    """
+
+
+class ValidationError(GraphError):
+    """A graph failed explicit validation (:func:`repro.graph.validate`)."""
+
+
+class InfeasibleError(ReproError):
+    """The offline phase proved the application cannot meet its deadline.
+
+    Mirrors the paper's off-line failure case: if the canonical schedule of
+    the longest path exceeds the deadline the algorithm "fails to guarantee
+    the deadline" and no online phase is attempted.
+    """
+
+    def __init__(self, worst_case: float, deadline: float, detail: str = ""):
+        self.worst_case = worst_case
+        self.deadline = deadline
+        msg = (
+            f"canonical worst-case finish time {worst_case:.6g} exceeds "
+            f"deadline {deadline:.6g}"
+        )
+        if detail:
+            msg += f" ({detail})"
+        super().__init__(msg)
+
+
+class PowerModelError(ReproError):
+    """Invalid power-model configuration (empty level table, bad voltage...)."""
+
+
+class SimulationError(ReproError):
+    """An internal inconsistency detected while simulating.
+
+    These indicate bugs (e.g. a deadline miss under a scheme that is proven
+    to meet deadlines) and are therefore *raised*, never swallowed.
+    """
+
+
+class DeadlineMissError(SimulationError):
+    """A simulated run finished after its deadline.
+
+    For the paper's schemes this must never happen when the offline phase
+    succeeded (Theorem 1); the simulator raises it eagerly so property tests
+    can falsify the implementation rather than silently producing bad energy
+    numbers.
+    """
+
+    def __init__(self, finish_time: float, deadline: float, scheme: str = "?"):
+        self.finish_time = finish_time
+        self.deadline = deadline
+        self.scheme = scheme
+        super().__init__(
+            f"scheme {scheme!r} finished at {finish_time:.6g} past deadline "
+            f"{deadline:.6g}"
+        )
+
+
+class ConfigError(ReproError):
+    """Invalid experiment or workload configuration."""

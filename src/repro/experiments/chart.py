@@ -1,0 +1,102 @@
+"""ASCII line charts for sweep series.
+
+Terminal-only rendering of the paper's figures: one glyph per scheme,
+shared canvas, y = normalized energy, x = the sweep variable.  Exact
+values live in the tables (:mod:`repro.experiments.report`); the chart
+is for reading shapes — dips, staircases, crossovers — at a glance.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..types import SeriesResult
+
+#: plotting glyphs, assigned to schemes in series order
+GLYPHS = "ox+*#@%&$"
+
+
+def render_chart(series: SeriesResult, width: int = 64, height: int = 18,
+                 y_range: Optional[Tuple[float, float]] = None,
+                 schemes: Optional[Sequence[str]] = None) -> str:
+    """Render one sweep as an ASCII chart with a legend."""
+    if width < 16 or height < 6:
+        raise ConfigError("chart needs width >= 16 and height >= 6")
+    cols = list(schemes) if schemes else series.schemes()
+    if not cols:
+        raise ConfigError("series has no schemes to plot")
+    xs = series.xs()
+    if len(xs) < 2:
+        raise ConfigError("need at least two x values to plot")
+
+    values: Dict[str, List[Optional[float]]] = {}
+    all_vals: List[float] = []
+    for scheme in cols:
+        row: List[Optional[float]] = []
+        for x in xs:
+            p = series.get(x, scheme)
+            row.append(p.mean if p else None)
+            if p:
+                all_vals.append(p.mean)
+        values[scheme] = row
+    if not all_vals:
+        raise ConfigError("series has no data points")
+
+    if y_range is None:
+        lo, hi = min(all_vals), max(all_vals)
+        pad = max((hi - lo) * 0.05, 1e-6)
+        lo, hi = lo - pad, hi + pad
+    else:
+        lo, hi = y_range
+        if hi <= lo:
+            raise ConfigError(f"empty y range [{lo}, {hi}]")
+
+    x_lo, x_hi = min(xs), max(xs)
+
+    def col_of(x: float) -> int:
+        return round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+
+    def row_of(v: float) -> int:
+        frac = (v - lo) / (hi - lo)
+        return (height - 1) - round(frac * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    for gi, scheme in enumerate(cols):
+        glyph = GLYPHS[gi % len(GLYPHS)]
+        pts = [(col_of(x), row_of(v))
+               for x, v in zip(xs, values[scheme]) if v is not None]
+        # connect consecutive points with interpolated glyphs
+        for (c1, r1), (c2, r2) in zip(pts, pts[1:]):
+            steps = max(abs(c2 - c1), 1)
+            for s in range(steps + 1):
+                c = c1 + (c2 - c1) * s // steps
+                r = r1 + (r2 - r1) * s // steps if steps else r1
+                if canvas[r][c] == " ":
+                    canvas[r][c] = "."
+        for c, r in pts:
+            canvas[r][c] = glyph
+
+    out = io.StringIO()
+    out.write(f"# {series.name}  (y: normalized energy, "
+              f"x: {series.x_label})\n")
+    for i, row in enumerate(canvas):
+        if i == 0:
+            label = f"{hi:7.3f} "
+        elif i == height - 1:
+            label = f"{lo:7.3f} "
+        else:
+            label = " " * 8
+        out.write(label + "|" + "".join(row) + "|\n")
+    out.write(" " * 8 + "+" + "-" * width + "+\n")
+    out.write(" " * 9 + f"{x_lo:<10g}{'':{max(width - 20, 0)}}{x_hi:>10g}\n")
+    legend = "   ".join(f"{GLYPHS[i % len(GLYPHS)]} {s}"
+                        for i, s in enumerate(cols))
+    out.write(" " * 9 + legend + "\n")
+    return out.getvalue()
+
+
+def render_charts(series_list: Sequence[SeriesResult],
+                  **kwargs) -> str:
+    return "\n".join(render_chart(s, **kwargs) for s in series_list)

@@ -1,0 +1,104 @@
+"""Distributional views of per-run results.
+
+Means hide the shape: OR-branchy workloads produce multi-modal energy
+distributions (one mode per execution path), and the speculative
+schemes narrow the spread (that is what a constant speed *does*).
+These helpers expose percentiles and ASCII histograms of the per-run
+normalized energies an :class:`EvaluationResult` already carries.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError
+from .runner import EvaluationResult
+
+DEFAULT_PERCENTILES = (5, 25, 50, 75, 95)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Percentile summary of one scheme's per-run values."""
+
+    scheme: str
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    percentiles: Tuple[Tuple[float, float], ...]
+
+    def percentile(self, q: float) -> float:
+        for qq, v in self.percentiles:
+            if qq == q:
+                return v
+        raise ConfigError(f"percentile {q} not computed")
+
+    @property
+    def iqr(self) -> float:
+        return self.percentile(75) - self.percentile(25)
+
+
+def summarize_distribution(scheme: str, values: np.ndarray,
+                           percentiles: Sequence[float]
+                           = DEFAULT_PERCENTILES) -> DistributionSummary:
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cannot summarize an empty sample")
+    pct = tuple((float(q), float(np.percentile(arr, q)))
+                for q in percentiles)
+    return DistributionSummary(
+        scheme=scheme, n=int(arr.size), mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if arr.size > 1 else 0.0,
+        minimum=float(arr.min()), maximum=float(arr.max()),
+        percentiles=pct)
+
+
+def result_distributions(result: EvaluationResult,
+                         schemes: Optional[Sequence[str]] = None
+                         ) -> Dict[str, DistributionSummary]:
+    names = list(schemes) if schemes else list(result.normalized)
+    missing = [n for n in names if n not in result.normalized]
+    if missing:
+        raise ConfigError(f"schemes not in result: {missing}")
+    return {n: summarize_distribution(n, result.normalized[n])
+            for n in names}
+
+
+def render_distributions(summaries: Dict[str, DistributionSummary]
+                         ) -> str:
+    """Percentile table across schemes."""
+    qs = [q for q, _ in next(iter(summaries.values())).percentiles]
+    out = io.StringIO()
+    out.write(f"{'scheme':>8} {'mean':>7} {'std':>7} {'min':>7} "
+              + " ".join(f"p{q:<4g}" for q in qs) + f" {'max':>7}\n")
+    for name, s in summaries.items():
+        cells = " ".join(f"{v:5.3f}" for _q, v in s.percentiles)
+        out.write(f"{name:>8} {s.mean:>7.3f} {s.std:>7.3f} "
+                  f"{s.minimum:>7.3f} {cells} {s.maximum:>7.3f}\n")
+    return out.getvalue()
+
+
+def render_histogram(scheme: str, values: np.ndarray, bins: int = 24,
+                     width: int = 40,
+                     value_range: Optional[Tuple[float, float]] = None
+                     ) -> str:
+    """One scheme's per-run energy histogram as ASCII bars."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ConfigError("cannot plot an empty sample")
+    if bins < 2 or width < 4:
+        raise ConfigError("need bins >= 2 and width >= 4")
+    counts, edges = np.histogram(arr, bins=bins, range=value_range)
+    top = max(int(counts.max()), 1)
+    out = io.StringIO()
+    out.write(f"# {scheme}: n={arr.size}, mean={arr.mean():.3f}\n")
+    for c, lo, hi in zip(counts, edges, edges[1:]):
+        bar = "#" * round(c / top * width)
+        out.write(f"  [{lo:6.3f},{hi:6.3f}) {bar:<{width}} {c}\n")
+    return out.getvalue()

@@ -1,0 +1,113 @@
+"""Persistence of experiment results.
+
+Full-size figure runs are cheap here but not free; persisting a
+:class:`~repro.types.SeriesResult` as JSON lets EXPERIMENTS.md numbers
+be re-rendered, diffed across code changes, and plotted without
+re-simulating.  The format is versioned and validated on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import ConfigError
+from ..types import ExperimentPoint, SeriesResult
+
+FORMAT_VERSION = 1
+
+
+def series_to_jsonable(series: SeriesResult) -> Dict:
+    """SeriesResult → JSON-compatible dict."""
+    meta = {}
+    for k, v in series.meta.items():
+        if k == "speed_changes" and isinstance(v, dict):
+            # float keys are not valid JSON: stringify deterministically
+            meta[k] = {repr(float(x)): per_x for x, per_x in v.items()}
+        else:
+            meta[k] = v
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": series.name,
+        "x_label": series.x_label,
+        "meta": meta,
+        "points": [
+            {"x": p.x, "scheme": p.scheme, "mean": p.mean,
+             "std": p.std, "n_runs": p.n_runs, "ci95": p.ci95}
+            for p in series.points
+        ],
+    }
+
+
+def series_from_jsonable(data: Dict) -> SeriesResult:
+    """JSON dict → SeriesResult (validating)."""
+    try:
+        version = data["format_version"]
+        if version != FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported series format version {version} "
+                f"(expected {FORMAT_VERSION})")
+        meta = dict(data.get("meta", {}))
+        if "speed_changes" in meta and isinstance(meta["speed_changes"],
+                                                  dict):
+            meta["speed_changes"] = {
+                float(x): per_x
+                for x, per_x in meta["speed_changes"].items()}
+        series = SeriesResult(name=str(data["name"]),
+                              x_label=str(data["x_label"]), meta=meta)
+        for p in data["points"]:
+            series.points.append(ExperimentPoint(
+                x=float(p["x"]), scheme=str(p["scheme"]),
+                mean=float(p["mean"]), std=float(p["std"]),
+                n_runs=int(p["n_runs"]), ci95=float(p.get("ci95", 0.0))))
+        return series
+    except ConfigError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigError(f"malformed series JSON: {exc}") from exc
+
+
+def save_series(series_by_key: Dict[str, SeriesResult],
+                path: Union[str, Path]) -> None:
+    """Write a bundle of named series (e.g. one per power model)."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "series": {k: series_to_jsonable(s)
+                   for k, s in series_by_key.items()},
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True),
+                          encoding="utf-8")
+
+
+def load_series(path: Union[str, Path]) -> Dict[str, SeriesResult]:
+    """Read a bundle written by :func:`save_series`."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigError(f"no such series file: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"invalid JSON in {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "series" not in payload:
+        raise ConfigError(f"{path} is not a series bundle")
+    return {k: series_from_jsonable(v)
+            for k, v in payload["series"].items()}
+
+
+def merge_series(a: SeriesResult, b: SeriesResult) -> SeriesResult:
+    """Concatenate two sweeps of the same experiment (disjoint x)."""
+    if a.x_label != b.x_label:
+        raise ConfigError(
+            f"cannot merge series over different axes: {a.x_label} vs "
+            f"{b.x_label}")
+    overlap = set(a.xs()) & set(b.xs())
+    if overlap:
+        raise ConfigError(f"series overlap at x = {sorted(overlap)}")
+    merged = SeriesResult(name=a.name, x_label=a.x_label,
+                          meta={**a.meta, **b.meta})
+    sc_a = a.meta.get("speed_changes", {})
+    sc_b = b.meta.get("speed_changes", {})
+    if isinstance(sc_a, dict) and isinstance(sc_b, dict):
+        merged.meta["speed_changes"] = {**sc_a, **sc_b}
+    merged.points = sorted(a.points + b.points, key=lambda p: p.x)
+    return merged

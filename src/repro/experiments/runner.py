@@ -1,0 +1,210 @@
+"""Monte-Carlo evaluation of scheduling schemes on one application.
+
+The unit of work is :func:`evaluate_application`: build the offline
+plans once, then simulate ``n_runs`` paired realizations under every
+requested scheme, returning per-run *normalized* (to NPM on the same
+realization) energies plus bookkeeping counters.  Sweeps
+(:mod:`repro.experiments.sweeps`) call it per x-value, optionally
+fanning points out over a process pool (:mod:`repro.experiments.parallel`).
+
+Determinism: one ``seed`` fixes the whole evaluation — realizations are
+drawn from ``numpy.random.default_rng(seed)`` in run order, and the
+schemes see identical realizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.base import SpeedPolicy
+from ..core.registry import PAPER_SCHEMES, get_policy
+from ..errors import ConfigError, InfeasibleError
+from ..graph.andor import Application
+from ..offline.plan import OfflinePlan, build_plan
+from ..power.model import PowerModel, make_power_model
+from ..power.overhead import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
+from ..sim.engine import simulate
+from ..sim.realization import sample_realization_batch
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Configuration of one Monte-Carlo evaluation."""
+
+    schemes: Tuple[str, ...] = PAPER_SCHEMES
+    power_model: str = "transmeta"
+    n_processors: int = 2
+    n_runs: int = 1000
+    seed: int = 2002  # the paper's year; any fixed value works
+    overhead: OverheadModel = PAPER_OVERHEAD
+    sigma_fraction: float = 1.0 / 3.0
+    idle_fraction: float = 0.05
+    heuristic: str = "ltf"  # list-scheduling priority (paper: LTF)
+
+    def __post_init__(self) -> None:
+        if self.n_runs < 1:
+            raise ConfigError("n_runs must be >= 1")
+        if self.n_processors < 1:
+            raise ConfigError("n_processors must be >= 1")
+        if not self.schemes:
+            raise ConfigError("need at least one scheme")
+
+    def with_(self, **kwargs) -> "RunConfig":
+        return replace(self, **kwargs)
+
+    def make_power(self) -> PowerModel:
+        return make_power_model(self.power_model,
+                                idle_fraction=self.idle_fraction)
+
+
+@dataclass
+class EvaluationResult:
+    """Raw per-run outputs of one evaluation (one application, one config)."""
+
+    app_name: str
+    config: RunConfig
+    #: scheme -> per-run energy normalized to NPM on the same realization
+    normalized: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: scheme -> per-run absolute energy
+    absolute: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: scheme -> per-run number of voltage/speed switches
+    speed_changes: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: per-run NPM energy (the denominator)
+    npm_energy: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: per-run executed path key (e.g. "0>2>5"); schemes share the
+    #: realization, so one key per run describes every scheme's run
+    path_keys: List[str] = field(default_factory=list)
+
+    def mean_normalized(self) -> Dict[str, float]:
+        return {k: float(v.mean()) for k, v in self.normalized.items()}
+
+    def mean_speed_changes(self) -> Dict[str, float]:
+        return {k: float(v.mean()) for k, v in self.speed_changes.items()}
+
+    def conditional_normalized(self, scheme: str) -> Dict[str, np.ndarray]:
+        """Per-run normalized energies grouped by executed path."""
+        if scheme not in self.normalized:
+            raise ConfigError(f"scheme {scheme!r} not in result")
+        if len(self.path_keys) != self.normalized[scheme].size:
+            raise ConfigError("path keys were not recorded for this run")
+        groups: Dict[str, list] = {}
+        for key, value in zip(self.path_keys, self.normalized[scheme]):
+            groups.setdefault(key, []).append(float(value))
+        return {k: np.asarray(v) for k, v in groups.items()}
+
+    def path_frequencies(self) -> Dict[str, float]:
+        """Observed fraction of runs per executed path."""
+        n = len(self.path_keys)
+        if n == 0:
+            raise ConfigError("path keys were not recorded for this run")
+        freq: Dict[str, float] = {}
+        for key in self.path_keys:
+            freq[key] = freq.get(key, 0.0) + 1.0 / n
+        return freq
+
+
+def _path_key(structure, sim_result) -> str:
+    """The executed path of a simulated run, as ExecutionPath.key()."""
+    sids = [structure.root_id]
+    sid = structure.root_id
+    while True:
+        exit_or = structure.section(sid).exit_or
+        if exit_or is None:
+            break
+        branches = structure.branches(exit_or)
+        if not branches:
+            break
+        if len(branches) == 1:
+            sid = branches[0][0]
+        else:
+            sid = int(sim_result.path_choices[exit_or])
+        sids.append(sid)
+    return ">".join(str(s) for s in sids)
+
+
+def build_plans(app: Application, config: RunConfig,
+                power: Optional[PowerModel] = None
+                ) -> Tuple[Optional[OfflinePlan], OfflinePlan]:
+    """The (dynamic, static) offline plans an evaluation needs.
+
+    The dynamic plan reserves per-task overhead room; the static plan is
+    the plain canonical schedule used by NPM/SPM and the load metric.
+
+    At loads so high that even the per-task overhead reserve does not
+    fit (e.g. load = 1.0 exactly), a real scheduler cannot afford to
+    visit power-management points at all: the dynamic plan is ``None``
+    and the dynamic schemes degrade to running at ``S_max`` with DVS
+    disabled (zero switches, zero overhead) — still meeting the
+    deadline, still normalized against NPM.
+    """
+    power = power or config.make_power()
+    reserve = config.overhead.per_task_reserve(power)
+    plan_static = build_plan(app, config.n_processors, reserve=0.0,
+                             heuristic=config.heuristic)
+    try:
+        plan_dyn: Optional[OfflinePlan] = build_plan(
+            app, config.n_processors, reserve=reserve,
+            structure=plan_static.structure,
+            heuristic=config.heuristic)
+    except InfeasibleError:
+        plan_dyn = None
+    return plan_dyn, plan_static
+
+
+def evaluate_application(app: Application,
+                         config: RunConfig) -> EvaluationResult:
+    """Simulate ``config.n_runs`` paired runs of every scheme on ``app``."""
+    power = config.make_power()
+    plan_dyn, plan_static = build_plans(app, config, power)
+    structure = plan_static.structure
+
+    policies: Dict[str, SpeedPolicy] = {}
+    for name in config.schemes:
+        policy = get_policy(name)
+        policies[policy.name] = policy
+
+    n = config.n_runs
+    npm_policy = get_policy("NPM")
+    npm_energy = np.empty(n)
+    absolute = {name: np.empty(n) for name in policies}
+    changes = {name: np.empty(n, dtype=float) for name in policies}
+
+    result_path_keys: List[str] = []
+    rng = np.random.default_rng(config.seed)
+    realizations = sample_realization_batch(
+        structure, rng, n, sigma_fraction=config.sigma_fraction)
+    for i in range(n):
+        rl = realizations[i]
+        npm_run = npm_policy.start_run(plan_static, power, NO_OVERHEAD,
+                                       realization=rl)
+        base = simulate(plan_static, npm_run, power, NO_OVERHEAD, rl)
+        npm_energy[i] = base.total_energy
+        result_path_keys.append(_path_key(structure, base))
+        for name, policy in policies.items():
+            if name == "NPM":
+                absolute[name][i] = base.total_energy
+                changes[name][i] = base.n_speed_changes
+                continue
+            if policy.requires_reserve and plan_dyn is None:
+                # DVS disabled at this load: the scheme runs like NPM
+                absolute[name][i] = base.total_energy
+                changes[name][i] = 0.0
+                continue
+            plan = plan_dyn if policy.requires_reserve else plan_static
+            run = policy.start_run(plan, power, config.overhead,
+                                   realization=rl)
+            res = simulate(plan, run, power, config.overhead, rl)
+            absolute[name][i] = res.total_energy
+            changes[name][i] = res.n_speed_changes
+
+    result = EvaluationResult(app_name=app.name, config=config,
+                              npm_energy=npm_energy,
+                              path_keys=result_path_keys)
+    for name in policies:
+        result.absolute[name] = absolute[name]
+        result.normalized[name] = absolute[name] / npm_energy
+        result.speed_changes[name] = changes[name]
+    return result

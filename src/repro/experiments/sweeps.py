@@ -1,0 +1,118 @@
+"""Parameter sweeps: load, α, processor count, overhead, speed levels.
+
+Each sweep returns a :class:`~repro.types.SeriesResult` — the exact
+rows/series a paper figure plots — plus, where useful, the per-point
+speed-change counts that back the paper's *explanations*.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..graph.andor import AndOrGraph
+from ..types import SeriesResult
+from ..workloads.scaling import application_with_load
+from .parallel import map_applications, map_load_points
+from .runner import EvaluationResult, RunConfig
+from .stats import summarize
+
+#: the paper's sweep grid (figures plot 0.1 … 1.0)
+DEFAULT_LOADS = tuple(round(0.1 * i, 1) for i in range(1, 11))
+DEFAULT_ALPHAS = tuple(round(0.1 * i, 1) for i in range(1, 11))
+
+
+def _series_from(name: str, x_label: str, xs: Sequence[float],
+                 results: Sequence[EvaluationResult],
+                 meta: Optional[Dict[str, object]] = None) -> SeriesResult:
+    series = SeriesResult(name=name, x_label=x_label, meta=dict(meta or {}))
+    for x, res in zip(xs, results):
+        for scheme, arr in res.normalized.items():
+            series.points.append(summarize(x, scheme, arr))
+        series.meta.setdefault("speed_changes", {})
+        series.meta["speed_changes"][x] = res.mean_speed_changes()  # type: ignore[index]
+    return series
+
+
+def sweep_load(graph: AndOrGraph, config: RunConfig,
+               loads: Sequence[float] = DEFAULT_LOADS,
+               n_jobs: int = 1,
+               name: str = "load-sweep") -> SeriesResult:
+    """Normalized energy vs load (the Figure 4/5 x-axis)."""
+    results = map_load_points(graph, list(loads), config, n_jobs=n_jobs)
+    return _series_from(name, "load", loads, results,
+                        meta={"app": graph.name,
+                              "power_model": config.power_model,
+                              "n_processors": config.n_processors,
+                              "n_runs": config.n_runs})
+
+
+def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
+                config: RunConfig, load: float,
+                alphas: Sequence[float] = DEFAULT_ALPHAS,
+                n_jobs: int = 1,
+                name: str = "alpha-sweep") -> SeriesResult:
+    """Normalized energy vs α at fixed load (the Figure 6 x-axis).
+
+    ``graph_factory(alpha)`` must rebuild the application with every
+    task's ACET set to ``α · WCET`` (WCETs unchanged, so the deadline —
+    hence the load — is identical at every α).
+    """
+    apps = [application_with_load(graph_factory(a), load,
+                                  config.n_processors)
+            for a in alphas]
+    results = map_applications(apps, config, n_jobs=n_jobs)
+    return _series_from(name, "alpha", alphas, results,
+                        meta={"app": apps[0].name if apps else "?",
+                              "load": load,
+                              "power_model": config.power_model,
+                              "n_processors": config.n_processors,
+                              "n_runs": config.n_runs})
+
+
+def sweep_processors(graph_builder: Callable[[], AndOrGraph],
+                     config: RunConfig, load: float,
+                     processor_counts: Sequence[int] = (2, 4, 6),
+                     n_jobs: int = 1,
+                     name: str = "processor-sweep") -> SeriesResult:
+    """Normalized energy vs processor count at fixed load.
+
+    Backs the paper's observation that "when the number of processors
+    increases, the performance of the dynamic schemes decreases".
+    """
+    apps = []
+    configs: List[RunConfig] = []
+    for m in processor_counts:
+        cfg = config.with_(n_processors=m)
+        apps.append(application_with_load(graph_builder(), load, m))
+        configs.append(cfg)
+    results = [map_applications([app], cfg, n_jobs=1)[0]
+               for app, cfg in zip(apps, configs)]
+    return _series_from(name, "processors",
+                        [float(m) for m in processor_counts], results,
+                        meta={"load": load,
+                              "power_model": config.power_model,
+                              "n_runs": config.n_runs})
+
+
+def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
+                   adjust_times: Sequence[float],
+                   n_jobs: int = 1,
+                   name: str = "overhead-sweep") -> SeriesResult:
+    """Normalized energy vs voltage-switch overhead (ablation).
+
+    The paper's future-work question: how sensitive are the schemes to
+    the speed-adjustment cost?
+    """
+    results = []
+    for t_adj in adjust_times:
+        cfg = config.with_(overhead=config.overhead.__class__(
+            comp_cycles=config.overhead.comp_cycles,
+            adjust_time=t_adj,
+            time_unit_us=config.overhead.time_unit_us))
+        app = application_with_load(graph, load, cfg.n_processors)
+        results.append(map_applications([app], cfg, n_jobs=1)[0])
+    return _series_from(name, "adjust_time",
+                        [float(t) for t in adjust_times], results,
+                        meta={"load": load, "app": graph.name,
+                              "power_model": config.power_model,
+                              "n_runs": config.n_runs})

@@ -1,0 +1,28 @@
+"""Regeneration of the paper's tables.
+
+Tables 1 and 2 *are* the voltage/speed settings of the two processor
+models; regenerating them means printing the level tables our power
+models actually use — which is exactly what the figures' staircase
+behaviour depends on, so the bench asserts the structural properties the
+paper states (level counts, ranges, non-linearity).
+"""
+
+from __future__ import annotations
+
+from ..power.tables import INTEL_XSCALE, TRANSMETA_TM5400, format_table
+
+
+def table1() -> str:
+    """Table 1: Speed & Voltages of Transmeta TM5400 (16 levels)."""
+    return ("Table 1. Speed & Voltages of Transmeta 5400\n"
+            + format_table(TRANSMETA_TM5400, columns=4))
+
+
+def table2() -> str:
+    """Table 2: Speed & Voltages of Intel XScale (5 levels)."""
+    return ("Table 2. Speed & Voltages of Intel XScale\n"
+            + format_table(INTEL_XSCALE, columns=5))
+
+
+def all_tables() -> str:
+    return table1() + "\n\n" + table2()

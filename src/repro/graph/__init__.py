@@ -1,0 +1,98 @@
+"""The extended AND/OR application model (Section 2.1 of the paper).
+
+Public surface:
+
+* node kinds and constructors (:mod:`repro.graph.nodes`),
+* :class:`AndOrGraph` / :class:`Application` containers,
+* :class:`GraphBuilder` fluent construction,
+* :func:`validate_graph` structural validation,
+* :class:`SectionStructure` — program sections between OR nodes,
+* execution-path enumeration (:mod:`repro.graph.paths`),
+* loop collapse/expansion (:mod:`repro.graph.loops`),
+* JSON serialization and Graphviz export,
+* a random valid-graph generator for property tests.
+"""
+
+from .andor import AndOrGraph, Application
+from .builder import GraphBuilder
+from .dot import to_dot
+from .loops import (
+    average_iterations,
+    chain_body,
+    expand_loop,
+    loop_as_task_stats,
+    simple_body,
+)
+from .nodes import Node, NodeKind, and_node, computation, or_node
+from .paths import (
+    ExecutionPath,
+    enumerate_paths,
+    expected_total_work,
+    iter_paths,
+    path_acet_sum,
+    path_wcet_sum,
+    total_probability,
+)
+from .random_gen import GraphGenConfig, random_graph
+from .sections import Section, SectionStructure
+from .serialize import (
+    application_from_dict,
+    application_to_dict,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+)
+from .transform import (
+    concatenate,
+    map_task_stats,
+    relabel,
+    scale_times,
+    skew_probabilities,
+    with_alpha,
+    with_branch_probabilities,
+)
+from .validate import validate_application, validate_graph
+
+__all__ = [
+    "AndOrGraph",
+    "Application",
+    "GraphBuilder",
+    "Node",
+    "NodeKind",
+    "and_node",
+    "computation",
+    "or_node",
+    "Section",
+    "SectionStructure",
+    "ExecutionPath",
+    "enumerate_paths",
+    "iter_paths",
+    "total_probability",
+    "path_wcet_sum",
+    "path_acet_sum",
+    "expected_total_work",
+    "expand_loop",
+    "loop_as_task_stats",
+    "average_iterations",
+    "simple_body",
+    "chain_body",
+    "GraphGenConfig",
+    "random_graph",
+    "validate_graph",
+    "with_alpha",
+    "scale_times",
+    "relabel",
+    "concatenate",
+    "map_task_stats",
+    "skew_probabilities",
+    "with_branch_probabilities",
+    "validate_application",
+    "graph_to_dict",
+    "graph_from_dict",
+    "application_to_dict",
+    "application_from_dict",
+    "dumps",
+    "loads",
+    "to_dot",
+]

@@ -1,0 +1,154 @@
+"""Fluent builder for AND/OR graphs.
+
+Constructing graphs node-by-node is verbose; :class:`GraphBuilder` gives
+the common shapes one-liners::
+
+    b = GraphBuilder("demo")
+    b.task("A", 8, 5)
+    b.and_split("A1", after="A", branches=[("B", 5, 3), ("C", 4, 2)])
+    b.and_join("A2", ["B", "C"])
+    b.or_branch("O3", after="A2", paths={"F": ((8, 6), 0.3), "G": ((5, 3), 0.7)})
+    b.or_merge("O4", ["F", "G"])
+    app = b.build(deadline=40)
+
+``build()`` validates the graph (see :mod:`repro.graph.validate`) so a
+builder cannot hand out a malformed application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .andor import AndOrGraph, Application
+from .validate import validate_graph
+
+TaskSpec = Tuple[float, float]  # (wcet, acet)
+
+
+class GraphBuilder:
+    """Incrementally assemble and validate an AND/OR application graph."""
+
+    def __init__(self, name: str = "app"):
+        self.graph = AndOrGraph(name)
+        self._last: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # nodes
+    # ------------------------------------------------------------------
+    def task(self, name: str, wcet: float, acet: float,
+             after: Optional[Iterable[str]] = None) -> "GraphBuilder":
+        """Add a computation node, optionally linked after existing nodes."""
+        self.graph.add_computation(name, wcet, acet)
+        for p in self._as_list(after):
+            self.graph.add_edge(p, name)
+        self._last = name
+        return self
+
+    def chain(self, specs: Sequence[Tuple[str, float, float]],
+              after: Optional[Iterable[str]] = None) -> "GraphBuilder":
+        """Add a linear chain of computation nodes."""
+        prev = self._as_list(after)
+        for name, wcet, acet in specs:
+            self.task(name, wcet, acet, after=prev)
+            prev = [name]
+        return self
+
+    def and_node(self, name: str,
+                 after: Optional[Iterable[str]] = None) -> "GraphBuilder":
+        self.graph.add_and(name)
+        for p in self._as_list(after):
+            self.graph.add_edge(p, name)
+        self._last = name
+        return self
+
+    def or_node(self, name: str,
+                after: Optional[Iterable[str]] = None) -> "GraphBuilder":
+        self.graph.add_or(name)
+        for p in self._as_list(after):
+            self.graph.add_edge(p, name)
+        self._last = name
+        return self
+
+    def edge(self, src: str, dst: str) -> "GraphBuilder":
+        self.graph.add_edge(src, dst)
+        return self
+
+    def edges(self, pairs: Iterable[Tuple[str, str]]) -> "GraphBuilder":
+        for src, dst in pairs:
+            self.graph.add_edge(src, dst)
+        return self
+
+    # ------------------------------------------------------------------
+    # structured helpers
+    # ------------------------------------------------------------------
+    def and_split(self, name: str, after: str,
+                  branches: Sequence[Tuple[str, float, float]]
+                  ) -> "GraphBuilder":
+        """AND node after ``after`` fanning out to new parallel tasks."""
+        self.and_node(name, after=[after])
+        for task_name, wcet, acet in branches:
+            self.task(task_name, wcet, acet, after=[name])
+        return self
+
+    def and_join(self, name: str, preds: Iterable[str]) -> "GraphBuilder":
+        """AND node joining several finished branches."""
+        preds = self._as_list(preds)
+        if not preds:
+            raise GraphError("and_join requires at least one predecessor")
+        self.and_node(name, after=preds)
+        return self
+
+    def or_branch(self, name: str, after: Iterable[str],
+                  paths: Mapping[str, Tuple[TaskSpec, float]]
+                  ) -> "GraphBuilder":
+        """OR node after ``after``; each entry of ``paths`` opens a branch.
+
+        ``paths`` maps a new task name to ``((wcet, acet), probability)``.
+        """
+        self.or_node(name, after=self._as_list(after))
+        for task_name, ((wcet, acet), prob) in paths.items():
+            self.task(task_name, wcet, acet, after=[name])
+            self.graph.set_branch_probability(name, task_name, prob)
+        return self
+
+    def or_merge(self, name: str, preds: Iterable[str]) -> "GraphBuilder":
+        """OR node merging alternative paths (fires when one arrives)."""
+        preds = self._as_list(preds)
+        if not preds:
+            raise GraphError("or_merge requires at least one predecessor")
+        self.or_node(name, after=preds)
+        return self
+
+    def probability(self, or_name: str, succ: str,
+                    prob: float) -> "GraphBuilder":
+        self.graph.set_branch_probability(or_name, succ, prob)
+        return self
+
+    def probabilities(self, or_name: str,
+                      probs: Mapping[str, float]) -> "GraphBuilder":
+        for succ, p in probs.items():
+            self.graph.set_branch_probability(or_name, succ, p)
+        return self
+
+    # ------------------------------------------------------------------
+    def build(self, deadline: float, name: Optional[str] = None,
+              meta: Optional[Dict[str, object]] = None) -> Application:
+        """Validate and wrap into an :class:`Application`."""
+        validate_graph(self.graph)
+        return Application(graph=self.graph, deadline=deadline,
+                           name=name or self.graph.name, meta=meta or {})
+
+    def build_graph(self) -> AndOrGraph:
+        """Validate and return the bare graph (no deadline attached)."""
+        validate_graph(self.graph)
+        return self.graph
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_list(value: Optional[Iterable[str]]) -> List[str]:
+        if value is None:
+            return []
+        if isinstance(value, str):
+            return [value]
+        return list(value)

@@ -1,0 +1,38 @@
+"""Graphviz DOT export for AND/OR graphs.
+
+Matches the paper's drawing conventions (Figure 1/3): computation nodes
+are circles labelled ``name c/a``, AND nodes diamonds, OR nodes double
+circles; OR branch edges are labelled with their probability.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .andor import AndOrGraph
+
+
+def to_dot(graph: AndOrGraph, rankdir: str = "TB") -> str:
+    """Render a graph as Graphviz DOT text."""
+    lines: List[str] = [f'digraph "{graph.name}" {{',
+                        f"  rankdir={rankdir};",
+                        "  node [fontsize=10];"]
+    for node in graph:
+        if node.is_computation:
+            assert node.stats is not None
+            label = f"{node.name}\\n{node.stats.wcet:g}/{node.stats.acet:g}"
+            attrs = f'shape=circle, label="{label}"'
+        elif node.is_and:
+            attrs = f'shape=diamond, label="{node.name}"'
+        else:
+            attrs = f'shape=doublecircle, label="{node.name}"'
+        lines.append(f'  "{node.name}" [{attrs}];')
+    for src, dst in graph.edges():
+        attrs = ""
+        if graph.node(src).is_or and graph.is_branching_or(src):
+            prob = graph.branch_probabilities(src).get(dst)
+            if prob is not None:
+                attrs = f' [label="{prob * 100:g}%"]'
+        lines.append(f'  "{src}" -> "{dst}"{attrs};')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,198 @@
+"""Loop handling for the AND/OR model (Section 2.1).
+
+The model has no back edges, so the paper offers two treatments for a
+loop whose body runs a variable number of iterations:
+
+1. **collapse** — treat the whole loop as one task whose WCET is the
+   body WCET times the maximal iteration count and whose ACET is the
+   body ACET times the average iteration count
+   (:func:`loop_as_task_stats`);
+2. **expand** — unroll the loop into body copies separated by OR nodes
+   whose exit probabilities are the *conditional* probabilities of
+   stopping after each iteration (:func:`expand_loop`).  This is how the
+   synthetic application's "4: 50%:20%:5%:25%" loops become pure AND/OR
+   structure.
+
+Expansion layout for iteration probabilities ``{1: p1, 2: p2, ...}``::
+
+    [body 1] --O1--(exit, p1')--> [skip AND] ----\\
+                \\--(continue)--> [body 2] --O2...--> [exit merge OR]
+
+where ``p_i' = P(K = i | K >= i)`` and the final body copy connects to
+the exit merge directly.  Each skip path is a pass-through AND node so
+that no OR->OR edge is created (section rule 1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from ..types import TaskStats
+from .builder import GraphBuilder
+
+#: A body factory adds one body copy to the builder and returns the names
+#: of its (entry, exit) nodes.  ``iteration`` is 1-based.
+BodyFactory = Callable[[GraphBuilder, int], Tuple[str, str]]
+
+_PROB_TOL = 1e-9
+
+
+def loop_as_task_stats(body_wcet: float, body_acet: float,
+                       max_iterations: int,
+                       avg_iterations: float) -> TaskStats:
+    """Collapse a loop into a single task's timing statistics."""
+    if max_iterations < 1:
+        raise GraphError(
+            f"max_iterations must be >= 1, got {max_iterations}")
+    if not (0 < avg_iterations <= max_iterations):
+        raise GraphError(
+            f"avg_iterations must be in (0, {max_iterations}], got "
+            f"{avg_iterations}")
+    return TaskStats(wcet=body_wcet * max_iterations,
+                     acet=body_acet * avg_iterations)
+
+
+def average_iterations(iter_probs: Mapping[int, float]) -> float:
+    """Expected iteration count of a probability table."""
+    _check_probs(iter_probs)
+    return sum(k * p for k, p in iter_probs.items())
+
+
+def simple_body(name: str, wcet: float, acet: float) -> BodyFactory:
+    """Body factory for a single-task loop body (``name#i<k>`` copies)."""
+
+    def factory(builder: GraphBuilder, iteration: int) -> Tuple[str, str]:
+        task = f"{name}#i{iteration}"
+        builder.task(task, wcet, acet)
+        return task, task
+
+    return factory
+
+
+def chain_body(name: str,
+               specs: Sequence[Tuple[str, float, float]]) -> BodyFactory:
+    """Body factory for a linear multi-task loop body."""
+    if not specs:
+        raise GraphError("chain_body requires at least one task spec")
+
+    def factory(builder: GraphBuilder, iteration: int) -> Tuple[str, str]:
+        prev: Optional[str] = None
+        first: Optional[str] = None
+        for sub, wcet, acet in specs:
+            task = f"{name}#{sub}#i{iteration}"
+            builder.task(task, wcet, acet,
+                         after=[prev] if prev else None)
+            if first is None:
+                first = task
+            prev = task
+        assert first is not None and prev is not None
+        return first, prev
+
+    return factory
+
+
+def expand_loop(builder: GraphBuilder, name: str,
+                iter_probs: Mapping[int, float],
+                body: BodyFactory,
+                after: Optional[Sequence[str]] = None) -> str:
+    """Unroll a probabilistic loop into the builder's graph.
+
+    Parameters
+    ----------
+    builder:
+        Target builder; nodes are added in place.
+    name:
+        Prefix for generated node names (must be unique in the graph).
+    iter_probs:
+        Map iteration-count -> probability; keys >= 1, values > 0,
+        summing to 1.  (Zero-iteration loops: branch around the loop with
+        an explicit OR in the caller.)
+    body:
+        Factory adding one body copy; see :data:`BodyFactory`.
+    after:
+        Existing nodes the first body copy depends on.
+
+    Returns the name of the node after which post-loop work should be
+    attached: the exit-merge OR node, or the last body exit when the
+    iteration count is deterministic.
+    """
+    _check_probs(iter_probs)
+    if min(iter_probs) < 1:
+        raise GraphError(
+            "expand_loop requires iteration counts >= 1; model a possible "
+            "zero-iteration loop with an explicit OR branch around it")
+    counts = sorted(iter_probs)
+    max_iter = counts[-1]
+
+    # Deterministic iteration count: plain unrolled chain, no OR nodes.
+    if len(counts) == 1:
+        prev_exit: Optional[str] = None
+        first_entry: Optional[str] = None
+        for i in range(1, max_iter + 1):
+            entry, exit_ = body(builder, i)
+            if prev_exit is not None:
+                builder.edge(prev_exit, entry)
+            if first_entry is None:
+                first_entry = entry
+            prev_exit = exit_
+        assert first_entry is not None and prev_exit is not None
+        for p in (after or []):
+            builder.edge(p, first_entry)
+        return prev_exit
+
+    exit_merge = f"{name}#exit"
+    builder.or_node(exit_merge)
+
+    remaining = 1.0  # P(K >= i) as we walk iterations
+    prev_exit = None
+    pending_or: Optional[str] = None  # OR whose "continue" branch we owe
+    pending_continue_prob = 0.0
+    first_entry = None
+    for i in range(1, max_iter + 1):
+        entry, exit_ = body(builder, i)
+        if first_entry is None:
+            first_entry = entry
+            for p in (after or []):
+                builder.edge(p, entry)
+        if pending_or is not None:
+            builder.edge(pending_or, entry)
+            builder.probability(pending_or, entry, pending_continue_prob)
+            pending_or = None
+        elif prev_exit is not None:
+            builder.edge(prev_exit, entry)
+        prev_exit = exit_
+
+        p_stop = iter_probs.get(i, 0.0) / remaining
+        remaining -= iter_probs.get(i, 0.0)
+        if i == max_iter or p_stop >= 1.0 - _PROB_TOL:
+            builder.edge(exit_, exit_merge)
+            break
+        if p_stop <= _PROB_TOL:
+            continue  # loop never stops here: chain directly to next body
+        # probabilistic exit: OR node choosing skip-out vs next iteration
+        or_name = f"{name}#or{i}"
+        skip = f"{name}#skip{i}"
+        builder.or_node(or_name, after=[exit_])
+        builder.and_node(skip, after=[or_name])
+        builder.edge(skip, exit_merge)
+        builder.probability(or_name, skip, p_stop)
+        pending_or = or_name
+        pending_continue_prob = 1.0 - p_stop
+    return exit_merge
+
+
+def _check_probs(iter_probs: Mapping[int, float]) -> None:
+    if not iter_probs:
+        raise GraphError("iteration probability table is empty")
+    for k, p in iter_probs.items():
+        if k < 0 or int(k) != k:
+            raise GraphError(f"iteration count must be a natural number, "
+                             f"got {k}")
+        if p <= 0:
+            raise GraphError(
+                f"iteration probability for count {k} must be > 0, got {p}")
+    total = sum(iter_probs.values())
+    if abs(total - 1.0) > 1e-6:
+        raise GraphError(
+            f"iteration probabilities sum to {total:.6g}, expected 1")

@@ -1,0 +1,102 @@
+"""Node kinds of the extended AND/OR model (Section 2.1).
+
+Three kinds of vertices:
+
+* **computation** nodes — real tasks with a worst-case (``c_i``) and
+  average-case (``a_i``) execution time at maximum speed;
+* **AND** synchronization nodes — dummy tasks that depend on *all* their
+  predecessors; they expose parallelism (Figure 1a);
+* **OR** synchronization nodes — dummy tasks that depend on *one* of
+  their predecessors and enable *one* of their successors; they express
+  alternative execution paths (Figure 1b) with a known probability per
+  successor path.
+
+Synchronization nodes have zero execution time (``c = a = 0``).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..types import TaskStats
+
+
+class NodeKind(enum.Enum):
+    """The three vertex kinds of the extended AND/OR graph."""
+
+    COMPUTATION = "computation"
+    AND = "and"
+    OR = "or"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class Node:
+    """One vertex of an AND/OR graph.
+
+    ``stats`` is mandatory for computation nodes and must be ``None`` for
+    synchronization nodes (they are dummy tasks with zero execution time).
+    """
+
+    name: str
+    kind: NodeKind
+    stats: Optional[TaskStats] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        if self.kind is NodeKind.COMPUTATION:
+            if self.stats is None:
+                raise ValueError(
+                    f"computation node {self.name!r} requires TaskStats")
+        elif self.stats is not None:
+            raise ValueError(
+                f"synchronization node {self.name!r} must not carry TaskStats")
+
+    @property
+    def is_computation(self) -> bool:
+        return self.kind is NodeKind.COMPUTATION
+
+    @property
+    def is_and(self) -> bool:
+        return self.kind is NodeKind.AND
+
+    @property
+    def is_or(self) -> bool:
+        return self.kind is NodeKind.OR
+
+    @property
+    def wcet(self) -> float:
+        """Worst-case execution time at maximum speed (0 for sync nodes)."""
+        return self.stats.wcet if self.stats is not None else 0.0
+
+    @property
+    def acet(self) -> float:
+        """Average-case execution time at maximum speed (0 for sync nodes)."""
+        return self.stats.acet if self.stats is not None else 0.0
+
+    def label(self) -> str:
+        """The paper's node label, e.g. ``B 5/3`` for computation nodes."""
+        if self.is_computation:
+            assert self.stats is not None
+            return f"{self.name} {self.stats.wcet:g}/{self.stats.acet:g}"
+        return f"{self.name} [{self.kind.value.upper()}]"
+
+
+def computation(name: str, wcet: float, acet: float) -> Node:
+    """Convenience constructor for a computation node."""
+    return Node(name, NodeKind.COMPUTATION, TaskStats(wcet=wcet, acet=acet))
+
+
+def and_node(name: str) -> Node:
+    """Convenience constructor for an AND synchronization node."""
+    return Node(name, NodeKind.AND)
+
+
+def or_node(name: str) -> Node:
+    """Convenience constructor for an OR synchronization node."""
+    return Node(name, NodeKind.OR)

@@ -1,0 +1,109 @@
+"""Execution-path enumeration over the section structure.
+
+An *execution path* fixes one branch choice at every OR node actually
+reached; its probability is the product of the chosen branch
+probabilities.  Path enumeration backs:
+
+* the offline profile (worst/average remaining time per PMP),
+* exhaustive tests (simulated frequencies vs analytic probabilities),
+* the clairvoyant baseline (per-path optimal single speed).
+
+Enumeration is exponential in the number of *chained* OR nodes, which is
+fine for the paper's applications (a handful of OR nodes); the random
+generator caps OR depth accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from .sections import SectionStructure
+
+
+@dataclass(frozen=True)
+class ExecutionPath:
+    """One resolved run of the application.
+
+    ``sections`` is the ordered list of section ids executed; ``choices``
+    maps each OR node fired along the way to the section id it selected
+    (terminal OR nodes map to ``-1``).
+    """
+
+    sections: Tuple[int, ...]
+    choices: Tuple[Tuple[str, int], ...]
+    probability: float
+
+    @property
+    def choice_map(self) -> Dict[str, int]:
+        return dict(self.choices)
+
+    def key(self) -> str:
+        """Stable readable identifier, e.g. ``"0>2>5"``."""
+        return ">".join(str(s) for s in self.sections)
+
+
+def iter_paths(structure: SectionStructure) -> Iterator[ExecutionPath]:
+    """Yield every execution path with its probability (depth-first)."""
+
+    def walk(sid: int, sections: List[int],
+             choices: List[Tuple[str, int]], prob: float
+             ) -> Iterator[ExecutionPath]:
+        sections = sections + [sid]
+        exit_or = structure.section(sid).exit_or
+        if exit_or is None:
+            yield ExecutionPath(tuple(sections), tuple(choices), prob)
+            return
+        branches = structure.branches(exit_or)
+        if not branches:  # terminal OR: application ends at the merge
+            yield ExecutionPath(tuple(sections),
+                                tuple(choices + [(exit_or, -1)]), prob)
+            return
+        for target, p in branches:
+            yield from walk(target, sections,
+                            choices + [(exit_or, target)], prob * p)
+
+    yield from walk(structure.root_id, [], [], 1.0)
+
+
+def enumerate_paths(structure: SectionStructure,
+                    max_paths: int = 100_000) -> List[ExecutionPath]:
+    """All execution paths as a list (bounded to catch runaway graphs)."""
+    paths: List[ExecutionPath] = []
+    for p in iter_paths(structure):
+        paths.append(p)
+        if len(paths) > max_paths:
+            raise ValueError(
+                f"more than {max_paths} execution paths; graph has too many "
+                "chained OR nodes for exhaustive enumeration")
+    return paths
+
+
+def total_probability(structure: SectionStructure) -> float:
+    """Sum of path probabilities — must be 1 for a valid graph."""
+    return sum(p.probability for p in iter_paths(structure))
+
+
+def path_wcet_sum(structure: SectionStructure, path: ExecutionPath) -> float:
+    """Total computation (sum of WCETs) along one execution path."""
+    total = 0.0
+    for sid in path.sections:
+        sub = structure.section(sid)
+        total += sum(structure.graph.node(n).wcet for n in sub.nodes)
+    return total
+
+
+def path_acet_sum(structure: SectionStructure, path: ExecutionPath) -> float:
+    """Total average-case computation along one execution path."""
+    total = 0.0
+    for sid in path.sections:
+        sub = structure.section(sid)
+        total += sum(structure.graph.node(n).acet for n in sub.nodes)
+    return total
+
+
+def expected_total_work(structure: SectionStructure,
+                        use_acet: bool = True) -> float:
+    """Probability-weighted total work over all execution paths."""
+    f = path_acet_sum if use_acet else path_wcet_sum
+    return sum(p.probability * f(structure, p) for p in iter_paths(structure))

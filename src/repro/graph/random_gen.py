@@ -1,0 +1,171 @@
+"""Random section-structured AND/OR application generator.
+
+Used by property-based tests (Theorem 1 must hold on *any* valid graph,
+not just the paper's two applications) and by scaling experiments.
+
+Generated shape: a root section, then recursively — with probability
+``p_branch`` — an OR node fanning out to 2..``max_branches`` alternative
+branches (each its own recursively generated segment) that merge at an OR
+node, optionally followed by more work.  Sections are parallel *fans*: an
+entry node, ``width`` chains of tasks, optionally an AND join.  This is
+exactly the structure class the paper's model admits (Section 2.1) and
+what :class:`~repro.graph.sections.SectionStructure` validates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+from .andor import AndOrGraph
+from .builder import GraphBuilder
+
+
+@dataclass(frozen=True)
+class GraphGenConfig:
+    """Knobs of the random application generator.
+
+    ``alpha`` is the target average/worst-case execution-time ratio; each
+    task's ACET is drawn around ``alpha * wcet`` (clipped into (0, wcet]),
+    mirroring how the paper varies α for the synthetic application.
+    """
+
+    or_depth: int = 2
+    p_branch: float = 0.7
+    p_continue: float = 0.6
+    max_branches: int = 3
+    min_tasks: int = 2
+    max_tasks: int = 6
+    max_width: int = 3
+    wcet_lo: float = 2.0
+    wcet_hi: float = 10.0
+    alpha: float = 0.5
+    alpha_jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.or_depth < 0:
+            raise ConfigError("or_depth must be >= 0")
+        if not (0 <= self.p_branch <= 1 and 0 <= self.p_continue <= 1):
+            raise ConfigError("probabilities must be in [0, 1]")
+        if self.max_branches < 2:
+            raise ConfigError("max_branches must be >= 2")
+        if not (1 <= self.min_tasks <= self.max_tasks):
+            raise ConfigError("need 1 <= min_tasks <= max_tasks")
+        if self.max_width < 1:
+            raise ConfigError("max_width must be >= 1")
+        if not (0 < self.wcet_lo <= self.wcet_hi):
+            raise ConfigError("need 0 < wcet_lo <= wcet_hi")
+        if not (0 < self.alpha <= 1):
+            raise ConfigError("alpha must be in (0, 1]")
+
+
+def random_graph(rng: random.Random,
+                 config: Optional[GraphGenConfig] = None,
+                 name: str = "random-app") -> AndOrGraph:
+    """Generate a random, valid AND/OR graph (validated before return)."""
+    cfg = config or GraphGenConfig()
+    b = GraphBuilder(name)
+    gen = _Generator(b, rng, cfg)
+    gen.segment(depth=cfg.or_depth, after=None, prefix="g")
+    return b.build_graph()
+
+
+class _Generator:
+    def __init__(self, builder: GraphBuilder, rng: random.Random,
+                 cfg: GraphGenConfig):
+        self.b = builder
+        self.rng = rng
+        self.cfg = cfg
+        self._uid = 0
+
+    # ------------------------------------------------------------------
+    def segment(self, depth: int, after: Optional[str],
+                prefix: str) -> List[str]:
+        """Add a section, maybe followed by an OR branch/merge + more work.
+
+        Returns the open sink names of the segment ([] if the segment ends
+        at an OR merge with no continuation).
+        """
+        sinks = self.section(after, prefix)
+        if depth <= 0 or self.rng.random() >= self.cfg.p_branch:
+            return sinks
+        branch_or = f"{prefix}.O"
+        self.b.or_node(branch_or, after=sinks)
+        n_branches = self.rng.randint(2, self.cfg.max_branches)
+        probs = self._probabilities(n_branches)
+        merge_or = f"{prefix}.Om"
+        self.b.or_node(merge_or)
+        for i in range(n_branches):
+            branch_sinks = self.segment(depth - 1, branch_or,
+                                        f"{prefix}.b{i}")
+            entry = self._entry_of(branch_or, i)
+            self.b.probability(branch_or, entry, probs[i])
+            for s in branch_sinks:
+                self.b.edge(s, merge_or)
+        if self.rng.random() < self.cfg.p_continue:
+            return self.segment(depth - 1, merge_or, f"{prefix}.c")
+        # close the merge with a small tail task so this segment exposes
+        # real sinks (an OR node must never be left with no successors
+        # *and* feed an outer merge directly — rule 1 bans OR->OR edges)
+        tail = self._task(f"{prefix}.tail", after=[merge_or])
+        return [tail]
+
+    def _entry_of(self, or_name: str, index: int) -> str:
+        return self.b.graph.successors(or_name)[index]
+
+    # ------------------------------------------------------------------
+    def section(self, after: Optional[str], prefix: str) -> List[str]:
+        """One parallel-fan section; returns its sink node names."""
+        cfg, rng = self.cfg, self.rng
+        n_tasks = rng.randint(cfg.min_tasks, cfg.max_tasks)
+        width = rng.randint(1, min(cfg.max_width, n_tasks))
+
+        if after is None:
+            entry = self._task(f"{prefix}.e")
+        else:
+            # entry of a non-root section must be a single node whose only
+            # predecessor is the OR node (section rule 2/3)
+            if width > 1 or rng.random() < 0.3:
+                entry = f"{prefix}.fan"
+                self.b.and_node(entry, after=[after])
+            else:
+                entry = self._task(f"{prefix}.e", after=[after])
+                n_tasks -= 1
+
+        remaining = n_tasks if after is None or entry.endswith(".fan") \
+            else n_tasks
+        chains: List[List[str]] = [[] for _ in range(width)]
+        for i in range(max(remaining, 0)):
+            chains[i % width].append(self._task(f"{prefix}.t{i}"))
+        sinks: List[str] = []
+        for chain in chains:
+            prev = entry
+            for t in chain:
+                self.b.edge(prev, t)
+                prev = t
+            if prev is not entry or not chain:
+                pass
+            sinks.append(prev)
+        sinks = list(dict.fromkeys(sinks))  # dedupe empty chains -> entry
+        if len(sinks) > 1 and rng.random() < 0.5:
+            join = f"{prefix}.join"
+            self.b.and_join(join, sinks)
+            return [join]
+        return sinks
+
+    def _task(self, name: str, after: Optional[Sequence[str]] = None) -> str:
+        cfg, rng = self.cfg, self.rng
+        wcet = rng.uniform(cfg.wcet_lo, cfg.wcet_hi)
+        alpha = cfg.alpha + cfg.alpha_jitter * rng.gauss(0.0, 1.0)
+        alpha = min(max(alpha, 0.05), 1.0)
+        self.b.task(name, wcet, alpha * wcet, after=after)
+        return name
+
+    def _probabilities(self, n: int) -> List[float]:
+        raw = [self.rng.uniform(0.1, 1.0) for _ in range(n)]
+        total = sum(raw)
+        probs = [r / total for r in raw]
+        probs[-1] = 1.0 - sum(probs[:-1])  # exact sum despite rounding
+        return probs

@@ -1,0 +1,267 @@
+"""Program-section decomposition at OR nodes.
+
+The paper assumes that "an OR node cannot be processed concurrently with
+other paths — all the processors will synchronize at an OR node".  The
+application is therefore a DAG of *program sections* (AND-only subgraphs
+of computation and AND nodes) separated by OR synchronization nodes:
+
+* the **root section** starts at the graph roots;
+* when a section drains, its **exit OR** fires, selects one successor
+  path (by the attached probabilities) and the chosen section begins;
+* a section with no exit OR ends the application.
+
+This module computes that decomposition and enforces its structural
+rules.  It is pure graph structure — no scheduling — so it lives in
+``repro.graph``; the offline phase builds canonical schedules per section
+on top of it.
+
+Structural rules enforced (each yields a :class:`GraphError` otherwise):
+
+1. no direct OR → OR edges (insert a pass-through AND node for an empty
+   path; sections may consist solely of AND nodes and have zero length);
+2. a successor of an OR node has that OR as its *only* predecessor (it is
+   the entry of a fresh section);
+3. every non-root section has exactly one entry node; the root section's
+   entries are the graph roots;
+4. all edges leaving a section target the same OR node (its exit OR);
+5. two successors of a branching OR lie in *different* sections
+   (alternative paths, not parallel work);
+6. every OR node has at least one predecessor and at least one successor
+   unless it terminates the application (no successors is allowed: the
+   application may end right after a merge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import GraphError
+from .andor import AndOrGraph
+
+_PROB_TOL = 1e-6
+
+
+@dataclass
+class Section:
+    """One AND-only program section between OR synchronization points."""
+
+    id: int
+    nodes: List[str]
+    entry_or: Optional[str] = None
+    exit_or: Optional[str] = None
+    entry_nodes: List[str] = field(default_factory=list)
+    sink_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def is_root(self) -> bool:
+        return self.entry_or is None
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.exit_or is None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Section(id={self.id}, n={len(self.nodes)}, "
+                f"entry={self.entry_or!r}, exit={self.exit_or!r})")
+
+
+class SectionStructure:
+    """The section-level view of an AND/OR application graph."""
+
+    def __init__(self, graph: AndOrGraph):
+        self.graph = graph
+        self.sections: List[Section] = []
+        self.section_of: Dict[str, int] = {}
+        self._branches: Dict[str, List[Tuple[int, float]]] = {}
+        self._decompose()
+        self._wire_or_nodes()
+        self._validate_reachability()
+
+    # ------------------------------------------------------------------
+    def _decompose(self) -> None:
+        g = self.graph
+        non_or = [n.name for n in g if not n.is_or]
+        # undirected components of the graph restricted to non-OR nodes
+        comp_id: Dict[str, int] = {}
+        next_id = 0
+        for start in non_or:
+            if start in comp_id:
+                continue
+            stack = [start]
+            comp_id[start] = next_id
+            while stack:
+                u = stack.pop()
+                for v in g.successors(u) + g.predecessors(u):
+                    if v in comp_id or g.node(v).is_or:
+                        continue
+                    comp_id[v] = next_id
+                    stack.append(v)
+            next_id += 1
+
+        buckets: Dict[int, List[str]] = {i: [] for i in range(next_id)}
+        for name in non_or:  # preserves graph insertion order
+            buckets[comp_id[name]].append(name)
+
+        for sid in range(next_id):
+            nodes = buckets[sid]
+            section = Section(id=sid, nodes=nodes)
+            in_section = set(nodes)
+            for name in nodes:
+                preds = g.predecessors(name)
+                or_preds = [p for p in preds if g.node(p).is_or]
+                if or_preds:
+                    if len(preds) != 1:
+                        raise GraphError(
+                            f"node {name!r} is an OR successor but has other "
+                            f"predecessors {sorted(set(preds) - set(or_preds))}"
+                            " (rule 2)")
+                    entry = or_preds[0]
+                    if section.entry_or not in (None, entry):
+                        raise GraphError(
+                            f"section of {name!r} is fed by two OR nodes "
+                            f"{section.entry_or!r} and {entry!r} (rule 3)")
+                    section.entry_or = entry
+                    section.entry_nodes.append(name)
+                elif not preds:
+                    section.entry_nodes.append(name)
+
+                or_succs = [s for s in g.successors(name)
+                            if g.node(s).is_or]
+                non_section_succs = [s for s in g.successors(name)
+                                     if s not in in_section]
+                if set(non_section_succs) - set(or_succs):
+                    raise GraphError(  # pragma: no cover - defensive
+                        f"node {name!r} has an edge leaving its section to a "
+                        f"non-OR node")
+                for s in or_succs:
+                    if section.exit_or not in (None, s):
+                        raise GraphError(
+                            f"section containing {name!r} feeds two OR nodes "
+                            f"{section.exit_or!r} and {s!r} (rule 4)")
+                    section.exit_or = s
+                if not g.successors(name):
+                    section.sink_nodes.append(name)
+
+            if section.entry_or is not None and len(section.entry_nodes) != 1:
+                raise GraphError(
+                    f"non-root section {sid} has entry nodes "
+                    f"{section.entry_nodes}; expected exactly one (rule 3)")
+            self.sections.append(section)
+            for name in nodes:
+                self.section_of[name] = sid
+
+        roots = [s for s in self.sections if s.is_root]
+        if len(self.sections) == 0:
+            raise GraphError("application has no computation sections")
+        if len(roots) != 1:
+            raise GraphError(
+                f"expected exactly one root section, found {len(roots)}")
+        self.root_id = roots[0].id
+
+    # ------------------------------------------------------------------
+    def _wire_or_nodes(self) -> None:
+        g = self.graph
+        for node in g.or_nodes():
+            name = node.name
+            if not g.predecessors(name):
+                raise GraphError(f"OR node {name!r} has no predecessor")
+            for p in g.predecessors(name):
+                if g.node(p).is_or:
+                    raise GraphError(
+                        f"direct OR->OR edge {p!r} -> {name!r}; insert a "
+                        "pass-through AND node (rule 1)")
+            succs = g.successors(name)
+            probs = g.branch_probabilities(name)
+            if succs:
+                missing = [s for s in succs if s not in probs]
+                if len(succs) > 1 and missing:
+                    raise GraphError(
+                        f"OR node {name!r} lacks probabilities for successors "
+                        f"{missing}")
+                total = sum(probs.values())
+                if abs(total - 1.0) > _PROB_TOL:
+                    raise GraphError(
+                        f"branch probabilities of OR node {name!r} sum to "
+                        f"{total:.6g}, expected 1")
+            targets: List[Tuple[int, float]] = []
+            seen_sections = set()
+            for s in succs:
+                if g.node(s).is_or:
+                    raise GraphError(
+                        f"direct OR->OR edge {name!r} -> {s!r}; insert a "
+                        "pass-through AND node (rule 1)")
+                sid = self.section_of[s]
+                if sid in seen_sections:
+                    raise GraphError(
+                        f"OR node {name!r} has two successors in section "
+                        f"{sid} (rule 5)")
+                seen_sections.add(sid)
+                targets.append((sid, probs.get(s, 1.0)))
+            self._branches[name] = targets
+
+    # ------------------------------------------------------------------
+    def _validate_reachability(self) -> None:
+        """Every section must be reachable from the root via OR choices."""
+        seen = set()
+        stack = [self.root_id]
+        while stack:
+            sid = stack.pop()
+            if sid in seen:
+                continue
+            seen.add(sid)
+            exit_or = self.sections[sid].exit_or
+            if exit_or is not None:
+                for tid, _p in self._branches[exit_or]:
+                    stack.append(tid)
+        unreachable = sorted(set(range(len(self.sections))) - seen)
+        if unreachable:
+            names = [self.sections[i].nodes[:3] for i in unreachable]
+            raise GraphError(
+                f"sections {unreachable} (nodes {names}) are unreachable "
+                "from the root section")
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> Section:
+        return self.sections[self.root_id]
+
+    def section(self, sid: int) -> Section:
+        return self.sections[sid]
+
+    def section_of_node(self, name: str) -> Section:
+        try:
+            return self.sections[self.section_of[name]]
+        except KeyError:
+            raise GraphError(
+                f"{name!r} is not a section node (OR nodes belong to no "
+                "section)") from None
+
+    def branches(self, or_name: str) -> List[Tuple[int, float]]:
+        """``(section_id, probability)`` per successor path of an OR node.
+
+        Empty for a terminal OR node (application ends at the merge).
+        """
+        try:
+            return list(self._branches[or_name])
+        except KeyError:
+            raise GraphError(f"{or_name!r} is not an OR node") from None
+
+    def subgraph(self, sid: int) -> AndOrGraph:
+        """The AND-only subgraph of one section (internal edges only)."""
+        section = self.sections[sid]
+        sub = AndOrGraph(f"{self.graph.name}/s{sid}")
+        members = set(section.nodes)
+        for name in section.nodes:
+            sub.add_node(self.graph.node(name))
+        for name in section.nodes:
+            for s in self.graph.successors(name):
+                if s in members:
+                    sub.add_edge(name, s)
+        return sub
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SectionStructure(sections={len(self.sections)}, "
+                f"or_nodes={len(self._branches)})")

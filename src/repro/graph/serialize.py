@@ -1,0 +1,112 @@
+"""JSON (de)serialization of AND/OR graphs and applications.
+
+The wire format is a plain dict so graphs can be stored next to
+experiment configurations, diffed, and rebuilt deterministically::
+
+    {
+      "name": "demo",
+      "nodes": [
+        {"name": "A", "kind": "computation", "wcet": 8, "acet": 5},
+        {"name": "O1", "kind": "or"},
+        ...
+      ],
+      "edges": [["A", "O1"], ...],
+      "branch_probabilities": {"O1": {"B": 0.3, "C": 0.7}}
+    }
+
+Deserialized graphs are re-validated, so a hand-edited file cannot smuggle
+a malformed structure into the library.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..errors import GraphError
+from .andor import AndOrGraph, Application
+from .nodes import NodeKind
+from .validate import validate_graph
+
+
+def graph_to_dict(graph: AndOrGraph) -> Dict[str, Any]:
+    """Serialize a graph to a JSON-compatible dict."""
+    nodes = []
+    for node in graph:
+        entry: Dict[str, Any] = {"name": node.name, "kind": node.kind.value}
+        if node.is_computation:
+            assert node.stats is not None
+            entry["wcet"] = node.stats.wcet
+            entry["acet"] = node.stats.acet
+        nodes.append(entry)
+    probs = {
+        o.name: graph.branch_probabilities(o.name)
+        for o in graph.or_nodes()
+        if graph.is_branching_or(o.name)
+    }
+    return {
+        "name": graph.name,
+        "nodes": nodes,
+        "edges": [list(e) for e in graph.edges()],
+        "branch_probabilities": probs,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any], validate: bool = True) -> AndOrGraph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        graph = AndOrGraph(str(data.get("name", "app")))
+        for entry in data["nodes"]:
+            kind = NodeKind(entry["kind"])
+            if kind is NodeKind.COMPUTATION:
+                graph.add_computation(entry["name"], float(entry["wcet"]),
+                                      float(entry["acet"]))
+            elif kind is NodeKind.AND:
+                graph.add_and(entry["name"])
+            else:
+                graph.add_or(entry["name"])
+        for src, dst in data.get("edges", []):
+            graph.add_edge(src, dst)
+        for o, probs in data.get("branch_probabilities", {}).items():
+            for succ, p in probs.items():
+                graph.set_branch_probability(o, succ, float(p))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed graph dict: {exc}") from exc
+    if validate:
+        validate_graph(graph)
+    return graph
+
+
+def application_to_dict(app: Application) -> Dict[str, Any]:
+    return {
+        "graph": graph_to_dict(app.graph),
+        "deadline": app.deadline,
+        "name": app.name,
+        "meta": dict(app.meta),
+    }
+
+
+def application_from_dict(data: Dict[str, Any]) -> Application:
+    try:
+        return Application(
+            graph=graph_from_dict(data["graph"]),
+            deadline=float(data["deadline"]),
+            name=str(data.get("name", "")),
+            meta=dict(data.get("meta", {})),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise GraphError(f"malformed application dict: {exc}") from exc
+
+
+def dumps(app: Application, indent: int = 2) -> str:
+    """Application → JSON text."""
+    return json.dumps(application_to_dict(app), indent=indent, sort_keys=True)
+
+
+def loads(text: str) -> Application:
+    """JSON text → validated application."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON: {exc}") from exc
+    return application_from_dict(data)

@@ -1,0 +1,179 @@
+"""Structure-preserving graph transformations.
+
+The sweeps need *families* of applications that differ in one knob but
+share structure: the Figure 6 α sweep, WCET scaling for unit changes,
+and composition of applications into larger missions.  These transforms
+rebuild a graph with modified timing attributes and re-validate, so a
+transformed graph is exactly as trustworthy as a built one.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import ConfigError
+from ..types import TaskStats
+from .andor import AndOrGraph
+from .nodes import Node, NodeKind
+
+
+def map_task_stats(graph: AndOrGraph,
+                   fn: Callable[[str, TaskStats], TaskStats],
+                   name: Optional[str] = None) -> AndOrGraph:
+    """Rebuild ``graph`` with each computation node's stats mapped by ``fn``."""
+    out = AndOrGraph(name or graph.name)
+    for node in graph:
+        if node.is_computation:
+            assert node.stats is not None
+            out.add_node(Node(node.name, NodeKind.COMPUTATION,
+                              fn(node.name, node.stats)))
+        else:
+            out.add_node(node)
+    for u, v in graph.edges():
+        out.add_edge(u, v)
+    for o in graph.or_nodes():
+        if graph.is_branching_or(o.name):
+            for succ, p in graph.branch_probabilities(o.name).items():
+                out.set_branch_probability(o.name, succ, p)
+    return out
+
+
+def with_alpha(graph: AndOrGraph, alpha: float,
+               name: Optional[str] = None) -> AndOrGraph:
+    """Set every task's ACET to ``alpha * WCET`` (the Figure 6 knob).
+
+    Works on *any* graph — random applications included — whereas the
+    workload constructors only parameterize their own α.
+    """
+    if not (0 < alpha <= 1):
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+    return map_task_stats(
+        graph,
+        lambda _n, s: TaskStats(wcet=s.wcet, acet=alpha * s.wcet),
+        name=name or f"{graph.name}@a{alpha:g}")
+
+
+def scale_times(graph: AndOrGraph, factor: float,
+                name: Optional[str] = None) -> AndOrGraph:
+    """Multiply every WCET and ACET by ``factor`` (unit changes)."""
+    if factor <= 0:
+        raise ConfigError(f"scale factor must be positive, got {factor}")
+    return map_task_stats(
+        graph,
+        lambda _n, s: TaskStats(wcet=s.wcet * factor,
+                                acet=s.acet * factor),
+        name=name or f"{graph.name}*{factor:g}")
+
+
+def with_branch_probabilities(graph: AndOrGraph,
+                              overrides: dict,
+                              name: Optional[str] = None) -> AndOrGraph:
+    """Rebuild the graph with some OR nodes' probabilities replaced.
+
+    ``overrides`` maps OR-node name → {successor name: probability}.
+    Structure and task timings are untouched, so the rebuilt graph has
+    the *same* section decomposition — which is what lets misprofiling
+    studies sample from one probability assignment while scheduling
+    with another.
+    """
+    out = AndOrGraph(name or graph.name)
+    for node in graph:
+        out.add_node(node)
+    for u, v in graph.edges():
+        out.add_edge(u, v)
+    for o in graph.or_nodes():
+        probs = overrides.get(o.name)
+        if probs is None:
+            if graph.is_branching_or(o.name):
+                probs = graph.branch_probabilities(o.name)
+            else:
+                continue
+        for succ, p in probs.items():
+            out.set_branch_probability(o.name, succ, p)
+    return out
+
+
+def skew_probabilities(graph: AndOrGraph, gamma: float,
+                       name: Optional[str] = None) -> AndOrGraph:
+    """Sharpen (γ > 1) or flatten (γ < 1) every OR's branch distribution.
+
+    Each branching OR's probabilities become ``p_i^γ / Σ p_j^γ``:
+    γ → ∞ makes the most likely branch certain, γ → 0⁺ makes branches
+    uniform, γ = 1 is the identity, and γ < 0 *inverts* the likelihood
+    ordering (the profiled-rare branch becomes common) — the worst kind
+    of profiling error.  Used by the misprofiling study.
+    """
+    if gamma == 0:
+        raise ConfigError("gamma must be non-zero (0 is undefined; "
+                          "negative values invert the branch ordering)")
+    overrides = {}
+    for o in graph.or_nodes():
+        if not graph.is_branching_or(o.name):
+            continue
+        probs = graph.branch_probabilities(o.name)
+        powered = {s: p ** gamma for s, p in probs.items()}
+        total = sum(powered.values())
+        succs = list(powered)
+        new = {s: powered[s] / total for s in succs}
+        # force an exact sum despite float rounding
+        new[succs[-1]] = 1.0 - sum(new[s] for s in succs[:-1])
+        overrides[o.name] = new
+    return with_branch_probabilities(
+        graph, overrides, name=name or f"{graph.name}^g{gamma:g}")
+
+
+def relabel(graph: AndOrGraph, prefix: str,
+            name: Optional[str] = None) -> AndOrGraph:
+    """Prefix every node name (for composing graphs without clashes)."""
+    if not prefix:
+        raise ConfigError("prefix must be non-empty")
+    out = AndOrGraph(name or graph.name)
+    for node in graph:
+        new = Node(prefix + node.name, node.kind, node.stats)
+        out.add_node(new)
+    for u, v in graph.edges():
+        out.add_edge(prefix + u, prefix + v)
+    for o in graph.or_nodes():
+        if graph.is_branching_or(o.name):
+            for succ, p in graph.branch_probabilities(o.name).items():
+                out.set_branch_probability(prefix + o.name,
+                                           prefix + succ, p)
+    return out
+
+
+def concatenate(first: AndOrGraph, second: AndOrGraph,
+                name: Optional[str] = None) -> AndOrGraph:
+    """Serial composition: ``second`` starts after ``first`` completes.
+
+    The graphs are relabelled (``a.``/``b.`` prefixes), the sinks of
+    ``first`` feed an AND join which feeds the roots of ``second``.
+    If ``first`` ends at a terminal OR node the composition is invalid
+    (an OR may not feed an AND across section rules) — raise instead of
+    silently producing a graph the validator rejects later.
+    """
+    a = relabel(first, "a.")
+    b = relabel(second, "b.")
+    out = AndOrGraph(name or f"{first.name}+{second.name}")
+    for node in list(a) + list(b):
+        out.add_node(node)
+    for u, v in a.edges() + b.edges():
+        out.add_edge(u, v)
+    for g in (a, b):
+        for o in g.or_nodes():
+            if g.is_branching_or(o.name):
+                for succ, p in g.branch_probabilities(o.name).items():
+                    out.set_branch_probability(o.name, succ, p)
+
+    sinks = a.sinks()
+    if any(a.node(s).is_or for s in sinks):
+        raise ConfigError(
+            "cannot concatenate after an application that ends at an OR "
+            "node; add a tail task first")
+    joint = "a.__handoff"
+    out.add_and(joint)
+    for s in sinks:
+        out.add_edge(s, joint)
+    roots_b = b.roots()
+    for r in roots_b:
+        out.add_edge(joint, r)
+    return out

@@ -1,0 +1,36 @@
+"""The offline phase of the scheduling algorithms (Section 3.2).
+
+Public surface: :func:`list_schedule` (canonical LTF schedules),
+:func:`build_plan` / :class:`OfflinePlan` (profile + shifting + latest
+start times), and the duration helpers used to schedule with worst-case,
+average-case or overhead-inflated times.
+"""
+
+from .canonical import (
+    CanonicalSchedule,
+    acet_duration,
+    list_schedule,
+    wcet_duration,
+)
+from .heuristics import (
+    DEFAULT_HEURISTIC,
+    available_heuristics,
+    get_heuristic,
+)
+from .plan import OfflinePlan, SectionPlan, build_plan
+from .visualize import render_plan, render_section
+
+__all__ = [
+    "CanonicalSchedule",
+    "list_schedule",
+    "wcet_duration",
+    "acet_duration",
+    "OfflinePlan",
+    "SectionPlan",
+    "build_plan",
+    "get_heuristic",
+    "available_heuristics",
+    "DEFAULT_HEURISTIC",
+    "render_plan",
+    "render_section",
+]

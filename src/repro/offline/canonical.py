@@ -1,0 +1,174 @@
+"""Canonical list schedules (the first round of the offline phase).
+
+For each program section the offline phase generates a *canonical
+schedule*: list scheduling with the longest-task-first (LTF) heuristic,
+every task at its worst-case execution time, processors at maximum speed
+(Section 3.2).  The canonical schedule fixes the **execution order** the
+online phase must preserve, and — after shifting — each task's latest
+start time.
+
+AND synchronization nodes are dummy tasks with zero execution time: they
+complete the instant their last predecessor does and never occupy a
+processor; they still appear in the dispatch order so the online engine
+can propagate readiness identically.
+
+The scheduler is deterministic: simultaneous-ready ties break by longer
+WCET first (the paper's heuristic), then by graph insertion order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import SimulationError
+from ..graph.andor import AndOrGraph
+from ..types import ScheduledTask
+
+
+@dataclass
+class CanonicalSchedule:
+    """The offline schedule of one program section.
+
+    ``dispatch_order`` lists *all* section nodes (computation and AND) in
+    the order the online phase must observe them; ``tasks`` holds the
+    placement of computation nodes only.
+    """
+
+    n_processors: int
+    tasks: Dict[str, ScheduledTask] = field(default_factory=dict)
+    dispatch_order: List[str] = field(default_factory=list)
+    length: float = 0.0
+
+    def start(self, name: str) -> float:
+        return self.tasks[name].start
+
+    def finish(self, name: str) -> float:
+        return self.tasks[name].finish
+
+
+DurationFn = Callable[[str], float]
+PriorityFn = Callable[[str], float]
+
+
+def list_schedule(graph: AndOrGraph, n_processors: int,
+                  duration: DurationFn,
+                  priority: Optional[PriorityFn] = None
+                  ) -> CanonicalSchedule:
+    """LTF list scheduling of an AND-only section graph.
+
+    Parameters
+    ----------
+    graph:
+        A section subgraph — computation and AND nodes only.
+    n_processors:
+        Number of identical processors.
+    duration:
+        Maps a node name to its scheduling duration (WCET for the
+        canonical worst-case schedule, ACET for the average-case one,
+        possibly inflated by the per-task overhead reserve).
+    priority:
+        Tie-break priority among simultaneously ready tasks; defaults to
+        ``duration`` (longest task first).  Pass the plain WCET when
+        scheduling with average durations so both schedules share one
+        heuristic order.
+    """
+    if n_processors < 1:
+        raise SimulationError(
+            f"need at least one processor, got {n_processors}")
+    prio = priority or duration
+
+    sched = CanonicalSchedule(n_processors=n_processors)
+    unfinished: Dict[str, int] = {}
+    seq = itertools.count()
+    # ready computation tasks: max-heap on priority, FIFO among equals
+    ready: List[Tuple[float, int, str]] = []
+    # processors: min-heap of (free_time, index)
+    procs: List[Tuple[float, int]] = [(0.0, i) for i in range(n_processors)]
+    heapq.heapify(procs)
+    running: List[Tuple[float, int, str, int]] = []  # (finish, seq, name, proc)
+    order = itertools.count()
+    done = 0
+    total = len(graph)
+
+    def complete(name: str, t: float) -> None:
+        """Propagate completion of ``name`` at time ``t`` (cascading ANDs)."""
+        nonlocal done
+        done += 1
+        for s in graph.successors(name):
+            unfinished[s] -= 1
+            if unfinished[s] == 0:
+                fire(s, t)
+
+    def fire(name: str, t: float) -> None:
+        """Node ``name`` became ready at ``t``."""
+        node = graph.node(name)
+        if node.is_and:
+            sched.dispatch_order.append(name)
+            complete(name, t)
+        else:
+            heapq.heappush(ready, (-prio(name), next(seq), name))
+
+    for name in graph.node_names:
+        unfinished[name] = graph.in_degree(name)
+    # snapshot the roots first: firing an AND root cascades and may drive
+    # other nodes' counts to zero, which must not fire them twice
+    roots = [name for name in graph.node_names if unfinished[name] == 0]
+    for name in roots:
+        fire(name, 0.0)
+
+    now = 0.0
+    while done < total:
+        # dispatch ready tasks onto idle processors (idle processors in
+        # `procs` became free at some time <= now, so they can start now)
+        while ready and procs:
+            _, _, name = heapq.heappop(ready)
+            _free_t, pid = heapq.heappop(procs)
+            dur = duration(name)
+            if dur < 0:
+                raise SimulationError(f"negative duration for {name!r}")
+            finish = now + dur
+            sched.tasks[name] = ScheduledTask(
+                name=name, processor=pid, start=now, finish=finish,
+                order=next(order))
+            sched.dispatch_order.append(name)
+            heapq.heappush(running, (finish, next(seq), name, pid))
+        if done >= total:
+            break
+        if not running:
+            raise SimulationError(
+                "section schedule stalled: no running task and nothing "
+                "ready — graph is not a connected AND-only section")
+        # advance to the next completion; drain all simultaneous finishes
+        finish, _, name, pid = heapq.heappop(running)
+        now = finish
+        heapq.heappush(procs, (finish, pid))
+        complete(name, now)
+        while running and running[0][0] <= now + 1e-15:
+            f2, _, n2, p2 = heapq.heappop(running)
+            heapq.heappush(procs, (f2, p2))
+            complete(n2, now)
+
+    sched.length = max((t.finish for t in sched.tasks.values()), default=0.0)
+    return sched
+
+
+def wcet_duration(graph: AndOrGraph, reserve: float = 0.0) -> DurationFn:
+    """Duration function: WCET plus the per-task overhead reserve."""
+
+    def fn(name: str) -> float:
+        node = graph.node(name)
+        return node.wcet + (reserve if node.is_computation else 0.0)
+
+    return fn
+
+
+def acet_duration(graph: AndOrGraph) -> DurationFn:
+    """Duration function: average-case execution time."""
+
+    def fn(name: str) -> float:
+        return graph.node(name).acet
+
+    return fn

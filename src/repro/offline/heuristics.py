@@ -1,0 +1,102 @@
+"""List-scheduling priority heuristics.
+
+The paper uses longest-task-first (LTF) but notes that the whole
+construction is heuristic-agnostic: *"Given any heuristic, if the
+off-line phase does not fail, the following on-line phase can be
+applied under the same heuristic."*  This module provides the common
+alternatives so that claim can be exercised (and the heuristic's effect
+on energy measured — see ``benchmarks/bench_ablation_heuristics.py``):
+
+* ``ltf`` — longest task first (the paper's choice; default);
+* ``stf`` — shortest task first;
+* ``fifo`` — graph insertion order among simultaneously ready tasks;
+* ``cpf`` — critical-path first: priority = the longest WCET chain from
+  the task to the end of its section (classic HLF/level scheduling).
+
+A heuristic maps a section subgraph to a priority function (larger =
+dispatched first among simultaneously ready tasks).  Correctness is
+untouched: the online phase replays whatever order the canonical
+schedule fixed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..errors import ConfigError
+from ..graph.andor import AndOrGraph
+
+#: a priority factory: section subgraph -> (node name -> priority)
+HeuristicFn = Callable[[AndOrGraph], Callable[[str], float]]
+
+
+def ltf(section: AndOrGraph) -> Callable[[str], float]:
+    """Longest task first (the paper's heuristic)."""
+
+    def priority(name: str) -> float:
+        return section.node(name).wcet
+
+    return priority
+
+
+def stf(section: AndOrGraph) -> Callable[[str], float]:
+    """Shortest task first (inverse of LTF)."""
+
+    def priority(name: str) -> float:
+        return -section.node(name).wcet
+
+    return priority
+
+
+def fifo(section: AndOrGraph) -> Callable[[str], float]:
+    """No reordering: ties resolve to graph insertion order anyway."""
+
+    def priority(name: str) -> float:
+        del name
+        return 0.0
+
+    return priority
+
+
+def cpf(section: AndOrGraph) -> Callable[[str], float]:
+    """Critical-path first: longest downstream WCET chain.
+
+    Computed once per section by a reverse-topological pass.
+    """
+    downstream: Dict[str, float] = {}
+    order: List[str] = section.topological_order()
+    for name in reversed(order):
+        node = section.node(name)
+        best = max((downstream[s] for s in section.successors(name)),
+                   default=0.0)
+        downstream[name] = node.wcet + best
+
+    def priority(name: str) -> float:
+        return downstream[name]
+
+    return priority
+
+
+_HEURISTICS: Dict[str, HeuristicFn] = {
+    "ltf": ltf,
+    "stf": stf,
+    "fifo": fifo,
+    "cpf": cpf,
+}
+
+#: the paper's default
+DEFAULT_HEURISTIC = "ltf"
+
+
+def available_heuristics() -> List[str]:
+    return sorted(_HEURISTICS)
+
+
+def get_heuristic(name: str) -> HeuristicFn:
+    """Resolve a heuristic by (case-insensitive) name."""
+    try:
+        return _HEURISTICS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown heuristic {name!r}; available: "
+            f"{available_heuristics()}") from None

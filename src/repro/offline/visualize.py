@@ -1,0 +1,77 @@
+"""ASCII rendering of offline plans.
+
+Shows what the offline phase actually computed: per section, the
+canonical schedule (processor rows) and the shifted latest-start-time
+window of every task.  Invaluable when explaining why GSS picked a
+speed — the window ``[LST_i, F_i]`` is right there.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional
+
+from ..errors import ConfigError
+from .plan import OfflinePlan, SectionPlan
+
+
+def render_section(plan: OfflinePlan, sid: int, width: int = 72) -> str:
+    """Render one section's canonical schedule and shifted windows."""
+    try:
+        sp: SectionPlan = plan.sections[sid]
+    except KeyError:
+        raise ConfigError(f"plan has no section {sid}") from None
+    out = io.StringIO()
+    section = plan.structure.section(sid)
+    out.write(f"section {sid}"
+              f"{' (root)' if section.is_root else ''}"
+              f"{' (terminal)' if section.is_terminal else ''}: "
+              f"len_wc={sp.length_wc:.2f} len_ac={sp.length_ac:.2f} "
+              f"shift={sp.shift:.2f} worst_after={sp.worst_after:.2f}\n")
+    if not sp.schedule.tasks:
+        out.write("  (synchronization only — no computation tasks)\n")
+        return out.getvalue()
+
+    horizon = max(sp.length_wc, 1e-9)
+    scale = width / horizon
+    by_proc: dict = {}
+    for name, st in sp.schedule.tasks.items():
+        by_proc.setdefault(st.processor, []).append((name, st))
+    for pid in sorted(by_proc):
+        row = [" "] * width
+        for name, st in sorted(by_proc[pid], key=lambda kv: kv[1].start):
+            a = min(int(st.start * scale), width - 1)
+            b = min(max(int(st.finish * scale), a + 1), width)
+            for k in range(a, b):
+                row[k] = "#"
+            for k, ch in enumerate(name[: b - a]):
+                row[a + k] = ch
+        out.write(f"  P{pid} |{''.join(row)}|\n")
+    out.write(f"      0{'':{max(width - 8, 0)}}{horizon:>8.1f}\n")
+    out.write(f"  {'task':>14} {'start':>8} {'order':>6} {'LST':>9} "
+              f"{'F=LST+c':>9}\n")
+    for name, st in sorted(sp.schedule.tasks.items(),
+                           key=lambda kv: kv[1].order):
+        out.write(f"  {name:>14} {st.start:>8.2f} {st.order:>6d} "
+                  f"{sp.lst[name]:>9.2f} {sp.finish_bound[name]:>9.2f}\n")
+    return out.getvalue()
+
+
+def render_plan(plan: OfflinePlan, width: int = 72,
+                sections: Optional[List[int]] = None) -> str:
+    """Render the whole offline plan (or a subset of sections)."""
+    out = io.StringIO()
+    out.write(f"offline plan: app={plan.app.name!r} "
+              f"m={plan.n_processors} D={plan.deadline:.2f} "
+              f"T_worst={plan.t_worst:.2f} T_avg={plan.t_avg:.2f} "
+              f"reserve={plan.reserve:.4f}\n")
+    ids = sections if sections is not None else sorted(plan.sections)
+    for sid in ids:
+        out.write(render_section(plan, sid, width))
+    if plan.branch_stats:
+        out.write("PMP remaining-time profile (per OR branch):\n")
+        for or_name, stats in plan.branch_stats.items():
+            for target, ps in stats.items():
+                out.write(f"  {or_name} -> section {target}: "
+                          f"w={ps.worst:.2f} a={ps.average:.2f}\n")
+    return out.getvalue()

@@ -1,0 +1,39 @@
+"""Power and processor models (Section 2.3 of the paper).
+
+Public surface:
+
+* :class:`PowerModel`, :class:`ContinuousPowerModel`,
+  :class:`DiscretePowerModel` — speed levels, voltages, power and energy.
+* :func:`transmeta_model` / :func:`xscale_model` — the paper's Table 1
+  and Table 2 processors.
+* :class:`OverheadModel` — speed-computation and speed-adjustment costs.
+"""
+
+from .model import (
+    DEFAULT_IDLE_FRACTION,
+    ContinuousPowerModel,
+    DiscretePowerModel,
+    PowerModel,
+    make_power_model,
+    transmeta_model,
+    xscale_model,
+)
+from .overhead import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
+from .tables import INTEL_XSCALE, TRANSMETA_TM5400, format_table, normalized_levels
+
+__all__ = [
+    "DEFAULT_IDLE_FRACTION",
+    "ContinuousPowerModel",
+    "DiscretePowerModel",
+    "PowerModel",
+    "make_power_model",
+    "transmeta_model",
+    "xscale_model",
+    "OverheadModel",
+    "NO_OVERHEAD",
+    "PAPER_OVERHEAD",
+    "INTEL_XSCALE",
+    "TRANSMETA_TM5400",
+    "format_table",
+    "normalized_levels",
+]

@@ -1,0 +1,96 @@
+"""Overhead model for dynamic speed management.
+
+The paper accounts for two overheads (Section 5):
+
+* **speed-computation overhead** — the cycles spent running the speed
+  computation at each power-management point (measured with SimpleScalar;
+  the companion TPDS paper reports ≈300 cycles, which we use as default);
+* **speed-adjustment overhead** — the time needed to actually change the
+  voltage/frequency once (the paper's figures use 5 µs).
+
+Both are charged on the dispatching processor *before* the task runs and
+are subtracted from the task's slack window before its speed is computed;
+the offline phase additionally reserves the worst-case per-task overhead
+in the canonical schedule, so the deadline guarantee is preserved.
+Adjustment energy is modeled at maximum power for the duration of the
+switch (conservative: the DC-DC converter and PLL are busy and the
+pipeline is stalled).
+
+Units: ``adjust_time`` is in workload time units.  The paper's workloads
+use milliseconds ("the time unit for c and a is in the order of
+msecond"), while processor frequencies are in MHz, so converting the
+cycle count of the speed computation to time units needs the
+``time_unit_us`` scale (1000 µs per unit for millisecond workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import PowerModelError
+from .model import PowerModel
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Timing overheads of dynamic power management.
+
+    Parameters
+    ----------
+    comp_cycles:
+        Cycles needed to compute a new speed at a PMP (0 disables).
+    adjust_time:
+        Workload time units needed to change the voltage/speed once
+        (0 disables).
+    time_unit_us:
+        Microseconds per workload time unit (1000 for ms workloads).
+    """
+
+    comp_cycles: float = 300.0
+    adjust_time: float = 0.005
+    time_unit_us: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.comp_cycles < 0:
+            raise PowerModelError(
+                f"comp_cycles must be >= 0, got {self.comp_cycles}")
+        if self.adjust_time < 0:
+            raise PowerModelError(
+                f"adjust_time must be >= 0, got {self.adjust_time}")
+        if self.time_unit_us <= 0:
+            raise PowerModelError(
+                f"time_unit_us must be > 0, got {self.time_unit_us}")
+
+    def computation_time(self, model: PowerModel, speed: float) -> float:
+        """Time units spent computing the new speed while at ``speed``."""
+        if self.comp_cycles == 0:
+            return 0.0
+        return model.cycles_to_time(self.comp_cycles, speed) / self.time_unit_us
+
+    def computation_energy(self, model: PowerModel, speed: float) -> float:
+        return model.busy_energy(speed, self.computation_time(model, speed))
+
+    def adjustment_energy(self, model: PowerModel) -> float:
+        """Energy of one voltage/speed switch (at max power, conservative)."""
+        return model.power(model.s_max) * self.adjust_time
+
+    def per_task_reserve(self, model: PowerModel) -> float:
+        """Worst-case per-task overhead the offline phase must reserve.
+
+        The speed computation is slowest when the processor sits at its
+        minimum speed; one voltage switch may follow.
+        """
+        return self.computation_time(model, model.s_min) + self.adjust_time
+
+    @property
+    def is_free(self) -> bool:
+        return self.comp_cycles == 0 and self.adjust_time == 0
+
+
+#: Overheads switched off — used by NPM and by idealized ablations.
+NO_OVERHEAD = OverheadModel(comp_cycles=0.0, adjust_time=0.0)
+
+#: The paper's default configuration: ≈300 cycles to compute a speed and
+#: 5 µs to switch, for millisecond-unit workloads.
+PAPER_OVERHEAD = OverheadModel(comp_cycles=300.0, adjust_time=0.005,
+                               time_unit_us=1000.0)

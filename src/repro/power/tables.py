@@ -1,0 +1,75 @@
+"""Voltage/frequency tables for the two processor models in the paper.
+
+Table 1 (Transmeta TM5400 / Crusoe "LongRun"): 16 settings between
+200 MHz at 1.10 V and 700 MHz at 1.65 V.  The OCR of the paper destroys the
+individual entries; we rebuild the table with equally spaced frequencies
+and voltages over the documented range, matching the level count and
+endpoints the paper states ("There are 16 voltage/speed settings between
+[700]MHz (1.65V) and 200MHz (1.10V)").  The behavioural property the
+evaluation relies on — *many finely spaced levels* — is preserved exactly.
+
+Table 2 (Intel XScale 80200): the standard table used throughout the
+authors' follow-on papers: five widely spaced levels with a non-linear
+voltage/frequency relationship.  This matches the paper's commentary
+("fewer speed levels but wider speed range between levels", "SPM runs at
+400MHz" at moderate load, "runs at S_max rather than 900MHz" at load 0.9).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+#: (frequency in MHz, voltage in V) pairs, ascending by frequency.
+FreqVolt = Tuple[float, float]
+
+
+def _transmeta_levels() -> List[FreqVolt]:
+    n = 16
+    f_lo, f_hi = 200.0, 700.0
+    v_lo, v_hi = 1.10, 1.65
+    levels = []
+    for i in range(n):
+        frac = i / (n - 1)
+        levels.append((round(f_lo + frac * (f_hi - f_lo), 2),
+                       round(v_lo + frac * (v_hi - v_lo), 4)))
+    return levels
+
+
+#: Table 1 of the paper (reconstructed; see module docstring).
+TRANSMETA_TM5400: List[FreqVolt] = _transmeta_levels()
+
+#: Table 2 of the paper: Intel XScale 80200.
+INTEL_XSCALE: List[FreqVolt] = [
+    (150.0, 0.75),
+    (400.0, 1.00),
+    (600.0, 1.30),
+    (800.0, 1.60),
+    (1000.0, 1.80),
+]
+
+
+def normalized_levels(table: List[FreqVolt]) -> List[Tuple[float, float]]:
+    """Return ``(speed, voltage_ratio)`` pairs normalized to the top level.
+
+    Speeds are fractions of the maximum frequency; voltage ratios are
+    fractions of the maximum voltage, so dynamic power at a level is
+    ``v_ratio**2 * speed`` in units of the maximum dynamic power.
+    """
+    if not table:
+        raise ValueError("empty frequency/voltage table")
+    f_max = max(f for f, _ in table)
+    v_max = max(v for _, v in table)
+    return [(f / f_max, v / v_max) for f, v in sorted(table)]
+
+
+def format_table(table: List[FreqVolt], columns: int = 4) -> str:
+    """Render a voltage/speed table in the paper's row-major layout."""
+    entries = sorted(table, reverse=True)
+    header = ("f(MHz)", "V(V)")
+    cells = [f"{f:7.0f} {v:5.2f}" for f, v in entries]
+    rows: List[str] = []
+    head = "  ".join(f"{header[0]:>7} {header[1]:>5}" for _ in range(columns))
+    rows.append(head)
+    for i in range(0, len(cells), columns):
+        rows.append("  ".join(cells[i:i + columns]))
+    return "\n".join(rows)

@@ -1,0 +1,35 @@
+"""The online-phase simulator (Figure 2's protocol).
+
+Public surface: :func:`simulate` (one run of one scheme on one
+realization) and realization sampling.
+"""
+
+from .engine import simulate
+from .event_engine import simulate_events
+from .power_trace import (
+    PowerProfile,
+    compare_profiles,
+    power_profile,
+    render_profile,
+)
+from .realization import (
+    Realization,
+    sample_realization,
+    sample_realization_batch,
+    sample_realizations,
+    worst_case_realization,
+)
+
+__all__ = [
+    "simulate",
+    "simulate_events",
+    "PowerProfile",
+    "power_profile",
+    "render_profile",
+    "compare_profiles",
+    "Realization",
+    "sample_realization",
+    "sample_realization_batch",
+    "sample_realizations",
+    "worst_case_realization",
+]

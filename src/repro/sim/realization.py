@@ -1,0 +1,186 @@
+"""Sampling of one run's random outcomes.
+
+A *realization* fixes everything that is random in one execution of the
+application: each task's actual execution time and each OR node's branch
+choice.  Sampling it separately from the simulation lets every scheme be
+evaluated on the *same* realization (paired comparison), which is how
+normalized-to-NPM energies are meaningful run by run; the paper averages
+1000 such runs per point.
+
+Actual execution times follow the paper's Section 5: the actual time of
+task *i* is drawn from a normal distribution around its average-case
+execution time ``a_i``; we use ``σ = (c_i − a_i) / 3`` so that ±3σ spans
+the distance to the worst case, and clip into ``(0, c_i]`` — hard
+real-time tasks never exceed their WCET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..graph.sections import SectionStructure
+
+
+@dataclass(frozen=True)
+class Realization:
+    """The resolved randomness of one application run."""
+
+    #: actual execution time (at maximum speed) per computation task
+    actuals: Dict[str, float]
+    #: chosen successor section id per fired OR node (sampled for all,
+    #: even those not reached — harmless and simpler)
+    choices: Dict[str, int]
+
+    def actual(self, name: str) -> float:
+        try:
+            return self.actuals[name]
+        except KeyError:
+            raise SimulationError(
+                f"realization has no actual time for task {name!r}") from None
+
+
+def worst_case_realization(structure: SectionStructure,
+                           plan=None) -> "Realization":
+    """Every task at its WCET, every OR taking its longest remaining path.
+
+    Useful for tests: under this realization every scheme must finish by
+    the deadline with zero dynamic slack exploited.  When an
+    :class:`~repro.offline.plan.OfflinePlan` is supplied, branch choices
+    use its exact (processor-count-aware) remaining-time statistics;
+    otherwise a serial (sum-of-WCETs) recursion is used, which agrees
+    with the plan whenever branch ordering is not changed by parallelism.
+    """
+    graph = structure.graph
+    actuals = {n.name: n.wcet for n in graph.computation_nodes()}
+
+    if plan is not None:
+        def remaining(target: int, or_name: str) -> float:
+            return plan.branch_stats[or_name][target].worst
+    else:
+        memo: Dict[int, float] = {}
+
+        def serial_remaining(sid: int) -> float:
+            if sid in memo:
+                return memo[sid]
+            total = sum(graph.node(n).wcet
+                        for n in structure.section(sid).nodes)
+            exit_or = structure.section(sid).exit_or
+            down = 0.0
+            if exit_or is not None:
+                down = max((serial_remaining(t)
+                            for t, _p in structure.branches(exit_or)),
+                           default=0.0)
+            memo[sid] = total + down
+            return memo[sid]
+
+        def remaining(target: int, or_name: str) -> float:
+            del or_name
+            return serial_remaining(target)
+
+    choices: Dict[str, int] = {}
+    for node in graph.or_nodes():
+        branches = structure.branches(node.name)
+        if not branches:
+            continue
+        choices[node.name] = max(
+            branches, key=lambda b: remaining(b[0], node.name))[0]
+    return Realization(actuals=actuals, choices=choices)
+
+
+def sample_realization(structure: SectionStructure,
+                       rng: np.random.Generator,
+                       sigma_fraction: float = 1.0 / 3.0) -> Realization:
+    """Draw one realization (Section 5 distributional assumptions).
+
+    ``sigma_fraction`` scales the standard deviation relative to
+    ``c_i − a_i`` (default 1/3).
+    """
+    graph = structure.graph
+    comp = graph.computation_nodes()
+    if comp:
+        wcet = np.array([n.wcet for n in comp])
+        acet = np.array([n.acet for n in comp])
+        sigma = (wcet - acet) * sigma_fraction
+        raw = rng.normal(acet, sigma)
+        lo = np.minimum(acet * 0.01, wcet * 0.01)
+        actual = np.clip(raw, lo, wcet)
+        actuals = {n.name: float(a) for n, a in zip(comp, actual)}
+    else:  # pragma: no cover - validated graphs always have comp nodes
+        actuals = {}
+
+    choices: Dict[str, int] = {}
+    for node in graph.or_nodes():
+        branches = structure.branches(node.name)
+        if not branches:
+            continue
+        u = float(rng.random())
+        acc = 0.0
+        chosen = branches[-1][0]
+        for target, p in branches:
+            acc += p
+            if u < acc:
+                chosen = target
+                break
+        choices[node.name] = chosen
+    return Realization(actuals=actuals, choices=choices)
+
+
+def sample_realizations(structure: SectionStructure,
+                        rng: np.random.Generator, n: int,
+                        sigma_fraction: float = 1.0 / 3.0):
+    """Yield ``n`` independent realizations from one generator."""
+    for _ in range(n):
+        yield sample_realization(structure, rng, sigma_fraction)
+
+
+def sample_realization_batch(structure: SectionStructure,
+                             rng: np.random.Generator, n: int,
+                             sigma_fraction: float = 1.0 / 3.0
+                             ) -> "list[Realization]":
+    """Draw ``n`` realizations with vectorized sampling.
+
+    Statistically identical to ``n`` calls of
+    :func:`sample_realization` in distribution, but draws all actual
+    times as one ``(n, tasks)`` matrix and all branch choices as one
+    uniform block per OR node — the profiled fast path for Monte-Carlo
+    evaluations.  (The random streams differ from the sequential
+    sampler's, so fixed-seed results are reproducible per-sampler, not
+    across samplers.)
+    """
+    if n < 1:
+        raise SimulationError(f"batch size must be >= 1, got {n}")
+    graph = structure.graph
+    comp = graph.computation_nodes()
+    names = [node.name for node in comp]
+    wcet = np.array([node.wcet for node in comp])
+    acet = np.array([node.acet for node in comp])
+    sigma = (wcet - acet) * sigma_fraction
+    raw = rng.normal(acet, np.maximum(sigma, 0.0), size=(n, len(comp)))
+    lo = np.minimum(acet * 0.01, wcet * 0.01)
+    actual = np.clip(raw, lo, wcet)
+
+    branching = []
+    for node in graph.or_nodes():
+        branches = structure.branches(node.name)
+        if branches:
+            targets = [t for t, _p in branches]
+            cum = np.cumsum([p for _t, p in branches])
+            branching.append((node.name, targets, cum))
+    choice_matrix = {}
+    for or_name, targets, cum in branching:
+        u = rng.random(n)
+        idx = np.minimum(np.searchsorted(cum, u, side="right"),
+                         len(targets) - 1)
+        choice_matrix[or_name] = [targets[i] for i in idx]
+
+    out = []
+    for i in range(n):
+        actuals = dict(zip(names, actual[i].tolist()))
+        choices = {or_name: picks[i]
+                   for or_name, picks in choice_matrix.items()}
+        out.append(Realization(actuals=actuals, choices=choices))
+    return out

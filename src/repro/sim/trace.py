@@ -1,0 +1,96 @@
+"""Execution traces and ASCII Gantt rendering.
+
+Useful for examples and debugging: trace one run of one scheme and show
+where every task ran, at which speed, and where the idle/sync gaps are.
+"""
+
+from __future__ import annotations
+
+import io
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..graph.andor import Application
+from ..power.model import make_power_model
+from ..power.overhead import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
+from ..types import SimResult, TaskRecord
+from .engine import simulate
+from .realization import sample_realization
+
+
+def trace_one_run(app: Application, scheme: str,
+                  power_model: str = "transmeta",
+                  n_processors: Optional[int] = None,
+                  overhead: Optional[OverheadModel] = None,
+                  seed: int = 2002) -> SimResult:
+    """Simulate one seeded run with trace collection on."""
+    from ..core.registry import get_policy  # local: avoid import cycle
+    from ..offline.plan import build_plan
+
+    m = n_processors or int(app.meta.get("n_processors", 2))
+    power = make_power_model(power_model)
+    policy = get_policy(scheme)
+    if policy.name == "NPM":
+        ov = NO_OVERHEAD
+    else:
+        ov = overhead if overhead is not None else PAPER_OVERHEAD
+    reserve = ov.per_task_reserve(power) if policy.requires_reserve else 0.0
+    plan = build_plan(app, m, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    run = policy.start_run(plan, power, ov, realization=rl)
+    return simulate(plan, run, power, ov, rl, collect_trace=True)
+
+
+def render_gantt(result: SimResult, deadline: Optional[float] = None,
+                 width: int = 100) -> str:
+    """ASCII Gantt chart of a traced run (one row per processor)."""
+    if not result.trace:
+        raise ConfigError(
+            "result has no trace; simulate with collect_trace=True")
+    horizon = deadline if deadline is not None else result.deadline
+    if horizon <= 0:
+        raise ConfigError(f"non-positive horizon {horizon}")
+    scale = width / horizon
+
+    per_proc: Dict[int, List[TaskRecord]] = defaultdict(list)
+    for rec in result.trace:
+        per_proc[rec.processor].append(rec)
+
+    out = io.StringIO()
+    out.write(f"scheme={result.scheme} finish={result.finish_time:.2f} "
+              f"deadline={result.deadline:.2f} "
+              f"switches={result.n_speed_changes} "
+              f"E={result.total_energy:.2f} "
+              f"(busy={result.energy.busy:.2f} idle={result.energy.idle:.2f}"
+              f" ovh={result.energy.overhead:.2f})\n")
+    for pid in sorted(per_proc):
+        row = [" "] * width
+        for rec in sorted(per_proc[pid], key=lambda r: r.start):
+            a = min(int(rec.start * scale), width - 1)
+            b = min(max(int(rec.finish * scale), a + 1), width)
+            label = rec.name[: b - a]
+            for k in range(a, b):
+                row[k] = "#"
+            for k, ch in enumerate(label):
+                row[a + k] = ch
+        out.write(f"P{pid} |" + "".join(row) + "|\n")
+    out.write("    " + f"0{'':{width - 10}}{horizon:>9.1f}\n")
+    out.write(task_table(result))
+    return out.getvalue()
+
+
+def task_table(result: SimResult) -> str:
+    """Per-task lines: placement, speed, energy."""
+    out = io.StringIO()
+    out.write(f"{'task':>16} {'proc':>4} {'start':>9} {'finish':>9} "
+              f"{'speed':>6} {'chg':>3} {'energy':>9}\n")
+    for rec in sorted(result.trace, key=lambda r: r.start):
+        out.write(f"{rec.name:>16} {rec.processor:>4} {rec.start:>9.3f} "
+                  f"{rec.finish:>9.3f} {rec.speed:>6.3f} "
+                  f"{'*' if rec.speed_changed else ' ':>3} "
+                  f"{rec.energy:>9.4f}\n")
+    return out.getvalue()

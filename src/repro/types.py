@@ -1,0 +1,196 @@
+"""Shared plain-data types used across subpackages.
+
+The simulator, offline analyzer and experiment harness exchange small
+immutable records; keeping them in one module avoids import cycles between
+``repro.sim``, ``repro.offline`` and ``repro.core``.
+
+Units
+-----
+* *time* is in abstract "time units"; the paper's synthetic app uses
+  microseconds.  All WCET/ACET values are expressed **at maximum speed**.
+* *speed* is normalized: ``1.0`` is the maximum frequency of the power
+  model.  Discrete levels are fractions of the maximum.
+* *energy* is in units of ``C_ef * V_max^2 * f_max * time``; only energy
+  *ratios* (normalized to NPM) are meaningful, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    """Per-task timing attributes, at maximum processor speed.
+
+    ``wcet`` is the worst-case execution time :math:`c_i` and ``acet`` the
+    average-case execution time :math:`a_i` from profiling; the paper labels
+    computation nodes with the pair ``c_i/a_i`` (e.g. ``8/5``).
+    """
+
+    wcet: float
+    acet: float
+
+    def __post_init__(self) -> None:
+        if self.wcet <= 0:
+            raise ValueError(f"wcet must be positive, got {self.wcet}")
+        if not (0 < self.acet <= self.wcet):
+            raise ValueError(
+                f"acet must be in (0, wcet={self.wcet}], got {self.acet}"
+            )
+
+    @property
+    def alpha(self) -> float:
+        """Ratio of average over worst case execution time (the paper's α)."""
+        return self.acet / self.wcet
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task in a simulation trace."""
+
+    name: str
+    processor: int
+    start: float
+    finish: float
+    speed: float
+    actual_cycles: float  # work actually executed, in time-at-S_max units
+    energy: float
+    speed_changed: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class EnergyBreakdown:
+    """Where the energy of one simulated run went.
+
+    The paper normalizes total energy to NPM; the breakdown lets us also
+    check the *explanations* (idle energy dominating at low load, overhead
+    eating dynamic slack at high α...).
+    """
+
+    busy: float = 0.0
+    idle: float = 0.0
+    overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.busy + self.idle + self.overhead
+
+    def __iadd__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        self.busy += other.busy
+        self.idle += other.idle
+        self.overhead += other.overhead
+        return self
+
+
+@dataclass
+class SimResult:
+    """Outcome of simulating one application instance under one scheme."""
+
+    scheme: str
+    finish_time: float
+    deadline: float
+    energy: EnergyBreakdown
+    n_speed_changes: int
+    n_tasks_run: int
+    trace: List[TaskRecord] = field(default_factory=list)
+    path_choices: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def met_deadline(self) -> bool:
+        # tolerance for float round-off in the shifted-schedule arithmetic
+        return self.finish_time <= self.deadline * (1 + 1e-9) + 1e-9
+
+    @property
+    def total_energy(self) -> float:
+        return self.energy.total
+
+
+@dataclass(frozen=True)
+class PathStats:
+    """Worst/average remaining execution time stored at a PMP.
+
+    The offline phase attaches one of these to the application entry
+    (``w``/``a`` of the whole application) and one per successor path of
+    each OR node (``w_i``/``a_i`` of the remaining tasks along path *i*).
+    """
+
+    worst: float
+    average: float
+
+    def __post_init__(self) -> None:
+        if self.worst < 0 or self.average < 0:
+            raise ValueError("path statistics must be non-negative")
+        if self.average > self.worst * (1 + 1e-9):
+            raise ValueError(
+                f"average remaining time {self.average} exceeds worst "
+                f"{self.worst}"
+            )
+
+
+Interval = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ScheduledTask:
+    """Placement of one task inside a canonical (offline) schedule."""
+
+    name: str
+    processor: int
+    start: float
+    finish: float
+    order: int
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class ExperimentPoint:
+    """One (x, scheme) → normalized-energy measurement with error bars."""
+
+    x: float
+    scheme: str
+    mean: float
+    std: float
+    n_runs: int
+    ci95: float = 0.0
+
+    def as_row(self) -> Tuple[float, str, float, float, int]:
+        return (self.x, self.scheme, self.mean, self.std, self.n_runs)
+
+
+@dataclass
+class SeriesResult:
+    """A full sweep: for each x value, one ExperimentPoint per scheme."""
+
+    name: str
+    x_label: str
+    points: List[ExperimentPoint] = field(default_factory=list)
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def schemes(self) -> List[str]:
+        seen: List[str] = []
+        for p in self.points:
+            if p.scheme not in seen:
+                seen.append(p.scheme)
+        return seen
+
+    def xs(self) -> List[float]:
+        seen: List[float] = []
+        for p in self.points:
+            if p.x not in seen:
+                seen.append(p.x)
+        return seen
+
+    def get(self, x: float, scheme: str) -> Optional[ExperimentPoint]:
+        for p in self.points:
+            if p.scheme == scheme and abs(p.x - x) < 1e-12:
+                return p
+        return None

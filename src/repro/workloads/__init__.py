@@ -1,0 +1,59 @@
+"""The paper's applications and load/α parameterization.
+
+* :func:`atr_graph` / :class:`AtrConfig` — automated target recognition,
+* :func:`figure3_graph` — the synthetic application of Figure 3 (plus
+  the two Figure 1 illustration graphs),
+* :func:`application_with_load` — deadline from the paper's load metric,
+* :func:`repro.graph.random_graph` (re-exported) — random applications.
+"""
+
+from ..graph.random_gen import GraphGenConfig, random_graph
+from .atr import DEFAULT_ROI_PROBS, AtrConfig, atr_graph
+from .frames import (
+    StreamResult,
+    compare_streams,
+    render_stream_report,
+    simulate_stream,
+)
+from .library import (
+    LIBRARY,
+    mpeg_decoder,
+    packet_pipeline,
+    radar_tracker,
+    sensor_fusion,
+)
+from .scaling import (
+    application_with_load,
+    average_case_length,
+    worst_case_length,
+)
+from .synthetic import (
+    FIG3_LOOP_PROBS,
+    figure1a_graph,
+    figure1b_graph,
+    figure3_graph,
+)
+
+__all__ = [
+    "AtrConfig",
+    "atr_graph",
+    "DEFAULT_ROI_PROBS",
+    "figure3_graph",
+    "figure1a_graph",
+    "figure1b_graph",
+    "FIG3_LOOP_PROBS",
+    "application_with_load",
+    "StreamResult",
+    "simulate_stream",
+    "compare_streams",
+    "render_stream_report",
+    "LIBRARY",
+    "mpeg_decoder",
+    "radar_tracker",
+    "sensor_fusion",
+    "packet_pipeline",
+    "worst_case_length",
+    "average_case_length",
+    "GraphGenConfig",
+    "random_graph",
+]

@@ -1,0 +1,116 @@
+"""Automated target recognition (ATR) workload.
+
+The paper's primary benchmark: per frame, regions of interest (ROIs) are
+detected and each ROI is compared against all templates; the number of
+ROIs "varies substantially" between frames, so the application has one
+OR branch per possible ROI count — most frames skip a large part of the
+work.  The paper omits the dependence graph ("not shown due to space
+limitation"), so we rebuild it from the prose (see DESIGN.md):
+
+* ``detect`` — ROI detection over the frame;
+* ``O_roi`` — OR node branching on the detected ROI count
+  ``k ∈ {0..max_rois}`` with a measured-like probability distribution
+  (mid counts common, extremes rare);
+* branch ``k`` — an AND fork into ``k`` parallel matching pipelines
+  (each ROI is compared with all templates; the per-ROI template loop is
+  collapsed into one task per Section 2.1), joined by an AND node;
+* ``O_merge`` then ``classify`` — final classification.
+
+Time units are milliseconds; the defaults give per-frame worst cases of
+a few tens of ms.  The paper measured α ≈ high for ATR ("little slack
+from task's run-time behaviour"); default 0.9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import ConfigError
+from ..graph.andor import AndOrGraph
+from ..graph.builder import GraphBuilder
+
+#: default probability of detecting k = 0, 1, ... ROIs in a frame
+DEFAULT_ROI_PROBS: Tuple[float, ...] = (0.10, 0.30, 0.30, 0.20, 0.10)
+
+
+@dataclass(frozen=True)
+class AtrConfig:
+    """Parameters of the ATR application generator."""
+
+    max_rois: int = 4
+    roi_probs: Tuple[float, ...] = DEFAULT_ROI_PROBS
+    n_templates: int = 8
+    detect_wcet: float = 10.0       # ms: ROI detection over the frame
+    match_wcet: float = 2.0         # ms: one ROI against one template
+    classify_wcet: float = 5.0      # ms: final classification
+    bookkeeping_wcet: float = 1.0   # ms: the k=0 path still logs the frame
+    alpha: float = 0.9              # measured ACET/WCET ratio
+
+    def __post_init__(self) -> None:
+        if self.max_rois < 1:
+            raise ConfigError("max_rois must be >= 1")
+        if len(self.roi_probs) != self.max_rois + 1:
+            raise ConfigError(
+                f"roi_probs needs {self.max_rois + 1} entries "
+                f"(k = 0..{self.max_rois}), got {len(self.roi_probs)}")
+        if any(p <= 0 for p in self.roi_probs):
+            raise ConfigError("every ROI-count probability must be > 0")
+        if abs(sum(self.roi_probs) - 1.0) > 1e-6:
+            raise ConfigError(
+                f"roi_probs sum to {sum(self.roi_probs):.6g}, expected 1")
+        if not (0 < self.alpha <= 1):
+            raise ConfigError(f"alpha must be in (0, 1], got {self.alpha}")
+        for field_name in ("n_templates",):
+            if self.n_templates < 1:
+                raise ConfigError("n_templates must be >= 1")
+        for value, label in ((self.detect_wcet, "detect_wcet"),
+                             (self.match_wcet, "match_wcet"),
+                             (self.classify_wcet, "classify_wcet"),
+                             (self.bookkeeping_wcet, "bookkeeping_wcet")):
+            if value <= 0:
+                raise ConfigError(f"{label} must be > 0, got {value}")
+
+    @property
+    def roi_task_wcet(self) -> float:
+        """WCET of processing one ROI (all templates, loop collapsed)."""
+        return self.match_wcet * self.n_templates
+
+
+def atr_graph(config: Optional[AtrConfig] = None) -> AndOrGraph:
+    """Build the ATR application graph."""
+    cfg = config or AtrConfig()
+    a = cfg.alpha
+    b = GraphBuilder("atr")
+    b.task("detect", cfg.detect_wcet, a * cfg.detect_wcet)
+    b.or_node("O_roi", after=["detect"])
+    b.or_node("O_merge")
+
+    exits: List[str] = []
+    for k in range(cfg.max_rois + 1):
+        prob = cfg.roi_probs[k]
+        if k == 0:
+            name = "k0_bookkeep"
+            b.task(name, cfg.bookkeeping_wcet, a * cfg.bookkeeping_wcet,
+                   after=["O_roi"])
+            b.probability("O_roi", name, prob)
+            exits.append(name)
+            continue
+        fork = f"k{k}_fork"
+        b.and_node(fork, after=["O_roi"])
+        b.probability("O_roi", fork, prob)
+        roi_tasks = []
+        for i in range(k):
+            t = f"k{k}_roi{i}"
+            b.task(t, cfg.roi_task_wcet, a * cfg.roi_task_wcet,
+                   after=[fork])
+            roi_tasks.append(t)
+        join = f"k{k}_join"
+        b.and_join(join, roi_tasks)
+        exits.append(join)
+
+    for e in exits:
+        b.edge(e, "O_merge")
+    b.task("classify", cfg.classify_wcet, a * cfg.classify_wcet,
+           after=["O_merge"])
+    return b.build_graph()

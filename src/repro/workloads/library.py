@@ -1,0 +1,225 @@
+"""A zoo of realistic AND/OR application families.
+
+The paper motivates the model with applications whose control flow
+skips work at runtime (ATR's variable ROI count, "the control flow of
+most practical applications also has OR structures").  Beyond the
+paper's two workloads, this library provides parameterized generators
+for common embedded pipelines, all expressed in the validated AND/OR
+model — useful as additional evaluation subjects and as modelling
+examples:
+
+* :func:`mpeg_decoder` — frame-type branch (I/P/B), per-slice parallel
+  decode, deblocking;
+* :func:`radar_tracker` — detection-count branch, per-track parallel
+  update, probabilistic re-acquisition loop;
+* :func:`sensor_fusion` — parallel per-sensor preprocessing, OR on
+  fusion mode (full vs degraded);
+* :func:`packet_pipeline` — packet-type branch with a crypto loop on
+  the slow path.
+
+Time unit: milliseconds, like the paper's workloads.  Every generator
+returns a validated :class:`~repro.graph.andor.AndOrGraph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..graph.andor import AndOrGraph
+from ..graph.builder import GraphBuilder
+from ..graph.loops import expand_loop, simple_body
+
+
+def _check_alpha(alpha: float) -> None:
+    if not (0 < alpha <= 1):
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+
+
+def _check_probs(probs: Sequence[float], label: str) -> None:
+    if any(p <= 0 for p in probs):
+        raise ConfigError(f"{label} probabilities must be positive")
+    if abs(sum(probs) - 1.0) > 1e-6:
+        raise ConfigError(
+            f"{label} probabilities sum to {sum(probs):.6g}, expected 1")
+
+
+def mpeg_decoder(n_slices: int = 4,
+                 frame_probs: Tuple[float, float, float] = (0.1, 0.4, 0.5),
+                 alpha: float = 0.6) -> AndOrGraph:
+    """An MPEG-style frame decoder.
+
+    ``frame_probs`` are the probabilities of (I, P, B) frames.  I-frames
+    decode every slice from scratch (heavy), P-frames add motion
+    compensation (medium), B-frames interpolate (light).  Slices decode
+    in parallel; a deblocking filter joins them.
+    """
+    if n_slices < 1:
+        raise ConfigError("n_slices must be >= 1")
+    if len(frame_probs) != 3:
+        raise ConfigError("frame_probs needs exactly (I, P, B) entries")
+    _check_probs(frame_probs, "frame")
+    _check_alpha(alpha)
+
+    b = GraphBuilder("mpeg-decoder")
+    b.task("parse", 2.0, alpha * 2.0)
+    b.or_node("O_type", after=["parse"])
+    b.or_node("O_decoded")
+
+    slice_wcet = {"I": 8.0, "P": 5.0, "B": 3.0}
+    for kind, prob in zip("IPB", frame_probs):
+        fork = f"{kind}_fork"
+        b.and_node(fork, after=["O_type"])
+        b.probability("O_type", fork, prob)
+        tasks = []
+        for s in range(n_slices):
+            t = f"{kind}_slice{s}"
+            w = slice_wcet[kind]
+            b.task(t, w, alpha * w, after=[fork])
+            tasks.append(t)
+        join = f"{kind}_join"
+        b.and_join(join, tasks)
+        b.edge(join, "O_decoded")
+
+    b.task("deblock", 3.0, alpha * 3.0, after=["O_decoded"])
+    b.task("emit", 1.0, alpha * 1.0, after=["deblock"])
+    return b.build_graph()
+
+
+def radar_tracker(max_tracks: int = 3,
+                  track_probs: Tuple[float, ...] = (0.2, 0.4, 0.3, 0.1),
+                  reacquire_probs: Dict[int, float] = None,
+                  alpha: float = 0.5) -> AndOrGraph:
+    """A radar track-while-scan update cycle.
+
+    One dwell produces 0..``max_tracks`` confirmed detections
+    (``track_probs``); each detection spawns a parallel track-update
+    chain (gate → filter).  Lost tracks trigger a probabilistic
+    re-acquisition loop before the display update.
+    """
+    if max_tracks < 1:
+        raise ConfigError("max_tracks must be >= 1")
+    if len(track_probs) != max_tracks + 1:
+        raise ConfigError(
+            f"track_probs needs {max_tracks + 1} entries, got "
+            f"{len(track_probs)}")
+    _check_probs(track_probs, "track")
+    _check_alpha(alpha)
+    reacquire = reacquire_probs or {1: 0.7, 2: 0.2, 3: 0.1}
+
+    b = GraphBuilder("radar-tracker")
+    b.task("dwell", 6.0, alpha * 6.0)
+    b.task("detect", 4.0, alpha * 4.0, after=["dwell"])
+    b.or_node("O_tracks", after=["detect"])
+    b.or_node("O_updated")
+
+    for k in range(max_tracks + 1):
+        prob = track_probs[k]
+        if k == 0:
+            t = "t0_coast"
+            b.task(t, 1.0, alpha * 1.0, after=["O_tracks"])
+            b.probability("O_tracks", t, prob)
+            b.edge(t, "O_updated")
+            continue
+        fork = f"t{k}_fork"
+        b.and_node(fork, after=["O_tracks"])
+        b.probability("O_tracks", fork, prob)
+        exits = []
+        for i in range(k):
+            gate = f"t{k}_gate{i}"
+            filt = f"t{k}_filter{i}"
+            b.task(gate, 2.0, alpha * 2.0, after=[fork])
+            b.task(filt, 3.0, alpha * 3.0, after=[gate])
+            exits.append(filt)
+        join = f"t{k}_join"
+        b.and_join(join, exits)
+        b.edge(join, "O_updated")
+
+    b.task("associate", 2.0, alpha * 2.0, after=["O_updated"])
+    loop_exit = expand_loop(b, "reacq", reacquire,
+                            simple_body("reacq", 2.0, alpha * 2.0),
+                            after=["associate"])
+    b.task("display", 1.5, alpha * 1.5, after=[loop_exit])
+    return b.build_graph()
+
+
+def sensor_fusion(n_sensors: int = 4,
+                  degraded_prob: float = 0.25,
+                  alpha: float = 0.55) -> AndOrGraph:
+    """Multi-sensor fusion with a degraded mode.
+
+    All sensors preprocess in parallel (AND); the fusion stage then
+    either runs the full joint estimator or — with probability
+    ``degraded_prob`` (a sensor dropped out, low confidence) — a cheap
+    fallback estimator.
+    """
+    if n_sensors < 2:
+        raise ConfigError("n_sensors must be >= 2")
+    if not (0 < degraded_prob < 1):
+        raise ConfigError("degraded_prob must be in (0, 1)")
+    _check_alpha(alpha)
+
+    b = GraphBuilder("sensor-fusion")
+    b.task("sync", 1.0, alpha * 1.0)
+    b.and_node("S_fork", after=["sync"])
+    pre = []
+    for i in range(n_sensors):
+        t = f"pre{i}"
+        w = 3.0 + (i % 2)  # heterogeneous sensors
+        b.task(t, w, alpha * w, after=["S_fork"])
+        pre.append(t)
+    b.and_join("S_join", pre)
+
+    b.or_node("O_mode", after=["S_join"])
+    b.task("fuse_full", 8.0, alpha * 8.0, after=["O_mode"])
+    b.probability("O_mode", "fuse_full", 1.0 - degraded_prob)
+    b.task("fuse_degraded", 2.5, alpha * 2.5, after=["O_mode"])
+    b.probability("O_mode", "fuse_degraded", degraded_prob)
+    b.or_merge("O_fused", ["fuse_full", "fuse_degraded"])
+    b.task("publish", 1.0, alpha * 1.0, after=["O_fused"])
+    return b.build_graph()
+
+
+def packet_pipeline(crypto_prob: float = 0.3,
+                    crypto_rounds: Dict[int, float] = None,
+                    alpha: float = 0.4) -> AndOrGraph:
+    """A network packet-processing pipeline.
+
+    Packets branch by type: the fast path forwards directly; the slow
+    path (probability ``crypto_prob``) runs a variable number of crypto
+    rounds (``crypto_rounds`` distribution) before forwarding.
+    """
+    if not (0 < crypto_prob < 1):
+        raise ConfigError("crypto_prob must be in (0, 1)")
+    _check_alpha(alpha)
+    rounds = crypto_rounds or {1: 0.5, 2: 0.3, 4: 0.2}
+
+    b = GraphBuilder("packet-pipeline")
+    b.task("rx", 0.5, alpha * 0.5)
+    b.task("classify", 1.0, alpha * 1.0, after=["rx"])
+    b.or_node("O_path", after=["classify"])
+    b.or_node("O_ready")
+
+    b.task("fast_lookup", 1.5, alpha * 1.5, after=["O_path"])
+    b.probability("O_path", "fast_lookup", 1.0 - crypto_prob)
+    b.edge("fast_lookup", "O_ready")
+
+    b.task("slow_setup", 1.0, alpha * 1.0, after=["O_path"])
+    b.probability("O_path", "slow_setup", crypto_prob)
+    loop_exit = expand_loop(b, "crypt", rounds,
+                            simple_body("crypt", 2.0, alpha * 2.0),
+                            after=["slow_setup"])
+    b.task("slow_verify", 1.0, alpha * 1.0, after=[loop_exit])
+    b.edge("slow_verify", "O_ready")
+
+    b.task("tx", 0.5, alpha * 0.5, after=["O_ready"])
+    return b.build_graph()
+
+
+#: name → zero-argument constructor with the library defaults
+LIBRARY = {
+    "mpeg": mpeg_decoder,
+    "radar": radar_tracker,
+    "fusion": sensor_fusion,
+    "packets": packet_pipeline,
+}

@@ -1,0 +1,108 @@
+"""The paper's Figure 3 synthetic application (reconstructed).
+
+The OCR of the figure preserves the node labels (A…L, AND nodes A1…A4,
+OR nodes O1…O4), most WCET/ACET pairs (8/5, 5/3, 4/2, 8/6, 10/6, 10/8,
+5/4, 4/2, 5/3), the branch probabilities 35 %/65 % and 30 %/70 %, and two
+loop annotations — "4: 50%:20%:5%:25%" (a probabilistic loop of at most
+4 iterations) and a deterministic 3-iteration loop.  The exact wiring is
+lost, so we rebuild a structurally faithful application that uses every
+preserved element:
+
+* an AND fork/join region (A1/A2) exposing parallelism,
+* a first OR branch (O1, 35 %/65 %) whose long path contains the
+  probabilistic loop, merged at O2,
+* a second OR branch (O3, 30 %/70 %) merged at O4,
+* a tail with the deterministic loop.
+
+Time units are milliseconds.  Loops are expanded per Section 2.1
+(:func:`repro.graph.loops.expand_loop`), so the resulting graph is pure
+AND/OR structure.  ``alpha`` rescales every ACET (``a_i = α·c_i``) for
+the Figure 6 sweep; ``alpha=None`` keeps the figure's native pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import ConfigError
+from ..graph.andor import AndOrGraph
+from ..graph.builder import GraphBuilder
+from ..graph.loops import expand_loop, simple_body
+
+#: iteration-count probabilities of the probabilistic loop in Figure 3
+FIG3_LOOP_PROBS: Dict[int, float] = {1: 0.50, 2: 0.20, 3: 0.05, 4: 0.25}
+
+
+def figure3_graph(alpha: Optional[float] = None) -> AndOrGraph:
+    """Build the synthetic application of Figure 3.
+
+    Parameters
+    ----------
+    alpha:
+        If given (0 < α ≤ 1), every task's ACET becomes ``α · WCET`` —
+        this is how the paper sweeps α in Figure 6.  ``None`` keeps the
+        reconstructed native ACETs.
+    """
+    if alpha is not None and not (0 < alpha <= 1):
+        raise ConfigError(f"alpha must be in (0, 1], got {alpha}")
+
+    def ac(wcet: float, acet: float) -> float:
+        return alpha * wcet if alpha is not None else acet
+
+    b = GraphBuilder("fig3-synthetic")
+    # root region: A feeds an AND fork D || E joined by A2
+    b.task("A", 8, ac(8, 5))
+    b.and_split("A1", after="A",
+                branches=[("D", 5, ac(5, 4)), ("E", 10, ac(10, 8))])
+    b.and_join("A2", ["D", "E"])
+
+    # first OR branch: 35% takes F + probabilistic loop, 65% takes G -> H
+    b.or_node("O1", after=["A2"])
+    b.task("F", 8, ac(8, 6), after=["O1"])
+    b.probability("O1", "F", 0.35)
+    loop_exit = expand_loop(
+        b, "LF", FIG3_LOOP_PROBS,
+        simple_body("LF", 4, ac(4, 2)), after=["F"])
+    b.task("B", 5, ac(5, 3), after=[loop_exit])
+
+    b.task("G", 5, ac(5, 3), after=["O1"])
+    b.probability("O1", "G", 0.65)
+    b.task("H", 10, ac(10, 6), after=["G"])
+
+    b.or_merge("O2", ["B", "H"])
+
+    # middle region and second OR branch: 30% I, 70% J, merged at O4
+    b.task("K", 5, ac(5, 3), after=["O2"])
+    b.or_node("O3", after=["K"])
+    b.task("I", 10, ac(10, 8), after=["O3"])
+    b.probability("O3", "I", 0.30)
+    b.task("J", 4, ac(4, 2), after=["O3"])
+    b.probability("O3", "J", 0.70)
+    b.or_merge("O4", ["I", "J"])
+
+    # tail: L then a deterministic 3-iteration loop of a 4/2 body
+    b.task("L", 5, ac(5, 3), after=["O4"])
+    expand_loop(b, "LT", {3: 1.0}, simple_body("LT", 4, ac(4, 2)),
+                after=["L"])
+    return b.build_graph()
+
+
+def figure1a_graph() -> AndOrGraph:
+    """Figure 1a: the AND structure (A1 forks B, C; A2 joins)."""
+    b = GraphBuilder("fig1a-and")
+    b.task("A", 8, 5)
+    b.and_split("A1", after="A", branches=[("B", 5, 3), ("C", 4, 2)])
+    b.and_join("A2", ["B", "C"])
+    b.task("G", 5, 3, after=["A2"])
+    return b.build_graph()
+
+
+def figure1b_graph() -> AndOrGraph:
+    """Figure 1b: the OR structure (O3 branches 30 %/70 %; O4 merges)."""
+    b = GraphBuilder("fig1b-or")
+    b.task("A", 8, 5)
+    b.or_branch("O3", after="A",
+                paths={"F": ((8, 6), 0.30), "G": ((5, 3), 0.70)})
+    b.or_merge("O4", ["F", "G"])
+    b.task("B", 5, 3, after=["O4"])
+    return b.build_graph()

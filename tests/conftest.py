@@ -1,0 +1,116 @@
+"""Shared fixtures: small canonical graphs, power models, plans."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import GraphBuilder, validate_graph
+from repro.power import (
+    NO_OVERHEAD,
+    PAPER_OVERHEAD,
+    ContinuousPowerModel,
+    transmeta_model,
+    xscale_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def transmeta():
+    return transmeta_model()
+
+
+@pytest.fixture
+def xscale():
+    return xscale_model()
+
+
+@pytest.fixture
+def continuous():
+    return ContinuousPowerModel(s_min=0.1)
+
+
+@pytest.fixture
+def paper_overhead():
+    return PAPER_OVERHEAD
+
+
+@pytest.fixture
+def no_overhead():
+    return NO_OVERHEAD
+
+
+def build_chain_graph(n: int = 3, wcet: float = 10.0, acet: float = 5.0):
+    """A linear chain T0 -> T1 -> ... (single section, no OR nodes)."""
+    b = GraphBuilder("chain")
+    prev = None
+    for i in range(n):
+        b.task(f"T{i}", wcet, acet, after=[prev] if prev else None)
+        prev = f"T{i}"
+    return b.build_graph()
+
+
+def build_fork_graph():
+    """One AND fork/join: A -> A1 -> (B, C) -> A2 -> D."""
+    b = GraphBuilder("fork")
+    b.task("A", 8, 5)
+    b.and_split("A1", after="A", branches=[("B", 5, 3), ("C", 4, 2)])
+    b.and_join("A2", ["B", "C"])
+    b.task("D", 5, 3, after=["A2"])
+    return b.build_graph()
+
+
+def build_or_graph():
+    """One OR branch/merge: A -> O1 -> (B 30% | C 70%) -> O2 -> D."""
+    b = GraphBuilder("orapp")
+    b.task("A", 8, 5)
+    b.or_branch("O1", after="A", paths={"B": ((8, 6), 0.3),
+                                        "C": ((5, 3), 0.7)})
+    b.or_merge("O2", ["B", "C"])
+    b.task("D", 5, 3, after=["O2"])
+    return b.build_graph()
+
+
+def build_nested_or_graph():
+    """Two chained OR branches (nested speculation opportunities)."""
+    b = GraphBuilder("nested")
+    b.task("A", 6, 3)
+    b.or_branch("O1", after="A", paths={"B": ((10, 5), 0.4),
+                                        "C": ((4, 2), 0.6)})
+    b.or_merge("O2", ["B", "C"])
+    b.task("D", 5, 2, after=["O2"])
+    b.or_branch("O3", after="D", paths={"E": ((8, 4), 0.5),
+                                        "F": ((2, 1), 0.5)})
+    b.or_merge("O4", ["E", "F"])
+    b.task("G", 3, 1.5, after=["O4"])
+    return b.build_graph()
+
+
+@pytest.fixture
+def chain_graph():
+    return build_chain_graph()
+
+
+@pytest.fixture
+def fork_graph():
+    return build_fork_graph()
+
+
+@pytest.fixture
+def or_graph():
+    return build_or_graph()
+
+
+@pytest.fixture
+def nested_or_graph():
+    return build_nested_or_graph()
+
+
+@pytest.fixture
+def or_structure(or_graph):
+    return validate_graph(or_graph)

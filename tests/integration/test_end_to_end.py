@@ -1,0 +1,121 @@
+"""Integration: offline phase + engine + policies on the paper's apps."""
+
+import numpy as np
+import pytest
+
+from repro.core import ALL_SCHEMES, get_policy
+from repro.graph import validate_graph
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, transmeta_model, xscale_model
+from repro.sim import sample_realization, simulate, worst_case_realization
+from repro.workloads import application_with_load, atr_graph, figure3_graph
+
+
+def _simulate_all(app, power, n_runs=50, seed=0, overhead=PAPER_OVERHEAD,
+                  m=2):
+    reserve = overhead.per_task_reserve(power)
+    plan_static = build_plan(app, m, reserve=0.0)
+    plan_dyn = build_plan(app, m, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    out = {name: [] for name in ALL_SCHEMES}
+    for _ in range(n_runs):
+        rl = sample_realization(plan_static.structure, rng)
+        for name in ALL_SCHEMES:
+            policy = get_policy(name)
+            plan = plan_dyn if policy.requires_reserve else plan_static
+            ov = NO_OVERHEAD if name == "NPM" else overhead
+            run = policy.start_run(plan, power, ov, realization=rl)
+            res = simulate(plan, run, power, ov, rl)
+            assert res.met_deadline, (name, res.finish_time, res.deadline)
+            out[name].append(res.total_energy)
+    return {k: np.array(v) for k, v in out.items()}
+
+
+@pytest.mark.parametrize("graph_fn", [atr_graph, figure3_graph])
+@pytest.mark.parametrize("power_fn", [transmeta_model, xscale_model])
+def test_all_schemes_meet_deadlines_and_save_energy(graph_fn, power_fn):
+    app = application_with_load(graph_fn(), 0.5, 2)
+    energies = _simulate_all(app, power_fn())
+    npm = energies["NPM"]
+    for name in ("SPM", "GSS", "SS1", "SS2", "AS", "ORACLE"):
+        # managed schemes never exceed NPM by more than float noise
+        assert np.all(energies[name] <= npm * (1 + 1e-9)), name
+        assert energies[name].mean() < npm.mean()
+
+
+def test_dynamic_schemes_beat_spm_at_moderate_load():
+    app = application_with_load(figure3_graph(alpha=0.5), 0.5, 2)
+    energies = _simulate_all(app, transmeta_model(), n_runs=100)
+    for name in ("GSS", "SS1", "SS2", "AS"):
+        assert energies[name].mean() < energies["SPM"].mean(), name
+
+
+def test_worst_case_realization_finishes_exactly_at_bound():
+    app = application_with_load(figure3_graph(), 0.8, 2)
+    plan = build_plan(app, 2, reserve=0.0)
+    rl = worst_case_realization(plan.structure, plan)
+    power = transmeta_model()
+    run = get_policy("NPM").start_run(plan, power, NO_OVERHEAD,
+                                      realization=rl)
+    res = simulate(plan, run, power, NO_OVERHEAD, rl)
+    # NPM with all-WCET actuals along the longest path = t_worst
+    assert res.finish_time == pytest.approx(plan.t_worst)
+
+
+def test_gss_under_worst_case_still_meets_deadline():
+    power = transmeta_model()
+    for load in (0.3, 0.6, 0.9):
+        app = application_with_load(atr_graph(), load, 2)
+        reserve = PAPER_OVERHEAD.per_task_reserve(power)
+        plan = build_plan(app, 2, reserve=reserve)
+        rl = worst_case_realization(plan.structure)
+        run = get_policy("GSS").start_run(plan, power, PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, power, PAPER_OVERHEAD, rl)
+        assert res.met_deadline
+
+
+def test_six_processor_configuration():
+    from repro.workloads import AtrConfig
+    cfg = AtrConfig(max_rois=6,
+                    roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
+    app = application_with_load(atr_graph(cfg), 0.5, 6)
+    energies = _simulate_all(app, transmeta_model(), n_runs=30, m=6)
+    assert energies["GSS"].mean() < energies["NPM"].mean()
+
+
+def test_speed_change_counts_ordering():
+    """Speculation exists to reduce switches: SS1 <= GSS on average."""
+    app = application_with_load(figure3_graph(alpha=0.5), 0.6, 2)
+    power = xscale_model()
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan_dyn = build_plan(app, 2, reserve=reserve)
+    rng = np.random.default_rng(1)
+    changes = {"GSS": 0, "SS1": 0}
+    for _ in range(100):
+        rl = sample_realization(plan_dyn.structure, rng)
+        for name in changes:
+            run = get_policy(name).start_run(plan_dyn, power,
+                                             PAPER_OVERHEAD,
+                                             realization=rl)
+            res = simulate(plan_dyn, run, power, PAPER_OVERHEAD, rl)
+            changes[name] += res.n_speed_changes
+    assert changes["SS1"] <= changes["GSS"]
+
+
+def test_energy_accounting_is_consistent():
+    """busy + idle + overhead == total, and idle covers m*D window."""
+    power = transmeta_model()
+    app = application_with_load(figure3_graph(), 0.5, 2)
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan = build_plan(app, 2, reserve=reserve)
+    rng = np.random.default_rng(3)
+    rl = sample_realization(plan.structure, rng)
+    run = get_policy("GSS").start_run(plan, power, PAPER_OVERHEAD,
+                                      realization=rl)
+    res = simulate(plan, run, power, PAPER_OVERHEAD, rl,
+                   collect_trace=True)
+    assert res.total_energy == pytest.approx(
+        res.energy.busy + res.energy.idle + res.energy.overhead)
+    busy_from_trace = sum(r.energy for r in res.trace)
+    assert res.energy.busy == pytest.approx(busy_from_trace)

@@ -1,0 +1,78 @@
+"""Integration tests for the exact path-enumeration evaluator."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    exact_evaluation,
+    render_exact,
+)
+from repro.workloads import application_with_load, atr_graph, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RunConfig(power_model="xscale", n_runs=1500, seed=5)
+
+
+@pytest.fixture(scope="module")
+def exact(cfg):
+    app = application_with_load(figure3_graph(), 0.6, 2)
+    return exact_evaluation(app, cfg)
+
+
+class TestExactEvaluation:
+    def test_path_probabilities_sum_to_one(self, exact):
+        assert sum(exact.path_probability.values()) == pytest.approx(1.0)
+
+    def test_expected_is_weighted_sum(self, exact):
+        for scheme, by_path in exact.per_path.items():
+            manual = sum(exact.path_probability[k] * e
+                         for k, e in by_path.items())
+            assert exact.expected[scheme] == pytest.approx(manual)
+
+    def test_every_scheme_every_path(self, exact, cfg):
+        for scheme in cfg.schemes:
+            assert set(exact.per_path[scheme]) == \
+                set(exact.path_probability)
+
+    def test_matches_monte_carlo_at_sigma_zero(self, exact, cfg):
+        """The MC harness must converge to the enumeration as σ → 0
+        (cross-validation of the sampler and the pairing)."""
+        app = application_with_load(figure3_graph(), 0.6, 2)
+        mc = evaluate_application(app, cfg.with_(sigma_fraction=0.0))
+        for scheme, mean in mc.mean_normalized().items():
+            assert mean == pytest.approx(
+                exact.expected_normalized[scheme], abs=0.01), scheme
+
+    def test_monte_carlo_with_sigma_is_close(self, exact, cfg):
+        """With runtime variation the expectation shifts only mildly."""
+        app = application_with_load(figure3_graph(), 0.6, 2)
+        mc = evaluate_application(app, cfg)
+        for scheme, mean in mc.mean_normalized().items():
+            assert mean == pytest.approx(
+                exact.expected_normalized[scheme], abs=0.05), scheme
+
+    def test_atr_exact(self, cfg):
+        app = application_with_load(atr_graph(), 0.5, 2)
+        res = exact_evaluation(app, cfg)
+        # one path per ROI count
+        assert len(res.path_probability) == 5
+        assert 0 < res.expected_normalized["GSS"] < 1
+
+    def test_render(self, exact):
+        text = render_exact(exact)
+        assert "expected" in text and "E[E/E_NPM]" in text
+        assert "GSS" in text
+
+    def test_render_unknown_scheme(self, exact):
+        with pytest.raises(ConfigError, match="not evaluated"):
+            render_exact(exact, schemes=["NOPE"])
+
+    def test_dvs_disabled_at_full_load(self, cfg):
+        app = application_with_load(figure3_graph(), 1.0, 2)
+        res = exact_evaluation(app, cfg)
+        for scheme in ("GSS", "SS1", "SS2", "AS"):
+            assert res.expected_normalized[scheme] == pytest.approx(1.0)

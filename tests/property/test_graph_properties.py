@@ -1,0 +1,117 @@
+"""Property tests on the graph model itself."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    GraphGenConfig,
+    enumerate_paths,
+    expected_total_work,
+    graph_from_dict,
+    graph_to_dict,
+    iter_paths,
+    path_acet_sum,
+    path_wcet_sum,
+    random_graph,
+    total_probability,
+    validate_graph,
+)
+
+_SETTINGS = dict(max_examples=40, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_random_graphs_are_valid_and_probability_one(seed):
+    g = random_graph(random.Random(seed))
+    st_ = validate_graph(g)
+    assert total_probability(st_) == pytest.approx(1.0)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_serialization_round_trip_identity(seed):
+    g = random_graph(random.Random(seed))
+    d = graph_to_dict(g)
+    g2 = graph_from_dict(d)
+    assert graph_to_dict(g2) == d
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_every_path_visits_root_and_each_section_once(seed):
+    g = random_graph(random.Random(seed))
+    st_ = validate_graph(g)
+    for p in iter_paths(st_):
+        assert p.sections[0] == st_.root_id
+        assert len(set(p.sections)) == len(p.sections)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_acet_never_exceeds_wcet_along_paths(seed):
+    g = random_graph(random.Random(seed))
+    st_ = validate_graph(g)
+    for p in iter_paths(st_):
+        assert path_acet_sum(st_, p) <= path_wcet_sum(st_, p) + 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_expected_work_is_convex_combination(seed):
+    g = random_graph(random.Random(seed))
+    st_ = validate_graph(g)
+    sums = [path_acet_sum(st_, p) for p in iter_paths(st_)]
+    ew = expected_total_work(st_)
+    assert min(sums) - 1e-9 <= ew <= max(sums) + 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000),
+       alpha=st.floats(0.1, 1.0))
+def test_alpha_bounds_hold(seed, alpha):
+    cfg = GraphGenConfig(alpha=alpha, alpha_jitter=0.05)
+    g = random_graph(random.Random(seed), cfg)
+    for node in g.computation_nodes():
+        assert 0 < node.acet <= node.wcet
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_sections_partition_non_or_nodes(seed):
+    g = random_graph(random.Random(seed))
+    st_ = validate_graph(g)
+    covered = [n for s in st_.sections for n in s.nodes]
+    non_or = [n.name for n in g if not n.is_or]
+    assert sorted(covered) == sorted(non_or)
+    assert len(covered) == len(set(covered))
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_realized_choice_frequencies(seed):
+    """Simulated OR choices converge to the declared probabilities."""
+    g = random_graph(random.Random(seed % 50))
+    st_ = validate_graph(g)
+    from repro.sim import sample_realization
+    branching = [o.name for o in g.or_nodes()
+                 if len(st_.branches(o.name)) > 1]
+    if not branching:
+        return
+    rng = np.random.default_rng(seed)
+    counts = {o: {} for o in branching}
+    n = 400
+    for _ in range(n):
+        rl = sample_realization(st_, rng)
+        for o in branching:
+            c = rl.choices[o]
+            counts[o][c] = counts[o].get(c, 0) + 1
+    o = branching[0]
+    for target, prob in st_.branches(o):
+        freq = counts[o].get(target, 0) / n
+        assert freq == pytest.approx(prob, abs=0.12)

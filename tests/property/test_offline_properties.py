@@ -1,0 +1,120 @@
+"""Property tests on offline-plan invariants (random graphs)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.graph import random_graph, GraphGenConfig
+from repro.offline import build_plan
+from repro.workloads import application_with_load
+
+_SETTINGS = dict(max_examples=40, deadline=None,
+                 suppress_health_check=[HealthCheck.too_slow])
+
+
+def _plan(seed, load=0.7, m=2, reserve=0.0, heuristic="ltf"):
+    graph = random_graph(random.Random(seed))
+    app = application_with_load(graph, load, m)
+    return build_plan(app, m, reserve=reserve, heuristic=heuristic)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000), m=st.sampled_from([1, 2, 4]))
+def test_lst_never_before_canonical_start(seed, m):
+    plan = _plan(seed, m=m)
+    for sp in plan.sections.values():
+        for name, lst in sp.lst.items():
+            assert lst >= sp.schedule.tasks[name].start - 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_finish_bounds_within_deadline(seed):
+    plan = _plan(seed)
+    for sp in plan.sections.values():
+        for bound in sp.finish_bound.values():
+            assert bound <= plan.deadline + 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_average_below_worst_everywhere(seed):
+    plan = _plan(seed)
+    assert plan.t_avg <= plan.t_worst + 1e-9
+    for sp in plan.sections.values():
+        assert sp.length_ac <= sp.length_wc + 1e-9
+        assert sp.avg_after <= sp.worst_after + 1e-9
+    for stats in plan.branch_stats.values():
+        for ps in stats.values():
+            assert ps.average <= ps.worst + 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000),
+       reserve=st.floats(0.0, 0.5))
+def test_reserve_monotone_in_t_worst(seed, reserve):
+    plain = _plan(seed)
+    try:
+        inflated = _plan(seed, reserve=reserve)
+    except Exception:
+        return  # reserve may make the plan infeasible at this load
+    assert inflated.t_worst >= plain.t_worst - 1e-9
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_worst_after_is_max_over_branches(seed):
+    plan = _plan(seed)
+    structure = plan.structure
+    for sid, sp in plan.sections.items():
+        exit_or = structure.section(sid).exit_or
+        if exit_or is None or not structure.branches(exit_or):
+            assert sp.worst_after == 0.0
+            continue
+        expected = max(plan.branch_stats[exit_or][t].worst
+                       for t, _p in structure.branches(exit_or))
+        assert sp.worst_after == pytest.approx(expected)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_avg_after_is_probability_weighted(seed):
+    plan = _plan(seed)
+    structure = plan.structure
+    for sid, sp in plan.sections.items():
+        exit_or = structure.section(sid).exit_or
+        if exit_or is None or not structure.branches(exit_or):
+            continue
+        expected = sum(p * plan.branch_stats[exit_or][t].average
+                       for t, p in structure.branches(exit_or))
+        assert sp.avg_after == pytest.approx(expected)
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000),
+       heuristic=st.sampled_from(["ltf", "stf", "fifo", "cpf"]))
+def test_dispatch_order_topological_any_heuristic(seed, heuristic):
+    plan = _plan(seed, heuristic=heuristic)
+    graph = plan.app.graph
+    for sp in plan.sections.values():
+        pos = {n: i for i, n in enumerate(sp.dispatch_order)}
+        for name in sp.dispatch_order:
+            for p in sp.preds_within[name]:
+                assert pos[p] < pos[name]
+
+
+@settings(**_SETTINGS)
+@given(seed=st.integers(0, 100_000))
+def test_canonical_length_never_exceeds_serial(seed):
+    """Any list schedule keeps >= 1 processor busy, so its makespan is
+    bounded by the serial (m=1) length.  Strict monotonicity in m does
+    NOT hold in general (Graham's scheduling anomalies), so that is
+    deliberately not asserted.
+    """
+    graph = random_graph(random.Random(seed))
+    from repro.workloads import worst_case_length
+    t1 = worst_case_length(graph, 1)
+    for m in (2, 8):
+        assert worst_case_length(graph, m) <= t1 + 1e-9

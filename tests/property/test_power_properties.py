@@ -1,0 +1,104 @@
+"""Property tests on power-model arithmetic."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.power import (
+    ContinuousPowerModel,
+    transmeta_model,
+    xscale_model,
+)
+
+_MODELS = {"transmeta": transmeta_model(), "xscale": xscale_model()}
+
+
+@settings(max_examples=200, deadline=None)
+@given(speed=st.floats(0.0, 1.0),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_snap_up_is_a_level_at_least_speed(speed, model):
+    m = _MODELS[model]
+    s = m.snap_up(speed)
+    assert s in m.levels()
+    assert s >= min(speed, m.s_max) - 1e-12
+    assert m.s_min <= s <= m.s_max
+
+
+@settings(max_examples=200, deadline=None)
+@given(speed=st.floats(0.0, 1.0),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_snap_up_is_idempotent(speed, model):
+    m = _MODELS[model]
+    s = m.snap_up(speed)
+    assert m.snap_up(s) == s
+
+
+@settings(max_examples=200, deadline=None)
+@given(a=st.floats(0.0, 1.0), b=st.floats(0.0, 1.0),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_snap_up_monotone(a, b, model):
+    m = _MODELS[model]
+    lo, hi = min(a, b), max(a, b)
+    assert m.snap_up(lo) <= m.snap_up(hi)
+
+
+@settings(max_examples=200, deadline=None)
+@given(speed=st.floats(0.05, 1.0),
+       model=st.sampled_from(["transmeta", "xscale"]))
+def test_bracket_encloses_speed(speed, model):
+    m = _MODELS[model]
+    lo, hi = m.bracket(speed)
+    assert lo in m.levels() and hi in m.levels()
+    assert hi == m.snap_up(speed)
+    if speed >= m.s_min:
+        assert lo <= speed + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(model=st.sampled_from(["transmeta", "xscale"]),
+       i=st.integers(0, 20))
+def test_power_monotone_in_level(model, i):
+    m = _MODELS[model]
+    levels = m.levels()
+    i = i % (len(levels) - 1)
+    assert m.power(levels[i]) < m.power(levels[i + 1])
+
+
+@settings(max_examples=200, deadline=None)
+@given(work=st.floats(0.001, 1000.0),
+       model=st.sampled_from(["transmeta", "xscale"]),
+       i=st.integers(0, 20))
+def test_task_energy_monotone_in_speed(work, model, i):
+    """Running fixed work slower never costs more energy (discrete)."""
+    m = _MODELS[model]
+    levels = m.levels()
+    i = i % (len(levels) - 1)
+    assert m.task_energy(levels[i], work) <= \
+        m.task_energy(levels[i + 1], work) + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(speed=st.floats(0.01, 1.0), work=st.floats(0.0, 100.0))
+def test_continuous_energy_quadratic(speed, work):
+    m = ContinuousPowerModel()
+    expected = speed ** 2 * work
+    assert m.task_energy(speed, work) == pytest.approx(expected)
+
+
+@settings(max_examples=100, deadline=None)
+@given(speed=st.floats(0.01, 1.0))
+def test_slower_beats_idle_plus_fast_for_fixed_work(speed):
+    """The DVS premise: stretching work beats racing-to-idle.
+
+    For any (continuous-model) speed s < 1: running W work at s costs
+    s^2*W busy energy; racing at 1.0 costs W + idle for the remaining
+    (W/s - W) wall time.  With idle at 5%, slowing down wins whenever
+    s^2 < 1 - 0.05*(1/s - 1) ... we just check the total inequality.
+    """
+    m = ContinuousPowerModel()
+    work = 10.0
+    window = work / speed
+    slow = m.task_energy(speed, work) + 0  # busy for the whole window
+    fast = m.task_energy(1.0, work) + m.idle_energy(window - work)
+    if speed >= 0.3:  # below that, idle power dominates the comparison
+        assert slow <= fast + 1e-9

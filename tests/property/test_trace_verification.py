@@ -1,0 +1,45 @@
+"""Property tests: every scheme's trace passes independent verification.
+
+This pits the engine against the :mod:`repro.analysis.verify` oracle
+(precedence, mutual exclusion, level legality, synchronization,
+timeliness, energy sums) on random applications — two implementations
+of the semantics checking each other.
+"""
+
+import random
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import assert_valid_trace
+from repro.core import ALL_SCHEMES, get_policy
+from repro.graph import random_graph
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, transmeta_model, xscale_model
+from repro.sim import sample_realization, simulate
+from repro.workloads import application_with_load
+
+_POWER = {"transmeta": transmeta_model(), "xscale": xscale_model()}
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(0, 10_000),
+       scheme=st.sampled_from(ALL_SCHEMES),
+       model=st.sampled_from(["transmeta", "xscale"]),
+       m=st.sampled_from([1, 2, 3]))
+def test_traces_verify_against_independent_oracle(seed, scheme, model, m):
+    power = _POWER[model]
+    graph = random_graph(random.Random(seed))
+    app = application_with_load(graph, 0.6, m)
+    policy = get_policy(scheme)
+    overhead = NO_OVERHEAD if scheme == "NPM" else PAPER_OVERHEAD
+    reserve = overhead.per_task_reserve(power) if policy.requires_reserve \
+        else 0.0
+    plan = build_plan(app, m, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    rl = sample_realization(plan.structure, rng)
+    run = policy.start_run(plan, power, overhead, realization=rl)
+    result = simulate(plan, run, power, overhead, rl, collect_trace=True)
+    assert_valid_trace(app, plan.structure, result, power)

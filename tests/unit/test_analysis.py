@@ -1,0 +1,202 @@
+"""Unit tests for the analysis package (verifier, critical path, slack,
+bounds)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    all_path_metrics,
+    assert_valid_trace,
+    continuous_uniform_bound,
+    executed_sections,
+    graph_metrics,
+    lst_headroom,
+    npm_energy,
+    realized_runtime_slack,
+    slack_profile,
+    static_bound,
+    verify_trace,
+)
+from repro.graph import Application, validate_graph
+from repro.offline import build_plan
+from repro.power import transmeta_model
+from repro.sim import sample_realization
+from repro.sim.trace import trace_one_run
+from repro.types import TaskRecord
+from repro.workloads import application_with_load, figure3_graph
+from tests.conftest import build_fork_graph, build_or_graph
+
+
+@pytest.fixture(scope="module")
+def fig3_app():
+    return application_with_load(figure3_graph(), 0.5, 2)
+
+
+@pytest.fixture(scope="module")
+def fig3_traced(fig3_app):
+    result = trace_one_run(fig3_app, "GSS", seed=11)
+    plan = build_plan(fig3_app, 2)
+    return fig3_app, plan, result
+
+
+class TestVerifier:
+    def test_valid_trace_passes(self, fig3_traced):
+        app, plan, result = fig3_traced
+        assert verify_trace(app, plan.structure, result,
+                            transmeta_model()) == []
+        assert_valid_trace(app, plan.structure, result)
+
+    def test_empty_trace_flagged(self, fig3_traced):
+        app, plan, result = fig3_traced
+        import dataclasses
+        bare = dataclasses.replace(result, trace=[])
+        problems = verify_trace(app, plan.structure, bare)
+        assert any("empty" in p for p in problems)
+
+    def test_tampered_overlap_detected(self, fig3_traced):
+        app, plan, result = fig3_traced
+        import dataclasses
+        recs = list(result.trace)
+        # force two records onto processor 0 with overlapping windows
+        recs[0] = dataclasses.replace(recs[0], processor=0, start=0.0,
+                                      finish=10.0)
+        recs[1] = dataclasses.replace(
+            recs[1], processor=0, start=5.0, finish=12.0,
+            speed=recs[1].speed,
+            actual_cycles=7.0 * recs[1].speed)
+        bad = dataclasses.replace(result, trace=recs)
+        problems = verify_trace(app, plan.structure, bad)
+        assert any("overlap" in p for p in problems)
+
+    def test_tampered_wcet_detected(self, fig3_traced):
+        app, plan, result = fig3_traced
+        import dataclasses
+        recs = list(result.trace)
+        recs[0] = dataclasses.replace(recs[0], actual_cycles=1e9)
+        bad = dataclasses.replace(result, trace=recs)
+        problems = verify_trace(app, plan.structure, bad)
+        assert any("WCET" in p for p in problems)
+
+    def test_illegal_speed_detected(self, fig3_traced):
+        app, plan, result = fig3_traced
+        import dataclasses
+        recs = list(result.trace)
+        recs[0] = dataclasses.replace(
+            recs[0], speed=0.33333,
+            actual_cycles=recs[0].duration * 0.33333)
+        bad = dataclasses.replace(result, trace=recs)
+        problems = verify_trace(app, plan.structure, bad,
+                                transmeta_model())
+        assert any("not a level" in p for p in problems)
+
+    def test_missed_deadline_detected(self, fig3_traced):
+        app, plan, result = fig3_traced
+        import dataclasses
+        bad = dataclasses.replace(result,
+                                  finish_time=app.deadline * 2)
+        problems = verify_trace(app, plan.structure, bad)
+        assert any("past deadline" in p for p in problems)
+
+    def test_executed_sections_follows_choices(self, fig3_traced):
+        app, plan, result = fig3_traced
+        sections = executed_sections(plan.structure, result)
+        assert sections[0] == plan.structure.root_id
+        # every choice recorded in the result is honoured
+        for or_name, sid in result.path_choices.items():
+            assert int(sid) in sections
+
+
+class TestCriticalPath:
+    def test_fork_graph_metrics(self):
+        st = validate_graph(build_fork_graph())
+        m = graph_metrics(st)
+        # work: 8+5+4+5 = 22; span: 8 + max(5,4) + 5 = 18
+        assert m.max_work == 22
+        assert m.max_span == 18
+        assert m.expected_parallelism == pytest.approx(22 / 18)
+
+    def test_or_graph_expected_values(self):
+        st = validate_graph(build_or_graph())
+        metrics = all_path_metrics(st)
+        by_prob = {round(p.probability, 1): p for p in metrics}
+        assert by_prob[0.3].work == 21 and by_prob[0.3].span == 21
+        assert by_prob[0.7].work == 18
+        m = graph_metrics(st)
+        assert m.expected_work == pytest.approx(0.3 * 21 + 0.7 * 18)
+
+    def test_chain_parallelism_is_one(self):
+        from tests.conftest import build_chain_graph
+        m = graph_metrics(validate_graph(build_chain_graph(4)))
+        assert m.expected_parallelism == pytest.approx(1.0)
+
+    def test_effective_processors(self):
+        st = validate_graph(build_fork_graph())
+        m = graph_metrics(st)
+        assert m.effective_processors(1) == 1.0
+        assert m.effective_processors(8) == pytest.approx(22 / 18)
+
+    def test_acet_variant(self):
+        st = validate_graph(build_fork_graph())
+        m_wc = graph_metrics(st, use_acet=False)
+        m_ac = graph_metrics(st, use_acet=True)
+        assert m_ac.expected_work < m_wc.expected_work
+
+
+class TestSlack:
+    def test_slack_profile(self, fig3_app):
+        plan = build_plan(fig3_app, 2)
+        prof = slack_profile(plan)
+        assert prof.static_slack == pytest.approx(plan.static_slack)
+        assert prof.static_fraction == pytest.approx(0.5, abs=0.01)
+        assert prof.expected_runtime_slack > 0
+        assert prof.expected_path_slack >= 0
+        assert prof.total_expected > prof.static_slack
+
+    def test_realized_runtime_slack_positive(self, fig3_app, rng):
+        plan = build_plan(fig3_app, 2)
+        rls = [sample_realization(plan.structure, rng)
+               for _ in range(20)]
+        slack = realized_runtime_slack(plan, rls)
+        assert slack.shape == (20,)
+        assert np.all(slack >= 0)
+
+    def test_lst_headroom_scaling(self, fig3_app):
+        tight = build_plan(fig3_app.with_deadline(
+            build_plan(fig3_app, 2).t_worst), 2)
+        loose = build_plan(fig3_app, 2)
+        assert lst_headroom(loose).min() > lst_headroom(tight).min() - 1e9
+        # root section headroom equals static slack in a taut chain
+        assert lst_headroom(tight).min() == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBounds:
+    def test_bounds_order(self, fig3_app, rng):
+        plan = build_plan(fig3_app, 2)
+        power = transmeta_model()
+        rl = sample_realization(plan.structure, rng)
+        lower = continuous_uniform_bound(plan, power, rl)
+        npm = npm_energy(plan, power, rl)
+        assert lower < npm
+
+    def test_all_schemes_above_continuous_bound(self, fig3_app):
+        from repro.core import get_policy
+        from repro.power import NO_OVERHEAD
+        from repro.sim import simulate
+        power = transmeta_model()
+        plan = build_plan(fig3_app, 2)
+        rng = np.random.default_rng(5)
+        for _ in range(10):
+            rl = sample_realization(plan.structure, rng)
+            bound = continuous_uniform_bound(plan, power, rl)
+            for scheme in ("SPM", "GSS", "SS1"):
+                run = get_policy(scheme).start_run(plan, power,
+                                                   NO_OVERHEAD,
+                                                   realization=rl)
+                res = simulate(plan, run, power, NO_OVERHEAD, rl)
+                assert res.total_energy >= bound * (1 - 1e-9), scheme
+
+    def test_static_bound_without_realization(self, fig3_app):
+        plan = build_plan(fig3_app, 2)
+        power = transmeta_model()
+        e = static_bound(plan, power)
+        assert e > 0

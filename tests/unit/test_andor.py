@@ -1,0 +1,160 @@
+"""Unit tests for the AndOrGraph container."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import AndOrGraph, Application, NodeKind
+
+
+@pytest.fixture
+def g():
+    graph = AndOrGraph("t")
+    graph.add_computation("A", 8, 5)
+    graph.add_computation("B", 5, 3)
+    graph.add_and("A1")
+    graph.add_or("O1")
+    graph.add_edge("A", "A1")
+    graph.add_edge("A1", "B")
+    graph.add_edge("B", "O1")
+    return graph
+
+
+class TestConstruction:
+    def test_len_and_contains(self, g):
+        assert len(g) == 4
+        assert "A" in g and "O1" in g and "Z" not in g
+
+    def test_duplicate_node_rejected(self, g):
+        with pytest.raises(GraphError, match="duplicate node"):
+            g.add_computation("A", 1, 1)
+
+    def test_duplicate_edge_rejected(self, g):
+        with pytest.raises(GraphError, match="duplicate edge"):
+            g.add_edge("A", "A1")
+
+    def test_self_loop_rejected(self, g):
+        with pytest.raises(GraphError, match="self-loop"):
+            g.add_edge("A", "A")
+
+    def test_edge_to_unknown_node(self, g):
+        with pytest.raises(GraphError, match="not in graph"):
+            g.add_edge("A", "nope")
+        with pytest.raises(GraphError, match="not in graph"):
+            g.add_edge("nope", "A")
+
+    def test_unknown_node_lookup(self, g):
+        with pytest.raises(GraphError, match="unknown node"):
+            g.node("nope")
+
+
+class TestAccessors:
+    def test_adjacency(self, g):
+        assert g.successors("A") == ["A1"]
+        assert g.predecessors("B") == ["A1"]
+        assert g.in_degree("A") == 0 and g.out_degree("A") == 1
+
+    def test_roots_and_sinks(self, g):
+        assert g.roots() == ["A"]
+        assert g.sinks() == ["O1"]
+
+    def test_kind_filters(self, g):
+        assert [n.name for n in g.computation_nodes()] == ["A", "B"]
+        assert [n.name for n in g.and_nodes()] == ["A1"]
+        assert [n.name for n in g.or_nodes()] == ["O1"]
+        assert len(g.nodes(NodeKind.COMPUTATION)) == 2
+        assert len(g.nodes()) == 4
+
+    def test_edges_listing(self, g):
+        assert set(g.edges()) == {("A", "A1"), ("A1", "B"), ("B", "O1")}
+
+    def test_totals(self, g):
+        assert g.total_wcet() == 13
+        assert g.total_acet() == 8
+
+    def test_descendants(self, g):
+        assert set(g.descendants("A")) == {"A1", "B", "O1"}
+        assert g.descendants("O1") == []
+
+
+class TestBranchProbabilities:
+    def test_set_and_get(self):
+        g = AndOrGraph()
+        g.add_computation("A", 1, 1)
+        g.add_or("O")
+        g.add_computation("B", 1, 1)
+        g.add_computation("C", 1, 1)
+        g.add_edge("A", "O")
+        g.add_edge("O", "B")
+        g.add_edge("O", "C")
+        g.set_branch_probability("O", "B", 0.3)
+        g.set_branch_probability("O", "C", 0.7)
+        assert g.branch_probabilities("O") == {"B": 0.3, "C": 0.7}
+        assert g.is_branching_or("O")
+
+    def test_single_successor_implicit_probability(self):
+        g = AndOrGraph()
+        g.add_computation("A", 1, 1)
+        g.add_or("O")
+        g.add_computation("B", 1, 1)
+        g.add_edge("A", "O")
+        g.add_edge("O", "B")
+        assert g.branch_probabilities("O") == {"B": 1.0}
+        assert not g.is_branching_or("O")
+
+    def test_probability_on_non_or_rejected(self, g):
+        with pytest.raises(GraphError, match="OR nodes"):
+            g.set_branch_probability("A1", "B", 0.5)
+
+    def test_probability_on_non_successor_rejected(self, g):
+        with pytest.raises(GraphError, match="not a successor"):
+            g.set_branch_probability("O1", "A", 0.5)
+
+    @pytest.mark.parametrize("p", [0.0, -0.1, 1.5])
+    def test_invalid_probability_rejected(self, p):
+        g = AndOrGraph()
+        g.add_computation("A", 1, 1)
+        g.add_or("O")
+        g.add_computation("B", 1, 1)
+        g.add_edge("A", "O")
+        g.add_edge("O", "B")
+        with pytest.raises(GraphError, match="probability"):
+            g.set_branch_probability("O", "B", p)
+
+
+class TestAlgorithms:
+    def test_topological_order(self, g):
+        order = g.topological_order()
+        assert order.index("A") < order.index("A1") < order.index("B")
+
+    def test_cycle_detection(self):
+        g = AndOrGraph()
+        g.add_computation("A", 1, 1)
+        g.add_computation("B", 1, 1)
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")
+        assert not g.is_dag()
+        with pytest.raises(GraphError, match="cycle"):
+            g.topological_order()
+
+    def test_copy_is_independent(self, g):
+        h = g.copy("clone")
+        h.add_computation("Z", 1, 1)
+        assert "Z" in h and "Z" not in g
+        assert set(h.edges()) == set(g.edges())
+
+
+class TestApplication:
+    def test_deadline_validation(self, g):
+        with pytest.raises(GraphError, match="deadline"):
+            Application(graph=g, deadline=0)
+
+    def test_name_defaults_to_graph_name(self, g):
+        app = Application(graph=g, deadline=10)
+        assert app.name == "t"
+
+    def test_with_deadline(self, g):
+        app = Application(graph=g, deadline=10, meta={"k": 1})
+        app2 = app.with_deadline(20)
+        assert app2.deadline == 20 and app.deadline == 10
+        assert app2.meta == {"k": 1}
+        assert app2.graph is app.graph

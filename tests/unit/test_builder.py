@@ -1,0 +1,96 @@
+"""Unit tests for the fluent GraphBuilder."""
+
+import pytest
+
+from repro.errors import GraphError, ValidationError
+from repro.graph import GraphBuilder
+
+
+class TestBasicBuilding:
+    def test_task_chain(self):
+        b = GraphBuilder("c")
+        b.chain([("A", 4, 2), ("B", 6, 3), ("C", 2, 1)])
+        g = b.build_graph()
+        assert g.successors("A") == ["B"]
+        assert g.successors("B") == ["C"]
+
+    def test_chain_after_existing(self):
+        b = GraphBuilder()
+        b.task("root", 1, 1)
+        b.chain([("A", 4, 2)], after=["root"])
+        assert b.graph.predecessors("A") == ["root"]
+
+    def test_task_after_string_shorthand(self):
+        b = GraphBuilder()
+        b.task("A", 1, 1)
+        b.task("B", 1, 1, after="A")
+        assert b.graph.predecessors("B") == ["A"]
+
+    def test_edges_bulk(self):
+        b = GraphBuilder()
+        b.task("A", 1, 1)
+        b.task("B", 1, 1)
+        b.task("C", 1, 1)
+        b.edges([("A", "B"), ("A", "C")])
+        assert set(b.graph.successors("A")) == {"B", "C"}
+
+
+class TestStructuredHelpers:
+    def test_and_split_join(self):
+        b = GraphBuilder()
+        b.task("A", 8, 5)
+        b.and_split("A1", after="A", branches=[("B", 5, 3), ("C", 4, 2)])
+        b.and_join("A2", ["B", "C"])
+        g = b.build_graph()
+        assert set(g.successors("A1")) == {"B", "C"}
+        assert set(g.predecessors("A2")) == {"B", "C"}
+
+    def test_or_branch_sets_probabilities(self):
+        b = GraphBuilder()
+        b.task("A", 8, 5)
+        b.or_branch("O1", after="A",
+                    paths={"B": ((5, 3), 0.4), "C": ((4, 2), 0.6)})
+        b.or_merge("O2", ["B", "C"])
+        b.task("D", 2, 1, after=["O2"])
+        g = b.build_graph()
+        assert g.branch_probabilities("O1") == {"B": 0.4, "C": 0.6}
+
+    def test_probabilities_bulk(self):
+        b = GraphBuilder()
+        b.task("A", 1, 1)
+        b.or_node("O", after=["A"])
+        b.task("B", 1, 1, after=["O"])
+        b.task("C", 1, 1, after=["O"])
+        b.probabilities("O", {"B": 0.25, "C": 0.75})
+        b.or_merge("Om", ["B", "C"])
+        g = b.build_graph()
+        assert g.branch_probabilities("O")["C"] == 0.75
+
+    def test_join_requires_predecessors(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="at least one"):
+            b.and_join("J", [])
+        with pytest.raises(GraphError, match="at least one"):
+            b.or_merge("M", [])
+
+
+class TestBuild:
+    def test_build_returns_validated_application(self):
+        b = GraphBuilder("app")
+        b.task("A", 4, 2)
+        app = b.build(deadline=10, meta={"x": 1})
+        assert app.deadline == 10
+        assert app.meta == {"x": 1}
+
+    def test_build_rejects_invalid_graph(self):
+        b = GraphBuilder()
+        b.task("A", 1, 1)
+        b.or_node("O", after=["A"])
+        b.task("B", 1, 1, after=["O"])
+        b.task("C", 1, 1, after=["O"])  # probabilities missing
+        with pytest.raises(ValidationError):
+            b.build(deadline=10)
+
+    def test_build_graph_rejects_empty(self):
+        with pytest.raises(ValidationError, match="empty"):
+            GraphBuilder().build_graph()

@@ -1,0 +1,110 @@
+"""Unit tests for canonical LTF list scheduling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import GraphBuilder, validate_graph
+from repro.offline import acet_duration, list_schedule, wcet_duration
+from tests.conftest import build_chain_graph, build_fork_graph
+
+
+def _section_subgraph(graph):
+    st = validate_graph(graph)
+    return st.subgraph(st.root_id)
+
+
+class TestChainScheduling:
+    def test_chain_is_sequential(self):
+        sub = _section_subgraph(build_chain_graph(3, wcet=10, acet=5))
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        assert sched.length == 30
+        assert sched.start("T0") == 0
+        assert sched.start("T1") == 10
+        assert sched.start("T2") == 20
+
+    def test_orders_follow_dispatch(self):
+        sub = _section_subgraph(build_chain_graph(3))
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        orders = [sched.tasks[f"T{i}"].order for i in range(3)]
+        assert orders == sorted(orders)
+
+    def test_acet_duration_shorter(self):
+        sub = _section_subgraph(build_chain_graph(3, wcet=10, acet=4))
+        sched = list_schedule(sub, 1, acet_duration(sub))
+        assert sched.length == 12
+
+
+class TestParallelScheduling:
+    def test_fork_uses_both_processors(self):
+        sub = _section_subgraph(build_fork_graph())
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        # A(8) then B(5) || C(4) then D(5): length 8 + 5 + 5 = 18
+        assert sched.length == 18
+        assert sched.tasks["B"].processor != sched.tasks["C"].processor
+        assert sched.start("B") == 8 and sched.start("C") == 8
+
+    def test_single_processor_serializes(self):
+        sub = _section_subgraph(build_fork_graph())
+        sched = list_schedule(sub, 1, wcet_duration(sub))
+        assert sched.length == 8 + 5 + 4 + 5
+
+    def test_ltf_priority(self):
+        # three simultaneous tasks on two processors: the two longest
+        # start first (longest task first heuristic)
+        b = GraphBuilder("ltf")
+        b.task("root", 1, 1)
+        for name, w in (("short", 2), ("long", 9), ("mid", 5)):
+            b.task(name, w, w / 2, after=["root"])
+        sub = _section_subgraph(b.build_graph())
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        assert sched.start("long") == 1
+        assert sched.start("mid") == 1
+        # both processors busy until mid finishes at 6; short starts then
+        assert sched.start("short") == 6
+
+    def test_and_nodes_take_no_time(self):
+        sub = _section_subgraph(build_fork_graph())
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        assert "A1" not in sched.tasks  # AND nodes are not placed
+        assert "A1" in sched.dispatch_order
+
+    def test_dispatch_order_contains_all_nodes(self):
+        sub = _section_subgraph(build_fork_graph())
+        sched = list_schedule(sub, 2, wcet_duration(sub))
+        assert set(sched.dispatch_order) == set(sub.node_names)
+
+    def test_dispatch_order_respects_dependencies(self):
+        sub = _section_subgraph(build_fork_graph())
+        sched = list_schedule(sub, 3, wcet_duration(sub))
+        pos = {n: i for i, n in enumerate(sched.dispatch_order)}
+        for u, v in sub.edges():
+            assert pos[u] < pos[v]
+
+
+class TestInflation:
+    def test_reserve_inflates_each_computation_task(self):
+        sub = _section_subgraph(build_chain_graph(3, wcet=10, acet=5))
+        plain = list_schedule(sub, 1, wcet_duration(sub, 0.0))
+        inflated = list_schedule(sub, 1, wcet_duration(sub, 0.5))
+        assert inflated.length == pytest.approx(plain.length + 3 * 0.5)
+
+    def test_reserve_does_not_inflate_and_nodes(self):
+        sub = _section_subgraph(build_fork_graph())
+        dur = wcet_duration(sub, 0.5)
+        assert dur("A1") == 0.0
+        assert dur("A") == 8.5
+
+
+class TestErrors:
+    def test_zero_processors_rejected(self):
+        sub = _section_subgraph(build_chain_graph(2))
+        with pytest.raises(SimulationError, match="at least one"):
+            list_schedule(sub, 0, wcet_duration(sub))
+
+    def test_determinism(self):
+        sub = _section_subgraph(build_fork_graph())
+        a = list_schedule(sub, 2, wcet_duration(sub))
+        b = list_schedule(sub, 2, wcet_duration(sub))
+        assert a.dispatch_order == b.dispatch_order
+        assert {k: (v.start, v.processor) for k, v in a.tasks.items()} == \
+               {k: (v.start, v.processor) for k, v in b.tasks.items()}

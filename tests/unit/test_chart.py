@@ -1,0 +1,81 @@
+"""Unit tests for ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import render_chart, render_charts
+from repro.types import ExperimentPoint, SeriesResult
+
+
+def make_series(values):
+    """values: {scheme: [(x, mean), ...]}"""
+    s = SeriesResult(name="chart-test", x_label="load")
+    for scheme, pts in values.items():
+        for x, mean in pts:
+            s.points.append(ExperimentPoint(x=x, scheme=scheme,
+                                            mean=mean, std=0.0, n_runs=1))
+    return s
+
+
+@pytest.fixture
+def series():
+    return make_series({
+        "SPM": [(0.1, 0.9), (0.5, 0.6), (1.0, 1.0)],
+        "GSS": [(0.1, 0.9), (0.5, 0.4), (1.0, 1.0)],
+    })
+
+
+class TestRenderChart:
+    def test_contains_glyphs_and_legend(self, series):
+        text = render_chart(series)
+        assert "o SPM" in text and "x GSS" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self, series):
+        text = render_chart(series)
+        assert "0.1" in text and "1" in text  # x range
+        assert "load" in text
+
+    def test_y_range_override(self, series):
+        text = render_chart(series, y_range=(0.0, 1.0))
+        assert "1.000" in text and "0.000" in text
+
+    def test_height_and_width_respected(self, series):
+        text = render_chart(series, width=30, height=8)
+        lines = [ln for ln in text.splitlines() if ln.endswith("|")]
+        assert len(lines) == 8
+        assert all(len(ln) == 8 + 1 + 30 + 1 for ln in lines)
+
+    def test_scheme_subset(self, series):
+        text = render_chart(series, schemes=["GSS"])
+        assert "GSS" in text and "SPM" not in text
+
+    def test_extreme_points_hit_borders(self):
+        s = make_series({"A": [(0.0, 0.0), (1.0, 1.0)]})
+        text = render_chart(s, y_range=(0.0, 1.0), width=20, height=6)
+        rows = [ln for ln in text.splitlines() if ln.endswith("|")]
+        assert rows[0].rstrip("|").endswith("o")   # max at top right
+        assert rows[-1][9] == "o"                  # min at bottom left
+
+    def test_render_charts_joins(self, series):
+        text = render_charts([series, series])
+        assert text.count("# chart-test") == 2
+
+
+class TestChartErrors:
+    def test_too_small_canvas(self, series):
+        with pytest.raises(ConfigError, match="width"):
+            render_chart(series, width=4)
+
+    def test_single_point_rejected(self):
+        s = make_series({"A": [(0.5, 0.5)]})
+        with pytest.raises(ConfigError, match="two x values"):
+            render_chart(s)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigError, match="no schemes"):
+            render_chart(SeriesResult(name="e", x_label="x"))
+
+    def test_bad_y_range(self, series):
+        with pytest.raises(ConfigError, match="empty y range"):
+            render_chart(series, y_range=(1.0, 1.0))

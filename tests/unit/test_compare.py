@@ -1,0 +1,85 @@
+"""Unit tests for paired statistical comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    RunConfig,
+    compare_all,
+    evaluate_application,
+    paired_comparison,
+    render_comparison,
+    win_matrix,
+)
+from repro.workloads import application_with_load, figure3_graph
+
+
+class TestPairedComparison:
+    def test_clear_difference_detected(self, rng):
+        base = rng.normal(0.5, 0.05, 200)
+        c = paired_comparison("A", base - 0.02, "B", base)
+        assert c.significant
+        assert c.winner == "A"
+        assert c.mean_diff == pytest.approx(-0.02)
+
+    def test_identical_samples_tie(self):
+        x = np.linspace(0.4, 0.6, 50)
+        c = paired_comparison("A", x, "B", x.copy())
+        assert not c.significant
+        assert c.winner is None
+        assert c.p_value == 1.0
+
+    def test_noise_is_a_tie(self, rng):
+        a = rng.normal(0.5, 0.05, 100)
+        b = a + rng.normal(0.0, 0.0005, 100)  # tiny symmetric jitter
+        c = paired_comparison("A", a, "B", b)
+        # difference is orders of magnitude below the jitter CI
+        assert abs(c.mean_diff) < 0.001
+
+    def test_pairing_beats_unpaired_intuition(self, rng):
+        # large shared variance, small consistent difference: paired
+        # test detects it even though the two marginal distributions
+        # overlap almost entirely
+        shared = rng.normal(0.5, 0.2, 300)
+        c = paired_comparison("A", shared - 0.01, "B", shared)
+        assert c.significant and c.winner == "A"
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ConfigError):
+            paired_comparison("A", np.ones(3), "B", np.ones(4))
+
+    def test_too_few_runs_rejected(self):
+        with pytest.raises(ConfigError):
+            paired_comparison("A", np.ones(1), "B", np.ones(1))
+
+
+class TestCompareAll:
+    @pytest.fixture(scope="class")
+    def result(self):
+        app = application_with_load(figure3_graph(), 0.6, 2)
+        return evaluate_application(
+            app, RunConfig(n_runs=200, power_model="xscale", seed=3))
+
+    def test_pair_count(self, result):
+        comps = compare_all(result, schemes=["GSS", "SS1", "AS"])
+        assert len(comps) == 3
+
+    def test_unknown_scheme_rejected(self, result):
+        with pytest.raises(ConfigError, match="not in result"):
+            compare_all(result, schemes=["GSS", "EDF"])
+
+    def test_render(self, result):
+        text = render_comparison(compare_all(result))
+        assert "Δ mean" in text and "verdict" in text
+
+    def test_win_matrix_counts(self, result):
+        comps = compare_all(result, schemes=["GSS", "SS1", "AS"])
+        wins = win_matrix(comps)
+        assert set(wins) == {"GSS", "SS1", "AS"}
+        assert sum(wins.values()) <= len(comps)
+
+    def test_paper_claim_gss_beats_ss1_on_xscale(self, result):
+        """The headline, now with a p-value."""
+        comps = compare_all(result, schemes=["GSS", "SS1"])
+        assert comps[0].winner == "GSS"

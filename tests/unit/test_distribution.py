@@ -1,0 +1,84 @@
+"""Unit tests for distribution summaries and histograms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    RunConfig,
+    evaluate_application,
+    render_distributions,
+    render_histogram,
+    result_distributions,
+    summarize_distribution,
+)
+from repro.workloads import application_with_load, figure3_graph
+
+
+class TestSummarize:
+    def test_percentiles_ordered(self, rng):
+        s = summarize_distribution("x", rng.normal(0.5, 0.1, 500))
+        values = [v for _q, v in s.percentiles]
+        assert values == sorted(values)
+        assert s.minimum <= values[0] and values[-1] <= s.maximum
+
+    def test_iqr(self):
+        s = summarize_distribution("x", np.linspace(0, 1, 101))
+        assert s.iqr == pytest.approx(0.5)
+        assert s.percentile(50) == pytest.approx(0.5)
+
+    def test_unknown_percentile(self):
+        s = summarize_distribution("x", np.ones(10))
+        with pytest.raises(ConfigError, match="not computed"):
+            s.percentile(42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            summarize_distribution("x", np.array([]))
+
+    def test_single_value(self):
+        s = summarize_distribution("x", np.array([0.7]))
+        assert s.std == 0.0 and s.mean == 0.7
+
+
+class TestResultIntegration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        app = application_with_load(figure3_graph(), 0.6, 2)
+        return evaluate_application(app, RunConfig(n_runs=200, seed=4))
+
+    def test_all_schemes_summarized(self, result):
+        dists = result_distributions(result)
+        assert set(dists) == set(result.normalized)
+
+    def test_unknown_scheme_rejected(self, result):
+        with pytest.raises(ConfigError, match="not in result"):
+            result_distributions(result, schemes=["NOPE"])
+
+    def test_speculation_narrows_spread(self, result):
+        """SS1's constant floor yields a tighter distribution than GSS."""
+        dists = result_distributions(result, schemes=["GSS", "SS1"])
+        assert dists["SS1"].std <= dists["GSS"].std * 1.2
+
+    def test_render_table(self, result):
+        text = render_distributions(result_distributions(result))
+        assert "p50" in text and "GSS" in text
+
+    def test_render_histogram(self, result):
+        text = render_histogram("GSS", result.normalized["GSS"],
+                                bins=8)
+        assert text.count("[") == 8
+        assert "n=200" in text
+
+    def test_histogram_counts_sum(self, result):
+        text = render_histogram("GSS", result.normalized["GSS"],
+                                bins=6)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines()[1:]]
+        assert sum(counts) == 200
+
+    def test_histogram_invalid_args(self, result):
+        with pytest.raises(ConfigError):
+            render_histogram("x", result.normalized["GSS"], bins=1)
+        with pytest.raises(ConfigError):
+            render_histogram("x", np.array([]))

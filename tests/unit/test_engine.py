@@ -1,0 +1,201 @@
+"""Unit tests for the online simulation engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.errors import DeadlineMissError, SimulationError
+from repro.graph import Application
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD
+from repro.sim import Realization, sample_realization, simulate, worst_case_realization
+from repro.sim.engine import simulate as engine_simulate
+from tests.conftest import build_chain_graph, build_fork_graph, build_or_graph
+
+
+def _run(graph, deadline, scheme, power, overhead, realization, m=2,
+         **kwargs):
+    app = Application(graph, deadline=deadline)
+    policy = get_policy(scheme)
+    reserve = overhead.per_task_reserve(power) if policy.requires_reserve \
+        else 0.0
+    plan = build_plan(app, m, reserve=reserve)
+    run = policy.start_run(plan, power, overhead, realization=realization)
+    return simulate(plan, run, power, overhead, realization, **kwargs)
+
+
+class TestNPMBehaviour:
+    def test_npm_runs_at_max_speed(self, xscale):
+        g = build_chain_graph(3, wcet=10, acet=5)
+        st_rl = worst_case_realization(
+            build_plan(Application(g, deadline=100), 1).structure)
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, st_rl, m=1,
+                   collect_trace=True)
+        assert res.finish_time == pytest.approx(30)
+        assert all(rec.speed == 1.0 for rec in res.trace)
+        assert res.n_speed_changes == 0
+
+    def test_npm_energy_breakdown(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl, m=1)
+        assert res.energy.busy == pytest.approx(20 * xscale.power(1.0))
+        assert res.energy.idle == pytest.approx((100 - 20) * 0.05)
+        assert res.energy.overhead == 0.0
+
+    def test_idle_counts_all_processors(self, xscale):
+        g = build_chain_graph(1, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10}, choices={})
+        res = _run(g, 50, "NPM", xscale, NO_OVERHEAD, rl, m=3)
+        # 3 processors * 50 time units - 10 busy
+        assert res.energy.idle == pytest.approx((150 - 10) * 0.05)
+
+
+class TestDispatchProtocol:
+    def test_canonical_order_enforced(self, xscale):
+        # Y is ready before X but canonically ordered after it: the
+        # engine must not start Y before X is dispatched
+        from repro.graph import GraphBuilder
+        b = GraphBuilder("order")
+        b.task("A", 10, 10)       # long head task
+        b.task("X", 5, 5, after=["A"])
+        b.task("Y", 1, 1, after=["A"])
+        g = b.build_graph()
+        rl = Realization(actuals={"A": 10, "X": 5, "Y": 1}, choices={})
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl, m=2,
+                   collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        assert rec["X"].start >= rec["A"].finish
+        assert rec["Y"].start >= rec["X"].start
+
+    def test_parallel_execution_on_two_processors(self, xscale):
+        g = build_fork_graph()
+        rl = Realization(actuals={"A": 8, "B": 5, "C": 4, "D": 5},
+                         choices={})
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl, m=2,
+                   collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        assert rec["B"].processor != rec["C"].processor
+        assert rec["B"].start == pytest.approx(rec["C"].start)
+        assert res.finish_time == pytest.approx(18)
+
+    def test_or_branch_follows_realization(self, xscale):
+        g = build_or_graph()
+        plan = build_plan(Application(g, deadline=100), 2)
+        st = plan.structure
+        for branch, expected in (("B", {"A", "B", "D"}),
+                                 ("C", {"A", "C", "D"})):
+            sid = st.section_of_node(branch).id
+            rl = Realization(
+                actuals={"A": 8, "B": 8, "C": 5, "D": 5},
+                choices={"O1": sid})
+            res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl,
+                       collect_trace=True)
+            assert {r.name for r in res.trace} == expected
+
+    def test_or_synchronization_waits_for_section(self, xscale):
+        # the merge fires only when the whole section drained
+        g = build_fork_graph()
+        rl = Realization(actuals={"A": 8, "B": 5, "C": 1, "D": 5},
+                         choices={})
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl, m=2,
+                   collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        # D is after the AND join: must wait for B (the longer branch)
+        assert rec["D"].start >= rec["B"].finish
+
+    def test_missing_or_choice_raises(self, xscale):
+        g = build_or_graph()
+        rl = Realization(actuals={"A": 8, "B": 8, "C": 5, "D": 5},
+                         choices={})
+        with pytest.raises(SimulationError, match="no branch choice"):
+            _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl)
+
+    def test_invalid_or_choice_raises(self, xscale):
+        g = build_or_graph()
+        rl = Realization(actuals={"A": 8, "B": 8, "C": 5, "D": 5},
+                         choices={"O1": 999})
+        with pytest.raises(SimulationError, match="not a successor"):
+            _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl)
+
+    def test_actual_above_wcet_raises(self, xscale):
+        g = build_chain_graph(1, wcet=10, acet=5)
+        rl = Realization(actuals={"T0": 11}, choices={})
+        with pytest.raises(SimulationError, match="exceeds WCET"):
+            _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl)
+
+
+class TestDeadlines:
+    def test_deadline_miss_raises(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        app = Application(g, deadline=20)
+        plan = build_plan(app, 1)
+        policy = get_policy("SPM")
+        # sabotage: hand SPM a plan whose deadline the speed cannot meet
+        run = policy.start_run(plan, xscale, PAPER_OVERHEAD,
+                               realization=rl)
+        run.fixed_speed = 0.15  # way too slow
+        with pytest.raises(DeadlineMissError):
+            engine_simulate(plan, run, xscale, PAPER_OVERHEAD, rl)
+
+    def test_check_deadline_false_returns_result(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        app = Application(g, deadline=20)
+        plan = build_plan(app, 1)
+        policy = get_policy("SPM")
+        run = policy.start_run(plan, xscale, PAPER_OVERHEAD,
+                               realization=rl)
+        run.fixed_speed = 0.15
+        res = engine_simulate(plan, run, xscale, PAPER_OVERHEAD, rl,
+                              check_deadline=False)
+        assert not res.met_deadline
+
+
+class TestGSSMechanics:
+    def test_gss_exploits_static_slack(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        res = _run(g, 100, "GSS", xscale, NO_OVERHEAD, rl, m=1,
+                   collect_trace=True)
+        assert all(rec.speed < 1.0 for rec in res.trace)
+        assert res.met_deadline
+
+    def test_gss_no_slack_runs_at_max(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        res = _run(g, 20, "GSS", xscale, NO_OVERHEAD, rl, m=1,
+                   collect_trace=True)
+        assert all(rec.speed == 1.0 for rec in res.trace)
+        assert res.finish_time == pytest.approx(20)
+
+    def test_gss_speed_change_counted_once_per_level_change(self, xscale):
+        g = build_chain_graph(3, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10, "T2": 10},
+                         choices={})
+        res = _run(g, 60, "GSS", xscale, NO_OVERHEAD, rl, m=1,
+                   collect_trace=True)
+        # constant-work tasks with proportional slack: after the first
+        # slowdown the level stays put
+        changes = sum(rec.speed_changed for rec in res.trace)
+        assert changes == res.n_speed_changes
+        assert res.n_speed_changes <= 2
+
+    def test_overheads_charged(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=10)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        res_free = _run(g, 60, "GSS", xscale, NO_OVERHEAD, rl, m=1)
+        res_paid = _run(g, 60, "GSS", xscale, PAPER_OVERHEAD, rl, m=1)
+        assert res_paid.energy.overhead > 0
+        assert res_free.energy.overhead == 0
+
+    def test_gss_dynamic_slack_reclaimed(self, xscale):
+        g = build_chain_graph(2, wcet=10, acet=2)
+        # first task finishes very early: second inherits the slack
+        rl = Realization(actuals={"T0": 2, "T1": 10}, choices={})
+        res = _run(g, 25, "GSS", xscale, NO_OVERHEAD, rl, m=1,
+                   collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        assert rec["T1"].speed < 1.0
+        assert res.met_deadline

@@ -1,0 +1,109 @@
+"""Direct unit tests for the event-driven engine.
+
+The property suite proves equivalence with the serialized engine; these
+tests pin concrete behaviours of the event engine itself so failures
+localize (a broken event engine should not only show up as "the two
+engines disagree").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.errors import DeadlineMissError, SimulationError
+from repro.graph import Application, GraphBuilder
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, xscale_model
+from repro.sim import Realization, simulate_events
+from tests.conftest import build_chain_graph, build_fork_graph, build_or_graph
+
+
+def _run(graph, deadline, scheme, power, overhead, rl, m=2, **kwargs):
+    app = Application(graph, deadline=deadline)
+    policy = get_policy(scheme)
+    reserve = overhead.per_task_reserve(power) \
+        if policy.requires_reserve else 0.0
+    plan = build_plan(app, m, reserve=reserve)
+    run = policy.start_run(plan, power, overhead, realization=rl)
+    return simulate_events(plan, run, power, overhead, rl, **kwargs)
+
+
+class TestEventEngineBasics:
+    def test_chain_at_max_speed(self, xscale):
+        rl = Realization(actuals={"T0": 10, "T1": 10, "T2": 10},
+                         choices={})
+        res = _run(build_chain_graph(3), 100, "NPM", xscale,
+                   NO_OVERHEAD, rl, m=1)
+        assert res.finish_time == pytest.approx(30)
+        assert res.n_tasks_run == 3
+
+    def test_fork_parallelism(self, xscale):
+        rl = Realization(actuals={"A": 8, "B": 5, "C": 4, "D": 5},
+                         choices={})
+        res = _run(build_fork_graph(), 100, "NPM", xscale, NO_OVERHEAD,
+                   rl, collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        assert rec["B"].processor != rec["C"].processor
+        assert res.finish_time == pytest.approx(18)
+
+    def test_or_branch_selection(self, xscale):
+        g = build_or_graph()
+        plan = build_plan(Application(g, deadline=100), 2)
+        c_sid = plan.structure.section_of_node("C").id
+        rl = Realization(actuals={"A": 8, "B": 8, "C": 5, "D": 5},
+                         choices={"O1": c_sid})
+        res = _run(g, 100, "NPM", xscale, NO_OVERHEAD, rl,
+                   collect_trace=True)
+        assert {r.name for r in res.trace} == {"A", "C", "D"}
+        # the branching choice is recorded (merge continuations too)
+        assert res.path_choices["O1"] == str(c_sid)
+
+    def test_sleeping_processor_respects_order(self, xscale):
+        # Y ready before X but canonically after: must not run early
+        b = GraphBuilder("order")
+        b.task("A", 10, 10)
+        b.task("X", 5, 5, after=["A"])
+        b.task("Y", 1, 1, after=["A"])
+        rl = Realization(actuals={"A": 10, "X": 5, "Y": 1}, choices={})
+        res = _run(b.build_graph(), 100, "NPM", xscale, NO_OVERHEAD,
+                   rl, collect_trace=True)
+        rec = {r.name: r for r in res.trace}
+        assert rec["Y"].start >= rec["X"].start
+
+    def test_deadline_miss_raises(self, xscale):
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        g = build_chain_graph(2)
+        app = Application(g, deadline=20)
+        plan = build_plan(app, 1)
+        policy = get_policy("SPM")
+        run = policy.start_run(plan, xscale, PAPER_OVERHEAD,
+                               realization=rl)
+        run.fixed_speed = 0.15
+        with pytest.raises(DeadlineMissError):
+            simulate_events(plan, run, xscale, PAPER_OVERHEAD, rl)
+
+    def test_missing_actual_raises(self, xscale):
+        rl = Realization(actuals={"T0": 5}, choices={})
+        with pytest.raises(SimulationError):
+            _run(build_chain_graph(2), 100, "NPM", xscale, NO_OVERHEAD,
+                 rl, m=1)
+
+    def test_gss_speed_changes_counted(self, xscale):
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        res = _run(build_chain_graph(2), 60, "GSS", xscale,
+                   PAPER_OVERHEAD, rl, m=1, collect_trace=True)
+        assert res.n_speed_changes == sum(r.speed_changed
+                                          for r in res.trace)
+        assert res.met_deadline
+
+    def test_energy_breakdown_totals(self, xscale):
+        rng = np.random.default_rng(0)
+        from repro.sim import sample_realization
+        g = build_or_graph()
+        plan = build_plan(Application(g, deadline=60), 2)
+        rl = sample_realization(plan.structure, rng)
+        run = get_policy("SS1").start_run(plan, xscale, PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate_events(plan, run, xscale, PAPER_OVERHEAD, rl)
+        assert res.total_energy == pytest.approx(
+            res.energy.busy + res.energy.idle + res.energy.overhead)

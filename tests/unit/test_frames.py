@@ -1,0 +1,86 @@
+"""Unit tests for frame-stream (mission) simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    atr_graph,
+    compare_streams,
+    render_stream_report,
+    simulate_stream,
+    worst_case_length,
+)
+from tests.conftest import build_or_graph
+
+
+@pytest.fixture(scope="module")
+def period():
+    return worst_case_length(build_or_graph(), 2) / 0.5
+
+
+class TestSimulateStream:
+    def test_aggregates_consistent(self, period):
+        r = simulate_stream(build_or_graph(), period, "GSS", 20, seed=1)
+        assert r.n_frames == 20
+        assert r.response_times.shape == (20,)
+        assert r.total_energy == pytest.approx(r.frame_energies.sum())
+        assert r.mission_length == pytest.approx(20 * period)
+        assert r.avg_power == pytest.approx(
+            r.total_energy / r.mission_length)
+
+    def test_all_frames_meet_period(self, period):
+        r = simulate_stream(build_or_graph(), period, "GSS", 30, seed=2)
+        assert r.worst_response <= period * (1 + 1e-9)
+        assert np.all(r.response_times <= period * (1 + 1e-9))
+
+    def test_deterministic_per_seed(self, period):
+        a = simulate_stream(build_or_graph(), period, "AS", 10, seed=9)
+        b = simulate_stream(build_or_graph(), period, "AS", 10, seed=9)
+        assert np.array_equal(a.response_times, b.response_times)
+        assert a.total_energy == b.total_energy
+
+    def test_jitter_zero_for_single_frame(self, period):
+        r = simulate_stream(build_or_graph(), period, "NPM", 1, seed=0)
+        assert r.response_jitter == 0.0
+
+    def test_invalid_args(self, period):
+        with pytest.raises(ConfigError):
+            simulate_stream(build_or_graph(), period, "GSS", 0)
+        with pytest.raises(ConfigError):
+            simulate_stream(build_or_graph(), -1.0, "GSS", 5)
+
+
+class TestCompareStreams:
+    def test_paired_frames_across_schemes(self, period):
+        out = compare_streams(build_or_graph(), period,
+                              ["NPM", "GSS"], 15, seed=4)
+        # NPM and GSS saw the same realizations: NPM responds faster on
+        # every frame (it never slows down)
+        assert np.all(out["NPM"].response_times
+                      <= out["GSS"].response_times + 1e-9)
+        assert out["GSS"].total_energy < out["NPM"].total_energy
+
+    def test_atr_mission_energy_ordering(self):
+        g = atr_graph()
+        period = worst_case_length(g, 2) / 0.5
+        out = compare_streams(g, period, ["NPM", "SPM", "GSS"], 20,
+                              seed=5)
+        assert out["GSS"].total_energy < out["SPM"].total_energy \
+            < out["NPM"].total_energy
+
+    def test_report_rendering(self, period):
+        out = compare_streams(build_or_graph(), period,
+                              ["NPM", "GSS"], 5, seed=6)
+        text = render_stream_report(out)
+        assert "E/E_NPM" in text
+        assert "GSS" in text and "NPM" in text
+
+    def test_report_requires_baseline(self, period):
+        out = compare_streams(build_or_graph(), period, ["GSS"], 5)
+        with pytest.raises(ConfigError, match="baseline"):
+            render_stream_report(out)
+
+    def test_npm_stream_has_no_switches(self, period):
+        r = simulate_stream(build_or_graph(), period, "NPM", 10)
+        assert r.total_switches == 0

@@ -1,0 +1,113 @@
+"""Unit tests for list-scheduling heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.errors import ConfigError
+from repro.graph import Application, GraphBuilder, validate_graph
+from repro.offline import (
+    DEFAULT_HEURISTIC,
+    available_heuristics,
+    build_plan,
+    get_heuristic,
+    list_schedule,
+    wcet_duration,
+)
+from repro.power import NO_OVERHEAD, transmeta_model
+from repro.sim import sample_realization, simulate
+
+
+def wide_section():
+    """root feeding three chains of different lengths."""
+    b = GraphBuilder("wide")
+    b.task("root", 1, 1)
+    b.task("a1", 2, 1, after=["root"])
+    b.task("a2", 9, 5, after=["a1"])     # long chain (total 11)
+    b.task("b1", 6, 3, after=["root"])   # medium single task
+    b.task("c1", 3, 2, after=["root"])   # short single task
+    return b.build_graph()
+
+
+def _schedule(heuristic):
+    g = wide_section()
+    st = validate_graph(g)
+    sub = st.subgraph(st.root_id)
+    prio = get_heuristic(heuristic)(sub)
+    return list_schedule(sub, 2, wcet_duration(sub), priority=prio)
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_heuristics()
+        assert {"ltf", "stf", "fifo", "cpf"} <= set(names)
+        assert DEFAULT_HEURISTIC == "ltf"
+
+    def test_case_insensitive(self):
+        assert get_heuristic("LTF") is get_heuristic("ltf")
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigError, match="unknown heuristic"):
+            get_heuristic("edf")
+
+
+class TestPriorities:
+    def test_ltf_runs_longest_first(self):
+        sched = _schedule("ltf")
+        # at t=1: b1(6) and c1(3) and a1(2) ready; LTF picks b1, then c1
+        assert sched.start("b1") == 1
+        assert sched.start("c1") == 1
+
+    def test_stf_runs_shortest_first(self):
+        sched = _schedule("stf")
+        assert sched.start("a1") == 1
+        assert sched.start("c1") == 1
+        assert sched.start("b1") > 1
+
+    def test_cpf_prefers_long_chain(self):
+        sched = _schedule("cpf")
+        # a1 heads an 11-unit chain: critical-path-first starts it at 1
+        assert sched.start("a1") == 1
+
+    def test_cpf_shortens_makespan_here(self):
+        # CPF: a1,b1 at t=1; a2 at 3; c1 at 3... finish = 3+9=12
+        # LTF: b1,c1 at 1; a1 at 4; a2 at 6; finish = 15
+        assert _schedule("cpf").length < _schedule("ltf").length
+
+    def test_fifo_uses_insertion_order(self):
+        sched = _schedule("fifo")
+        assert sched.start("a1") == 1  # first inserted among ready
+
+
+class TestPlanIntegration:
+    @pytest.mark.parametrize("heuristic", ["ltf", "stf", "fifo", "cpf"])
+    def test_deadline_guarantee_any_heuristic(self, heuristic):
+        """The paper: the online phase is correct under any heuristic."""
+        g = wide_section()
+        app = Application(g, deadline=30)
+        plan = build_plan(app, 2, heuristic=heuristic)
+        power = transmeta_model()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rl = sample_realization(plan.structure, rng)
+            for scheme in ("GSS", "AS"):
+                run = get_policy(scheme).start_run(plan, power,
+                                                   NO_OVERHEAD,
+                                                   realization=rl)
+                res = simulate(plan, run, power, NO_OVERHEAD, rl)
+                assert res.met_deadline
+
+    def test_t_worst_depends_on_heuristic(self):
+        g = wide_section()
+        app = Application(g, deadline=100)
+        t_ltf = build_plan(app, 2, heuristic="ltf").t_worst
+        t_cpf = build_plan(app, 2, heuristic="cpf").t_worst
+        assert t_cpf < t_ltf  # CPF wins on this adversarial shape
+
+    def test_infeasible_under_one_heuristic_only(self):
+        from repro.errors import InfeasibleError
+        g = wide_section()
+        app = Application(g, deadline=13)  # CPF fits (12), LTF not (15)
+        build_plan(app, 2, heuristic="cpf")
+        with pytest.raises(InfeasibleError):
+            build_plan(app, 2, heuristic="ltf")

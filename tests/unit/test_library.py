@@ -1,0 +1,124 @@
+"""Unit tests for the workload library."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import enumerate_paths, total_probability, validate_graph
+from repro.workloads import (
+    LIBRARY,
+    mpeg_decoder,
+    packet_pipeline,
+    radar_tracker,
+    sensor_fusion,
+)
+
+
+class TestLibraryCommon:
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_defaults_are_valid(self, name):
+        g = LIBRARY[name]()
+        st = validate_graph(g)
+        assert total_probability(st) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", sorted(LIBRARY))
+    def test_schedulable_end_to_end(self, name):
+        """Each library app runs under GSS and meets its deadline."""
+        import numpy as np
+        from repro.core import get_policy
+        from repro.offline import build_plan
+        from repro.power import PAPER_OVERHEAD, transmeta_model
+        from repro.sim import sample_realization, simulate
+        from repro.workloads import application_with_load
+        power = transmeta_model()
+        app = application_with_load(LIBRARY[name](), 0.6, 2)
+        reserve = PAPER_OVERHEAD.per_task_reserve(power)
+        plan = build_plan(app, 2, reserve=reserve)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            rl = sample_realization(plan.structure, rng)
+            run = get_policy("GSS").start_run(plan, power,
+                                              PAPER_OVERHEAD,
+                                              realization=rl)
+            res = simulate(plan, run, power, PAPER_OVERHEAD, rl)
+            assert res.met_deadline
+
+
+class TestMpegDecoder:
+    def test_three_frame_paths(self):
+        st = validate_graph(mpeg_decoder())
+        paths = enumerate_paths(st)
+        assert len(paths) == 3
+        assert sorted(round(p.probability, 2) for p in paths) == \
+            [0.1, 0.4, 0.5]
+
+    def test_slices_parallel(self):
+        g = mpeg_decoder(n_slices=3)
+        assert set(g.successors("I_fork")) == {
+            "I_slice0", "I_slice1", "I_slice2"}
+
+    def test_i_frames_heaviest(self):
+        g = mpeg_decoder()
+        assert g.node("I_slice0").wcet > g.node("P_slice0").wcet \
+            > g.node("B_slice0").wcet
+
+    @pytest.mark.parametrize("kwargs", [
+        {"n_slices": 0},
+        {"frame_probs": (0.5, 0.5)},
+        {"frame_probs": (0.5, 0.3, 0.3)},
+        {"alpha": 0.0},
+    ])
+    def test_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            mpeg_decoder(**kwargs)
+
+
+class TestRadarTracker:
+    def test_track_branches_and_loop(self):
+        st = validate_graph(radar_tracker())
+        # 4 track-count branches x 3 re-acquisition exits
+        assert len(enumerate_paths(st)) == 12
+
+    def test_track_updates_parallel(self):
+        g = radar_tracker(max_tracks=2, track_probs=(0.3, 0.4, 0.3))
+        assert set(g.successors("t2_fork")) == {"t2_gate0", "t2_gate1"}
+        assert g.successors("t2_gate0") == ["t2_filter0"]
+
+    def test_invalid_probs(self):
+        with pytest.raises(ConfigError):
+            radar_tracker(max_tracks=2, track_probs=(0.5, 0.5))
+
+
+class TestSensorFusion:
+    def test_mode_probabilities(self):
+        g = sensor_fusion(degraded_prob=0.2)
+        probs = g.branch_probabilities("O_mode")
+        assert probs["fuse_degraded"] == pytest.approx(0.2)
+        assert probs["fuse_full"] == pytest.approx(0.8)
+
+    def test_sensor_count(self):
+        g = sensor_fusion(n_sensors=6)
+        assert len(g.successors("S_fork")) == 6
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            sensor_fusion(n_sensors=1)
+        with pytest.raises(ConfigError):
+            sensor_fusion(degraded_prob=1.0)
+
+
+class TestPacketPipeline:
+    def test_fast_and_slow_paths(self):
+        st = validate_graph(packet_pipeline())
+        paths = enumerate_paths(st)
+        # fast path + one per crypto-round count
+        assert len(paths) == 1 + 3
+        fast = max(paths, key=lambda p: p.probability)
+        assert fast.probability == pytest.approx(0.7)
+
+    def test_crypto_rounds_expanded(self):
+        g = packet_pipeline(crypto_rounds={1: 0.5, 3: 0.5})
+        assert "crypt#i1" in g and "crypt#i3" in g
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigError):
+            packet_pipeline(crypto_prob=0.0)

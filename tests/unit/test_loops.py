@@ -1,0 +1,130 @@
+"""Unit tests for loop collapse and probabilistic expansion."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    GraphBuilder,
+    average_iterations,
+    chain_body,
+    enumerate_paths,
+    expand_loop,
+    loop_as_task_stats,
+    simple_body,
+    total_probability,
+    validate_graph,
+)
+
+
+class TestCollapse:
+    def test_loop_as_task_stats(self):
+        s = loop_as_task_stats(body_wcet=4, body_acet=2,
+                               max_iterations=4, avg_iterations=2.05)
+        assert s.wcet == 16
+        assert s.acet == pytest.approx(4.1)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(GraphError):
+            loop_as_task_stats(4, 2, 0, 1)
+        with pytest.raises(GraphError):
+            loop_as_task_stats(4, 2, 3, 5)
+
+    def test_average_iterations(self):
+        probs = {1: 0.5, 2: 0.2, 3: 0.05, 4: 0.25}
+        assert average_iterations(probs) == pytest.approx(2.05)
+
+
+def _build_with_loop(iter_probs):
+    b = GraphBuilder("loop")
+    b.task("pre", 3, 2)
+    exit_node = expand_loop(b, "L", iter_probs, simple_body("L", 4, 2),
+                            after=["pre"])
+    b.task("post", 2, 1, after=[exit_node])
+    return b.build_graph()
+
+
+class TestExpansion:
+    def test_deterministic_loop_unrolls_inline(self):
+        g = _build_with_loop({3: 1.0})
+        st = validate_graph(g)
+        assert len(st.sections) == 1  # no OR nodes at all
+        assert {"L#i1", "L#i2", "L#i3"} <= set(g.node_names)
+        assert g.successors("L#i1") == ["L#i2"]
+
+    def test_probabilistic_loop_paths_and_probabilities(self):
+        probs = {1: 0.5, 2: 0.2, 3: 0.05, 4: 0.25}
+        g = _build_with_loop(probs)
+        st = validate_graph(g)
+        assert total_probability(st) == pytest.approx(1.0)
+        paths = enumerate_paths(st)
+        # one execution path per possible iteration count
+        assert len(paths) == 4
+        by_iters = {}
+        for p in paths:
+            n_bodies = sum(
+                1 for sid in p.sections
+                for n in st.section(sid).nodes if n.startswith("L#i"))
+            by_iters[n_bodies] = p.probability
+        for k, prob in probs.items():
+            assert by_iters[k] == pytest.approx(prob)
+
+    def test_zero_probability_iteration_chains_directly(self):
+        # stopping after 3 is impossible: body 3 chains into body 4
+        probs = {2: 0.6, 4: 0.4}
+        g = _build_with_loop(probs)
+        st = validate_graph(g)
+        paths = enumerate_paths(st)
+        assert len(paths) == 2
+        assert "L#or3" not in g.node_names
+        assert g.successors("L#i3") == ["L#i4"]
+
+    def test_chain_body(self):
+        b = GraphBuilder("cb")
+        b.task("pre", 1, 1)
+        exit_node = expand_loop(
+            b, "L", {2: 1.0},
+            chain_body("L", [("x", 2, 1), ("y", 3, 2)]), after=["pre"])
+        g = b.build_graph()
+        assert g.successors("L#x#i1") == ["L#y#i1"]
+        assert g.successors("L#y#i1") == ["L#x#i2"]
+        assert exit_node == "L#y#i2"
+
+    def test_expected_iterations_preserved(self):
+        probs = {1: 0.5, 2: 0.2, 3: 0.05, 4: 0.25}
+        g = _build_with_loop(probs)
+        st = validate_graph(g)
+        from repro.graph import expected_total_work
+        # expected work = pre + E[iters]*body + post (ACET)
+        expected = 2 + average_iterations(probs) * 2 + 1
+        assert expected_total_work(st) == pytest.approx(expected)
+
+
+class TestExpansionErrors:
+    def test_empty_probs(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="empty"):
+            expand_loop(b, "L", {}, simple_body("L", 1, 1))
+
+    def test_zero_iteration_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match=">= 1"):
+            expand_loop(b, "L", {0: 0.5, 1: 0.5}, simple_body("L", 1, 1))
+
+    def test_probs_must_sum_to_one(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="sum to"):
+            expand_loop(b, "L", {1: 0.5, 2: 0.4}, simple_body("L", 1, 1))
+
+    def test_negative_probability(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="> 0"):
+            expand_loop(b, "L", {1: 1.2, 2: -0.2}, simple_body("L", 1, 1))
+
+    def test_fractional_iteration_count(self):
+        b = GraphBuilder()
+        with pytest.raises(GraphError, match="natural"):
+            expand_loop(b, "L", {1.5: 1.0}, simple_body("L", 1, 1))
+
+    def test_chain_body_requires_specs(self):
+        with pytest.raises(GraphError, match="at least one"):
+            chain_body("L", [])

@@ -1,0 +1,63 @@
+"""Unit tests for repro.graph.nodes."""
+
+import pytest
+
+from repro.graph.nodes import Node, NodeKind, and_node, computation, or_node
+from repro.types import TaskStats
+
+
+class TestTaskStats:
+    def test_alpha_ratio(self):
+        assert TaskStats(wcet=10, acet=5).alpha == 0.5
+
+    def test_acet_equal_wcet_allowed(self):
+        s = TaskStats(wcet=4, acet=4)
+        assert s.alpha == 1.0
+
+    @pytest.mark.parametrize("wcet,acet", [(0, 1), (-1, 1), (5, 0),
+                                           (5, -2), (5, 6)])
+    def test_invalid_stats_rejected(self, wcet, acet):
+        with pytest.raises(ValueError):
+            TaskStats(wcet=wcet, acet=acet)
+
+
+class TestNodeConstruction:
+    def test_computation_node(self):
+        n = computation("A", 8, 5)
+        assert n.is_computation and not n.is_and and not n.is_or
+        assert n.wcet == 8 and n.acet == 5
+        assert n.label() == "A 8/5"
+
+    def test_and_node_zero_times(self):
+        n = and_node("A1")
+        assert n.is_and
+        assert n.wcet == 0.0 and n.acet == 0.0
+        assert "AND" in n.label()
+
+    def test_or_node_zero_times(self):
+        n = or_node("O1")
+        assert n.is_or
+        assert n.wcet == 0.0 and n.acet == 0.0
+        assert "OR" in n.label()
+
+    def test_computation_requires_stats(self):
+        with pytest.raises(ValueError, match="requires TaskStats"):
+            Node("A", NodeKind.COMPUTATION)
+
+    def test_sync_rejects_stats(self):
+        with pytest.raises(ValueError, match="must not carry"):
+            Node("A1", NodeKind.AND, TaskStats(wcet=1, acet=1))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            Node("", NodeKind.OR)
+
+    def test_nodes_are_frozen(self):
+        n = computation("A", 8, 5)
+        with pytest.raises(AttributeError):
+            n.name = "B"  # type: ignore[misc]
+
+    def test_kind_enum_values(self):
+        assert NodeKind("computation") is NodeKind.COMPUTATION
+        assert NodeKind("and") is NodeKind.AND
+        assert NodeKind("or") is NodeKind.OR

@@ -1,0 +1,58 @@
+"""Unit tests for the overhead model."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
+
+
+class TestOverheadModel:
+    def test_paper_defaults(self):
+        assert PAPER_OVERHEAD.comp_cycles == 300.0
+        assert PAPER_OVERHEAD.adjust_time == pytest.approx(0.005)  # 5 us in ms
+        assert not PAPER_OVERHEAD.is_free
+
+    def test_no_overhead_is_free(self):
+        assert NO_OVERHEAD.is_free
+        assert NO_OVERHEAD.adjust_time == 0.0
+
+    def test_computation_time_scales_with_speed(self, xscale):
+        ov = OverheadModel(comp_cycles=300, adjust_time=0.005,
+                           time_unit_us=1000)
+        t_fast = ov.computation_time(xscale, 1.0)
+        t_slow = ov.computation_time(xscale, 0.15)
+        # 300 cycles @ 1 GHz = 0.3 us = 0.0003 ms
+        assert t_fast == pytest.approx(0.0003)
+        assert t_slow == pytest.approx(t_fast / 0.15)
+
+    def test_zero_cycles_costs_nothing(self, xscale):
+        ov = OverheadModel(comp_cycles=0, adjust_time=0.005)
+        assert ov.computation_time(xscale, 0.15) == 0.0
+        assert ov.computation_energy(xscale, 0.15) == 0.0
+
+    def test_adjustment_energy_at_max_power(self, xscale):
+        ov = OverheadModel(comp_cycles=0, adjust_time=0.01)
+        assert ov.adjustment_energy(xscale) == pytest.approx(
+            xscale.power(1.0) * 0.01)
+
+    def test_per_task_reserve_uses_slowest_speed(self, xscale):
+        ov = OverheadModel(comp_cycles=300, adjust_time=0.005,
+                           time_unit_us=1000)
+        expected = ov.computation_time(xscale, xscale.s_min) + 0.005
+        assert ov.per_task_reserve(xscale) == pytest.approx(expected)
+
+    def test_computation_energy_at_current_speed(self, xscale):
+        ov = OverheadModel(comp_cycles=300, adjust_time=0.0,
+                           time_unit_us=1000)
+        e = ov.computation_energy(xscale, 0.6)
+        assert e == pytest.approx(
+            xscale.power(0.6) * ov.computation_time(xscale, 0.6))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"comp_cycles": -1},
+        {"adjust_time": -0.1},
+        {"time_unit_us": 0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(PowerModelError):
+            OverheadModel(**kwargs)

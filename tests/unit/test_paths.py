@@ -1,0 +1,80 @@
+"""Unit tests for execution-path enumeration."""
+
+import pytest
+
+from repro.graph import (
+    enumerate_paths,
+    expected_total_work,
+    iter_paths,
+    path_acet_sum,
+    path_wcet_sum,
+    total_probability,
+    validate_graph,
+)
+from tests.conftest import build_fork_graph, build_nested_or_graph, build_or_graph
+
+
+class TestEnumeration:
+    def test_and_only_graph_has_single_path(self):
+        st = validate_graph(build_fork_graph())
+        paths = enumerate_paths(st)
+        assert len(paths) == 1
+        assert paths[0].probability == 1.0
+        assert paths[0].sections == (st.root_id,)
+
+    def test_single_or_two_paths(self):
+        st = validate_graph(build_or_graph())
+        paths = enumerate_paths(st)
+        assert len(paths) == 2
+        assert sorted(p.probability for p in paths) == [0.3, 0.7]
+        for p in paths:
+            assert len(p.sections) == 3  # root, branch, tail
+
+    def test_nested_or_four_paths(self):
+        st = validate_graph(build_nested_or_graph())
+        paths = enumerate_paths(st)
+        assert len(paths) == 4
+        probs = sorted(round(p.probability, 10) for p in paths)
+        assert probs == [0.2, 0.2, 0.3, 0.3]
+
+    def test_total_probability_is_one(self):
+        for g in (build_fork_graph(), build_or_graph(),
+                  build_nested_or_graph()):
+            st = validate_graph(g)
+            assert total_probability(st) == pytest.approx(1.0)
+
+    def test_path_keys_are_unique(self):
+        st = validate_graph(build_nested_or_graph())
+        keys = [p.key() for p in iter_paths(st)]
+        assert len(set(keys)) == len(keys)
+
+    def test_choice_map_records_or_decisions(self):
+        st = validate_graph(build_or_graph())
+        for p in iter_paths(st):
+            cm = p.choice_map
+            assert "O1" in cm and "O2" in cm
+            assert cm["O1"] in p.sections
+
+    def test_max_paths_guard(self):
+        st = validate_graph(build_nested_or_graph())
+        with pytest.raises(ValueError, match="execution paths"):
+            enumerate_paths(st, max_paths=2)
+
+
+class TestPathSums:
+    def test_wcet_and_acet_sums(self):
+        st = validate_graph(build_or_graph())
+        by_prob = {round(p.probability, 2): p for p in iter_paths(st)}
+        # short path: A(8) + C(5) + D(5); long: A(8) + B(8) + D(5)
+        assert path_wcet_sum(st, by_prob[0.7]) == 18
+        assert path_wcet_sum(st, by_prob[0.3]) == 21
+        assert path_acet_sum(st, by_prob[0.7]) == 5 + 3 + 3
+        assert path_acet_sum(st, by_prob[0.3]) == 5 + 6 + 3
+
+    def test_expected_total_work(self):
+        st = validate_graph(build_or_graph())
+        expected_acet = 0.3 * (5 + 6 + 3) + 0.7 * (5 + 3 + 3)
+        assert expected_total_work(st) == pytest.approx(expected_acet)
+        expected_wcet = 0.3 * 21 + 0.7 * 18
+        assert expected_total_work(st, use_acet=False) == pytest.approx(
+            expected_wcet)

@@ -1,0 +1,140 @@
+"""Unit tests for the offline plan (profile, shifting, LSTs)."""
+
+import pytest
+
+from repro.errors import InfeasibleError
+from repro.graph import Application
+from repro.offline import build_plan
+from tests.conftest import (
+    build_chain_graph,
+    build_fork_graph,
+    build_nested_or_graph,
+    build_or_graph,
+)
+
+
+class TestWorstAndAverage:
+    def test_chain_t_worst(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=4), deadline=100)
+        plan = build_plan(app, 2)
+        assert plan.t_worst == 30
+        assert plan.t_avg == 12
+
+    def test_or_graph_takes_longest_branch(self):
+        app = Application(build_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        # worst path: A(8) + B(8) + D(5) = 21
+        assert plan.t_worst == 21
+        # avg: 5 + (0.3*6 + 0.7*3) + 3
+        assert plan.t_avg == pytest.approx(5 + 0.3 * 6 + 0.7 * 3 + 3)
+
+    def test_nested_or(self):
+        app = Application(build_nested_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        # worst: A(6) + B(10) + D(5) + E(8) + G(3) = 32
+        assert plan.t_worst == 32
+        expected_avg = 3 + (0.4 * 5 + 0.6 * 2) + 2 + \
+            (0.5 * 4 + 0.5 * 1) + 1.5
+        assert plan.t_avg == pytest.approx(expected_avg)
+
+    def test_static_slack(self):
+        app = Application(build_chain_graph(2, wcet=10, acet=5), deadline=50)
+        plan = build_plan(app, 1)
+        assert plan.static_slack == 30
+
+
+class TestFeasibility:
+    def test_infeasible_raises(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5), deadline=29)
+        with pytest.raises(InfeasibleError) as exc:
+            build_plan(app, 2)
+        assert exc.value.worst_case == 30
+        assert exc.value.deadline == 29
+
+    def test_exact_deadline_feasible(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5), deadline=30)
+        plan = build_plan(app, 2)
+        assert plan.static_slack == 0
+
+    def test_require_feasible_false(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5), deadline=5)
+        plan = build_plan(app, 2, require_feasible=False)
+        assert plan.t_worst == 30
+
+
+class TestShiftingAndLSTs:
+    def test_chain_lsts(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5), deadline=50)
+        plan = build_plan(app, 1)
+        sp = plan.sections[plan.structure.root_id]
+        # shifted to end exactly at 50: starts at 20, 30, 40
+        assert sp.shift == 20
+        assert sp.lst["T0"] == 20
+        assert sp.lst["T1"] == 30
+        assert sp.lst["T2"] == 40
+        assert sp.finish_bound["T2"] == 50
+
+    def test_or_sections_shift_by_remaining_work(self):
+        app = Application(build_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        st = plan.structure
+        b_sid = st.section_of_node("B").id
+        c_sid = st.section_of_node("C").id
+        d_sid = st.section_of_node("D").id
+        # D must start by 95 (5 left); B by 100-8-5=87; C by 100-5-5=90
+        assert plan.sections[d_sid].lst["D"] == pytest.approx(95)
+        assert plan.sections[b_sid].lst["B"] == pytest.approx(87)
+        assert plan.sections[c_sid].lst["C"] == pytest.approx(90)
+        # root: worst remaining after A is 8+5, so A starts by 100-21=79
+        root = plan.sections[st.root_id]
+        assert root.lst["A"] == pytest.approx(79)
+
+    def test_lst_plus_wcet_is_finish_bound(self):
+        app = Application(build_fork_graph(), deadline=40)
+        plan = build_plan(app, 2)
+        sp = plan.sections[plan.structure.root_id]
+        for name, lst in sp.lst.items():
+            wcet = app.graph.node(name).wcet
+            assert sp.finish_bound[name] == pytest.approx(lst + wcet)
+
+    def test_reserve_shifts_lsts_earlier(self):
+        app = Application(build_chain_graph(3, wcet=10, acet=5), deadline=50)
+        plain = build_plan(app, 1, reserve=0.0)
+        inflated = build_plan(app, 1, reserve=1.0)
+        r = plan_root = plain.structure.root_id
+        assert inflated.sections[r].lst["T0"] < plain.sections[r].lst["T0"]
+        assert inflated.t_worst == pytest.approx(plain.t_worst + 3)
+
+
+class TestBranchStats:
+    def test_remaining_stats_per_path(self):
+        app = Application(build_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        st = plan.structure
+        b_sid = st.section_of_node("B").id
+        c_sid = st.section_of_node("C").id
+        stats_b = plan.remaining_stats("O1", b_sid)
+        stats_c = plan.remaining_stats("O1", c_sid)
+        assert stats_b.worst == pytest.approx(8 + 5)
+        assert stats_c.worst == pytest.approx(5 + 5)
+        assert stats_b.average == pytest.approx(6 + 3)
+        assert stats_c.average == pytest.approx(3 + 3)
+
+    def test_nested_stats_weighted(self):
+        app = Application(build_nested_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        st = plan.structure
+        b_sid = st.section_of_node("B").id
+        stats_b = plan.remaining_stats("O1", b_sid)
+        # after choosing B: B + D + max(E, F) + G worst
+        assert stats_b.worst == pytest.approx(10 + 5 + 8 + 3)
+        # average: B.a + D.a + (0.5*E.a + 0.5*F.a) + G.a
+        assert stats_b.average == pytest.approx(5 + 2 + 2.5 + 1.5)
+
+    def test_shared_merge_computed_once(self):
+        app = Application(build_or_graph(), deadline=100)
+        plan = build_plan(app, 2)
+        d_sid = plan.structure.section_of_node("D").id
+        stats = plan.remaining_stats("O2", d_sid)
+        assert stats.worst == pytest.approx(5)
+        assert stats.average == pytest.approx(3)

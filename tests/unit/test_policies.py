@@ -1,0 +1,189 @@
+"""Unit tests for the scheduling policies (speed selection logic)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    get_policy,
+    speculative_speed,
+    spm_speed,
+    two_speed_plan,
+)
+from repro.errors import SimulationError
+from repro.graph import Application
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD
+from repro.sim import Realization, sample_realization, simulate
+from tests.conftest import build_chain_graph, build_nested_or_graph, build_or_graph
+
+
+@pytest.fixture
+def chain_plan(xscale):
+    app = Application(build_chain_graph(2, wcet=10, acet=5), deadline=50)
+    return build_plan(app, 1)
+
+
+class TestSpeculativeSpeedHelper:
+    def test_rounds_up_to_level(self, xscale):
+        # 20 units of work over 40 -> 0.5 -> snaps to 0.6
+        assert speculative_speed(20, 40, xscale) == 0.6
+
+    def test_clamps_to_max(self, xscale):
+        assert speculative_speed(100, 10, xscale) == 1.0
+
+    def test_clamps_to_min(self, xscale):
+        assert speculative_speed(1, 100, xscale) == 0.15
+
+    def test_zero_horizon_is_max(self, xscale):
+        assert speculative_speed(10, 0, xscale) == 1.0
+
+
+class TestSPM:
+    def test_spm_speed_uses_static_slack(self, xscale, chain_plan):
+        # t_worst=20, D=50 -> raw 0.4008 with switch time; snaps to 0.6
+        s = spm_speed(chain_plan, xscale, PAPER_OVERHEAD)
+        assert s == 0.6
+
+    def test_spm_exact_level(self, xscale):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=50)
+        plan = build_plan(app, 1)
+        s = spm_speed(plan, xscale, NO_OVERHEAD)
+        assert s == 0.4  # 20/50 exactly on a level
+
+    def test_spm_no_slack_stays_max_without_switch(self, xscale):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=20)
+        plan = build_plan(app, 1)
+        assert spm_speed(plan, xscale, PAPER_OVERHEAD) == 1.0
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        run = get_policy("SPM").start_run(plan, xscale, PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, xscale, PAPER_OVERHEAD, rl)
+        assert res.n_speed_changes == 0
+        assert res.met_deadline
+
+    def test_spm_charges_one_switch_per_processor(self, xscale):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=100)
+        plan = build_plan(app, 2)
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        run = get_policy("SPM").start_run(plan, xscale, PAPER_OVERHEAD,
+                                          realization=rl)
+        res = simulate(plan, run, xscale, PAPER_OVERHEAD, rl)
+        assert res.n_speed_changes == 2  # both processors switch once
+
+    def test_spm_ignores_alpha(self, xscale):
+        # identical graphs except ACET produce the same SPM speed
+        app_lo = Application(build_chain_graph(2, wcet=10, acet=1),
+                             deadline=50)
+        app_hi = Application(build_chain_graph(2, wcet=10, acet=9),
+                             deadline=50)
+        s_lo = spm_speed(build_plan(app_lo, 1), xscale, PAPER_OVERHEAD)
+        s_hi = spm_speed(build_plan(app_hi, 1), xscale, PAPER_OVERHEAD)
+        assert s_lo == s_hi
+
+
+class TestSS1:
+    def test_floor_is_constant_level(self, xscale, chain_plan):
+        run = get_policy("SS1").start_run(chain_plan, xscale,
+                                          PAPER_OVERHEAD)
+        # t_avg=10, D=50 -> 0.2 -> snaps to 0.4
+        assert run.floor(0) == 0.4
+        assert run.floor(25) == 0.4
+
+    def test_ss1_runs_at_least_at_floor(self, xscale, chain_plan):
+        rl = Realization(actuals={"T0": 5, "T1": 5}, choices={})
+        run = get_policy("SS1").start_run(chain_plan, xscale, NO_OVERHEAD,
+                                          realization=rl)
+        res = simulate(chain_plan, run, xscale, NO_OVERHEAD, rl,
+                       collect_trace=True)
+        assert all(rec.speed >= 0.4 for rec in res.trace)
+
+
+class TestSS2:
+    def test_two_speed_plan_brackets(self, xscale):
+        f_lo, f_hi, theta = two_speed_plan(t_avg=25, deadline=50,
+                                           power=xscale)
+        assert (f_lo, f_hi) == (0.4, 0.6)
+        # work balance: 0.4*theta + 0.6*(50-theta) = 25
+        assert theta == pytest.approx(50 * (0.6 - 0.5) / 0.2)
+
+    def test_exact_level_degenerates(self, xscale):
+        f_lo, f_hi, theta = two_speed_plan(t_avg=20, deadline=50,
+                                           power=xscale)
+        assert f_lo == f_hi == 0.4
+        assert theta == 0.0
+
+    def test_below_smin_degenerates(self, xscale):
+        f_lo, f_hi, theta = two_speed_plan(t_avg=1, deadline=100,
+                                           power=xscale)
+        assert f_lo == f_hi == 0.15
+
+    def test_floor_steps_at_theta(self, xscale):
+        app = Application(build_chain_graph(2, wcet=10, acet=6.25),
+                          deadline=50)
+        plan = build_plan(app, 1)  # t_avg = 12.5 -> raw 0.25
+        run = get_policy("SS2").start_run(plan, xscale, PAPER_OVERHEAD)
+        assert run.floor(0.0) == run.f_lo
+        assert run.floor(run.theta + 1e-9) == run.f_hi
+        assert run.f_lo < run.f_hi
+
+    def test_average_work_fits_deadline(self, xscale):
+        # integral of the two-speed profile equals the speculated work
+        f_lo, f_hi, theta = two_speed_plan(t_avg=25, deadline=50,
+                                           power=xscale)
+        assert f_lo * theta + f_hi * (50 - theta) == pytest.approx(25)
+
+
+class TestAS:
+    def test_respeculates_at_or(self, xscale):
+        g = build_or_graph()
+        app = Application(g, deadline=60)
+        plan = build_plan(app, 2)
+        run = get_policy("AS").start_run(plan, xscale, PAPER_OVERHEAD)
+        initial = run.floor(0.0)
+        st = plan.structure
+        c_sid = st.section_of_node("C").id
+        # fire the OR very late: little time left, floor must rise
+        run.on_or_fired("O1", c_sid, t=55.0)
+        assert run.floor(55.0) >= initial
+        assert run.floor(55.0) == 1.0  # 6 units avg left in 5 time units
+
+    def test_short_branch_lowers_floor(self, xscale):
+        g = build_nested_or_graph()
+        app = Application(g, deadline=40)
+        plan = build_plan(app, 2)
+        run = get_policy("AS").start_run(plan, xscale, PAPER_OVERHEAD)
+        st = plan.structure
+        c_sid = st.section_of_node("C").id  # the short branch
+        b_sid = st.section_of_node("B").id  # the long branch
+        run.on_or_fired("O1", c_sid, t=5.0)
+        floor_short = run.floor(5.0)
+        run2 = get_policy("AS").start_run(plan, xscale, PAPER_OVERHEAD)
+        run2.on_or_fired("O1", b_sid, t=5.0)
+        floor_long = run2.floor(5.0)
+        assert floor_short <= floor_long
+
+
+class TestOracle:
+    def test_oracle_requires_realization(self, xscale, chain_plan):
+        with pytest.raises(SimulationError, match="needs the realization"):
+            get_policy("ORACLE").start_run(chain_plan, xscale,
+                                           PAPER_OVERHEAD)
+
+    def test_oracle_picks_single_stretch_speed(self, xscale, chain_plan):
+        rl = Realization(actuals={"T0": 10, "T1": 10}, choices={})
+        run = get_policy("ORACLE").start_run(chain_plan, xscale,
+                                             NO_OVERHEAD, realization=rl)
+        # 20 units of actual work over 50 -> 0.4 exactly
+        assert run.fixed_speed == 0.4
+
+    def test_oracle_meets_deadline(self, xscale, chain_plan):
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            rl = sample_realization(chain_plan.structure, rng)
+            run = get_policy("ORACLE").start_run(
+                chain_plan, xscale, PAPER_OVERHEAD, realization=rl)
+            res = simulate(chain_plan, run, xscale, PAPER_OVERHEAD, rl)
+            assert res.met_deadline

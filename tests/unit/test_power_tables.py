@@ -1,0 +1,59 @@
+"""Unit tests for the Table 1/Table 2 voltage-frequency tables."""
+
+import pytest
+
+from repro.power import INTEL_XSCALE, TRANSMETA_TM5400, format_table, normalized_levels
+
+
+class TestTransmetaTable:
+    def test_sixteen_levels(self):
+        assert len(TRANSMETA_TM5400) == 16
+
+    def test_endpoints_match_paper(self):
+        freqs = sorted(f for f, _ in TRANSMETA_TM5400)
+        volts = dict(TRANSMETA_TM5400)
+        assert freqs[0] == 200.0 and freqs[-1] == 700.0
+        assert volts[200.0] == pytest.approx(1.10)
+        assert volts[700.0] == pytest.approx(1.65)
+
+    def test_monotone(self):
+        pairs = sorted(TRANSMETA_TM5400)
+        for (f1, v1), (f2, v2) in zip(pairs, pairs[1:]):
+            assert f1 < f2 and v1 <= v2
+
+
+class TestXScaleTable:
+    def test_five_levels(self):
+        assert len(INTEL_XSCALE) == 5
+
+    def test_values(self):
+        assert INTEL_XSCALE[0] == (150.0, 0.75)
+        assert INTEL_XSCALE[-1] == (1000.0, 1.80)
+
+    def test_nonlinear_voltage_frequency(self):
+        # the paper stresses V(f) is NOT linear in either model's table:
+        # compare slopes of successive segments
+        pairs = sorted(INTEL_XSCALE)
+        slopes = [(v2 - v1) / (f2 - f1)
+                  for (f1, v1), (f2, v2) in zip(pairs, pairs[1:])]
+        assert max(slopes) / min(slopes) > 1.5
+
+
+class TestHelpers:
+    def test_normalized_levels(self):
+        norm = normalized_levels(INTEL_XSCALE)
+        assert norm[-1] == (1.0, 1.0)
+        assert norm[0][0] == pytest.approx(0.15)
+        assert norm[0][1] == pytest.approx(0.75 / 1.8)
+
+    def test_normalized_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            normalized_levels([])
+
+    def test_format_table_layout(self):
+        text = format_table(TRANSMETA_TM5400, columns=4)
+        lines = text.splitlines()
+        # header + 16 entries / 4 per row
+        assert len(lines) == 1 + 4
+        assert "f(MHz)" in lines[0]
+        assert "700" in lines[1] and "200" in lines[-1]

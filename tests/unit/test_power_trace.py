@@ -1,0 +1,87 @@
+"""Unit tests for power-over-time profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.power import transmeta_model, xscale_model
+from repro.sim import compare_profiles, power_profile, render_profile
+from repro.sim.trace import trace_one_run
+from repro.workloads import application_with_load, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def traced_app():
+    app = application_with_load(figure3_graph(), 0.5, 2)
+    return app, trace_one_run(app, "GSS", seed=3)
+
+
+class TestPowerProfile:
+    def test_integral_matches_engine_energy(self, traced_app):
+        app, res = traced_app
+        prof = power_profile(res, transmeta_model(), 2, n_samples=4000,
+                             horizon=app.deadline)
+        expected = res.energy.busy + res.energy.idle
+        assert prof.energy() == pytest.approx(expected, rel=0.01)
+
+    def test_floor_is_idle_power(self, traced_app):
+        app, res = traced_app
+        power = transmeta_model()
+        prof = power_profile(res, power, 2, horizon=app.deadline)
+        assert prof.power.min() >= 2 * power.idle_power - 1e-12
+        # after the app finishes, power is exactly the idle floor
+        assert prof.power[-1] == pytest.approx(2 * power.idle_power)
+
+    def test_peak_bounded_by_m_times_max(self, traced_app):
+        app, res = traced_app
+        power = transmeta_model()
+        prof = power_profile(res, power, 2, horizon=app.deadline)
+        assert prof.peak <= 2 * power.power(1.0) + 1e-12
+
+    def test_npm_profile_has_higher_peak(self, traced_app):
+        app, gss = traced_app
+        npm = trace_one_run(app, "NPM", seed=3)
+        power = transmeta_model()
+        p_gss = power_profile(gss, power, 2, horizon=app.deadline)
+        p_npm = power_profile(npm, power, 2, horizon=app.deadline)
+        assert p_npm.peak > p_gss.peak
+
+    def test_requires_trace(self, traced_app):
+        import dataclasses
+        app, res = traced_app
+        bare = dataclasses.replace(res, trace=[])
+        with pytest.raises(ConfigError, match="no trace"):
+            power_profile(bare, transmeta_model(), 2)
+
+    def test_invalid_sampling(self, traced_app):
+        app, res = traced_app
+        with pytest.raises(ConfigError):
+            power_profile(res, transmeta_model(), 2, n_samples=1)
+        with pytest.raises(ConfigError):
+            power_profile(res, transmeta_model(), 2, horizon=-1.0)
+
+
+class TestRendering:
+    def test_render_profile(self, traced_app):
+        app, res = traced_app
+        prof = power_profile(res, xscale_model(), 2,
+                             horizon=app.deadline)
+        text = render_profile(prof)
+        assert "power profile: GSS" in text
+        assert "#" in text
+
+    def test_render_size_limits(self, traced_app):
+        app, res = traced_app
+        prof = power_profile(res, xscale_model(), 2)
+        with pytest.raises(ConfigError):
+            render_profile(prof, width=4)
+
+    def test_compare_profiles(self, traced_app):
+        app, res = traced_app
+        power = transmeta_model()
+        npm = trace_one_run(app, "NPM", seed=3)
+        text = compare_profiles([
+            power_profile(res, power, 2, horizon=app.deadline),
+            power_profile(npm, power, 2, horizon=app.deadline),
+        ])
+        assert "GSS" in text and "NPM" in text

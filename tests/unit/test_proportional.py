@@ -1,0 +1,105 @@
+"""Unit tests for the PS (proportional worst-case speculation) extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.graph import Application
+from repro.offline import build_plan
+from repro.power import NO_OVERHEAD, PAPER_OVERHEAD
+from repro.sim import sample_realization, simulate
+from tests.conftest import build_chain_graph, build_or_graph
+
+
+@pytest.fixture
+def or_plan(xscale):
+    app = Application(build_or_graph(), deadline=60)
+    return build_plan(app, 2)
+
+
+class TestProportionalFloor:
+    def test_initial_floor_from_worst_case(self, xscale):
+        app = Application(build_chain_graph(2, wcet=10, acet=5),
+                          deadline=50)
+        plan = build_plan(app, 1)
+        run = get_policy("PS").start_run(plan, xscale, PAPER_OVERHEAD)
+        # t_worst=20, D=50 -> 0.4 exactly (a level)
+        assert run.floor(0.0) == 0.4
+
+    def test_floor_refreshes_at_or(self, xscale, or_plan):
+        run = get_policy("PS").start_run(or_plan, xscale, PAPER_OVERHEAD)
+        st = or_plan.structure
+        c_sid = st.section_of_node("C").id
+        # choosing the short branch early: little work, long horizon
+        run.on_or_fired("O1", c_sid, t=10.0)
+        # 10 worst-case units left over 50 -> 0.2 -> snap to 0.4
+        assert run.floor(10.0) == 0.4
+
+    def test_ps_floor_at_least_as_high_as_as(self, xscale, or_plan):
+        """Worst-case speculation is never below average-case."""
+        ps = get_policy("PS").start_run(or_plan, xscale, PAPER_OVERHEAD)
+        as_ = get_policy("AS").start_run(or_plan, xscale, PAPER_OVERHEAD)
+        assert ps.floor(0.0) >= as_.floor(0.0)
+        st = or_plan.structure
+        for branch in ("B", "C"):
+            sid = st.section_of_node(branch).id
+            ps.on_or_fired("O1", sid, t=8.0)
+            as_.on_or_fired("O1", sid, t=8.0)
+            assert ps.floor(8.0) >= as_.floor(8.0)
+
+    def test_registry_exposure(self):
+        assert get_policy("ps").name == "PS"
+        assert get_policy("proportional").name == "PS"
+        from repro.core import ALL_SCHEMES
+        assert "PS" in ALL_SCHEMES
+
+
+class TestProportionalBehaviour:
+    def test_meets_deadlines(self, xscale, or_plan, rng):
+        policy = get_policy("PS")
+        for _ in range(30):
+            rl = sample_realization(or_plan.structure, rng)
+            run = policy.start_run(or_plan, xscale, NO_OVERHEAD,
+                                   realization=rl)
+            res = simulate(or_plan, run, xscale, NO_OVERHEAD, rl)
+            assert res.met_deadline
+
+    def test_bracket_between_gss_and_spm(self, xscale):
+        """PS saves less than GSS but more than (or equal to) SPM.
+
+        GSS additionally reclaims dynamic slack; SPM sees only static
+        slack at one fixed level.  PS sits between them on average.
+        """
+        from tests.conftest import build_nested_or_graph
+        app = Application(build_nested_or_graph(), deadline=80)
+        plan = build_plan(app, 2)
+        rng = np.random.default_rng(0)
+        totals = {"GSS": 0.0, "PS": 0.0, "SPM": 0.0}
+        for _ in range(100):
+            rl = sample_realization(plan.structure, rng)
+            for name in totals:
+                run = get_policy(name).start_run(plan, xscale,
+                                                 NO_OVERHEAD,
+                                                 realization=rl)
+                res = simulate(plan, run, xscale, NO_OVERHEAD, rl)
+                totals[name] += res.total_energy
+        assert totals["GSS"] <= totals["PS"] * (1 + 0.05)
+        assert totals["PS"] <= totals["SPM"] * (1 + 0.05)
+
+    def test_floor_pins_level_on_high_load_chain(self, transmeta, rng):
+        """On a taut chain PS's constant floor suppresses the level
+        drift GSS exhibits as dynamic slack accrues (the switch-count
+        reduction speculation exists for)."""
+        app = Application(build_chain_graph(8, wcet=10, acet=3),
+                          deadline=100)  # load 0.8 on one processor
+        plan = build_plan(app, 1)
+        counts = {"GSS": 0, "PS": 0}
+        for _ in range(50):
+            rl = sample_realization(plan.structure, rng)
+            for name in counts:
+                run = get_policy(name).start_run(plan, transmeta,
+                                                 PAPER_OVERHEAD,
+                                                 realization=rl)
+                res = simulate(plan, run, transmeta, PAPER_OVERHEAD, rl)
+                counts[name] += res.n_speed_changes
+        assert counts["PS"] <= counts["GSS"]

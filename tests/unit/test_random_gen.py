@@ -1,0 +1,74 @@
+"""Unit tests for the random application generator."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    GraphGenConfig,
+    enumerate_paths,
+    random_graph,
+    total_probability,
+    validate_graph,
+)
+
+
+class TestGeneratedGraphs:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_always_valid(self, seed):
+        g = random_graph(random.Random(seed))
+        st = validate_graph(g)  # raises on any structural problem
+        assert total_probability(st) == pytest.approx(1.0)
+
+    def test_deterministic_for_seed(self):
+        a = random_graph(random.Random(99))
+        b = random_graph(random.Random(99))
+        assert a.node_names == b.node_names
+        assert a.edges() == b.edges()
+
+    def test_different_seeds_differ(self):
+        a = random_graph(random.Random(1))
+        b = random_graph(random.Random(2))
+        assert a.node_names != b.node_names or a.edges() != b.edges()
+
+    def test_or_depth_zero_yields_single_section(self):
+        cfg = GraphGenConfig(or_depth=0)
+        g = random_graph(random.Random(5), cfg)
+        st = validate_graph(g)
+        assert len(st.sections) == 1
+        assert len(enumerate_paths(st)) == 1
+
+    def test_alpha_controls_acet(self):
+        cfg = GraphGenConfig(alpha=0.5, alpha_jitter=0.0)
+        g = random_graph(random.Random(3), cfg)
+        for node in g.computation_nodes():
+            assert node.acet == pytest.approx(0.5 * node.wcet)
+
+    def test_wcet_range_respected(self):
+        cfg = GraphGenConfig(wcet_lo=3.0, wcet_hi=4.0)
+        g = random_graph(random.Random(7), cfg)
+        for node in g.computation_nodes():
+            assert 3.0 <= node.wcet <= 4.0
+
+    def test_branchy_config_produces_or_nodes(self):
+        cfg = GraphGenConfig(or_depth=3, p_branch=1.0)
+        g = random_graph(random.Random(11), cfg)
+        assert g.or_nodes()
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"or_depth": -1},
+        {"p_branch": 1.5},
+        {"max_branches": 1},
+        {"min_tasks": 5, "max_tasks": 2},
+        {"max_width": 0},
+        {"wcet_lo": -1.0},
+        {"wcet_lo": 5.0, "wcet_hi": 2.0},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            GraphGenConfig(**kwargs)

@@ -1,0 +1,131 @@
+"""Unit tests for realization sampling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import validate_graph
+from repro.sim import sample_realization, sample_realizations, worst_case_realization
+from tests.conftest import build_nested_or_graph, build_or_graph
+
+
+class TestSampling:
+    def test_actuals_within_bounds(self, or_structure, rng):
+        graph = or_structure.graph
+        for _ in range(200):
+            rl = sample_realization(or_structure, rng)
+            for node in graph.computation_nodes():
+                a = rl.actual(node.name)
+                assert 0 < a <= node.wcet
+
+    def test_mean_near_acet(self, or_structure):
+        rng = np.random.default_rng(0)
+        samples = [sample_realization(or_structure, rng).actual("A")
+                   for _ in range(3000)]
+        node = or_structure.graph.node("A")
+        # clipping skews slightly; stay within 5% of the ACET
+        assert np.mean(samples) == pytest.approx(node.acet, rel=0.05)
+
+    def test_zero_variance_when_acet_equals_wcet(self):
+        from repro.graph import GraphBuilder
+        b = GraphBuilder("det")
+        b.task("A", 10, 10)
+        st = validate_graph(b.build_graph())
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            assert sample_realization(st, rng).actual("A") == 10
+
+    def test_choice_frequencies_match_probabilities(self, or_structure):
+        rng = np.random.default_rng(7)
+        b_sid = or_structure.section_of_node("B").id
+        hits = sum(
+            sample_realization(or_structure, rng).choices["O1"] == b_sid
+            for _ in range(5000))
+        assert hits / 5000 == pytest.approx(0.3, abs=0.02)
+
+    def test_choices_cover_all_branching_ors(self):
+        st = validate_graph(build_nested_or_graph())
+        rng = np.random.default_rng(3)
+        rl = sample_realization(st, rng)
+        assert set(rl.choices) >= {"O1", "O3"}
+
+    def test_determinism_per_seed(self, or_structure):
+        a = sample_realization(or_structure, np.random.default_rng(5))
+        b = sample_realization(or_structure, np.random.default_rng(5))
+        assert a.actuals == b.actuals
+        assert a.choices == b.choices
+
+    def test_sample_many(self, or_structure, rng):
+        rls = list(sample_realizations(or_structure, rng, 5))
+        assert len(rls) == 5
+        assert rls[0].actuals != rls[1].actuals
+
+    def test_missing_actual_raises(self, or_structure, rng):
+        rl = sample_realization(or_structure, rng)
+        with pytest.raises(SimulationError, match="no actual time"):
+            rl.actual("nonexistent")
+
+    def test_sigma_fraction_zero_is_deterministic(self, or_structure):
+        rng = np.random.default_rng(5)
+        rl = sample_realization(or_structure, rng, sigma_fraction=0.0)
+        for node in or_structure.graph.computation_nodes():
+            assert rl.actual(node.name) == pytest.approx(node.acet)
+
+
+class TestWorstCase:
+    def test_worst_case_actuals(self, or_structure):
+        rl = worst_case_realization(or_structure)
+        for node in or_structure.graph.computation_nodes():
+            assert rl.actual(node.name) == node.wcet
+
+    def test_worst_case_takes_longest_branch(self, or_structure):
+        rl = worst_case_realization(or_structure)
+        b_sid = or_structure.section_of_node("B").id
+        assert rl.choices["O1"] == b_sid  # B (wcet 8) > C (wcet 5)
+
+
+class TestBatchSampling:
+    def test_batch_matches_bounds(self, or_structure, rng):
+        from repro.sim.realization import sample_realization_batch
+        batch = sample_realization_batch(or_structure, rng, 100)
+        assert len(batch) == 100
+        graph = or_structure.graph
+        for rl in batch:
+            for node in graph.computation_nodes():
+                assert 0 < rl.actual(node.name) <= node.wcet
+            assert "O1" in rl.choices
+
+    def test_batch_distribution_matches_sequential(self, or_structure):
+        """Same mean/std and branch frequencies as the per-run sampler."""
+        from repro.sim.realization import (
+            sample_realization,
+            sample_realization_batch,
+        )
+        n = 4000
+        rng1 = np.random.default_rng(1)
+        rng2 = np.random.default_rng(2)
+        seq = [sample_realization(or_structure, rng1) for _ in range(n)]
+        bat = sample_realization_batch(or_structure, rng2, n)
+        a_seq = np.array([r.actual("A") for r in seq])
+        a_bat = np.array([r.actual("A") for r in bat])
+        assert a_bat.mean() == pytest.approx(a_seq.mean(), rel=0.03)
+        assert a_bat.std() == pytest.approx(a_seq.std(), rel=0.10)
+        b_sid = or_structure.section_of_node("B").id
+        f_seq = np.mean([r.choices["O1"] == b_sid for r in seq])
+        f_bat = np.mean([r.choices["O1"] == b_sid for r in bat])
+        assert f_bat == pytest.approx(f_seq, abs=0.03)
+
+    def test_batch_deterministic_per_seed(self, or_structure):
+        from repro.sim.realization import sample_realization_batch
+        a = sample_realization_batch(or_structure,
+                                     np.random.default_rng(9), 5)
+        b = sample_realization_batch(or_structure,
+                                     np.random.default_rng(9), 5)
+        for x, y in zip(a, b):
+            assert x.actuals == y.actuals and x.choices == y.choices
+
+    def test_invalid_batch_size(self, or_structure, rng):
+        from repro.errors import SimulationError
+        from repro.sim.realization import sample_realization_batch
+        with pytest.raises(SimulationError):
+            sample_realization_batch(or_structure, rng, 0)

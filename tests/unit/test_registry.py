@@ -1,0 +1,59 @@
+"""Unit tests for the scheme registry."""
+
+import pytest
+
+from repro.core import (
+    ALL_SCHEMES,
+    PAPER_SCHEMES,
+    available_schemes,
+    get_policies,
+    get_policy,
+)
+from repro.errors import ConfigError
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name,label", [
+        ("npm", "NPM"), ("NPM", "NPM"),
+        ("spm", "SPM"), ("static", "SPM"),
+        ("gss", "GSS"), ("greedy", "GSS"),
+        ("ss1", "SS1"), ("SS-1", "SS1"),
+        ("ss2", "SS2"), ("SS-2", "SS2"),
+        ("as", "AS"), ("adaptive", "AS"),
+        ("oracle", "ORACLE"), ("clairvoyant", "ORACLE"),
+    ])
+    def test_lookup_and_aliases(self, name, label):
+        assert get_policy(name).name == label
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError, match="unknown scheme"):
+            get_policy("edf")
+
+    def test_paper_schemes_resolvable(self):
+        for name in PAPER_SCHEMES:
+            assert get_policy(name).name == name
+
+    def test_all_schemes_includes_baseline_and_oracle(self):
+        assert "NPM" in ALL_SCHEMES and "ORACLE" in ALL_SCHEMES
+        assert set(PAPER_SCHEMES) < set(ALL_SCHEMES)
+
+    def test_get_policies(self):
+        ps = get_policies(["gss", "spm"])
+        assert [p.name for p in ps] == ["GSS", "SPM"]
+
+    def test_available_schemes_sorted(self):
+        names = available_schemes()
+        assert names == sorted(names)
+        assert "gss" in names
+
+    def test_reserve_requirements(self):
+        assert get_policy("gss").requires_reserve
+        assert get_policy("ss1").requires_reserve
+        assert get_policy("ss2").requires_reserve
+        assert get_policy("as").requires_reserve
+        assert not get_policy("npm").requires_reserve
+        assert not get_policy("spm").requires_reserve
+        assert not get_policy("oracle").requires_reserve
+
+    def test_each_call_returns_fresh_instance(self):
+        assert get_policy("gss") is not get_policy("gss")

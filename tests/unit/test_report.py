@@ -1,0 +1,71 @@
+"""Unit tests for series rendering."""
+
+import pytest
+
+from repro.experiments import render_series, render_speed_changes, series_to_csv
+from repro.types import ExperimentPoint, SeriesResult
+
+
+@pytest.fixture
+def series():
+    s = SeriesResult(name="demo", x_label="load",
+                     meta={"app": "atr", "n_runs": 10})
+    for x in (0.1, 0.2):
+        for scheme, mean in (("SPM", 0.8), ("GSS", 0.5)):
+            s.points.append(ExperimentPoint(
+                x=x, scheme=scheme, mean=mean + x, std=0.01, n_runs=10,
+                ci95=0.006))
+    s.meta["speed_changes"] = {0.1: {"SPM": 2.0, "GSS": 4.5},
+                               0.2: {"SPM": 2.0, "GSS": 5.5}}
+    return s
+
+
+class TestSeriesResult:
+    def test_schemes_in_insertion_order(self, series):
+        assert series.schemes() == ["SPM", "GSS"]
+
+    def test_xs(self, series):
+        assert series.xs() == [0.1, 0.2]
+
+    def test_get(self, series):
+        p = series.get(0.2, "GSS")
+        assert p is not None and p.mean == pytest.approx(0.7)
+        assert series.get(0.3, "GSS") is None
+        assert series.get(0.1, "ZZZ") is None
+
+
+class TestRendering:
+    def test_render_contains_all_cells(self, series):
+        text = render_series(series)
+        assert "demo" in text and "load" in text
+        assert "SPM" in text and "GSS" in text
+        assert "0.900" in text   # SPM at 0.1
+        assert "0.700" in text   # GSS at 0.2
+
+    def test_render_with_ci(self, series):
+        text = render_series(series, with_ci=True)
+        assert "±0.006" in text
+
+    def test_render_subset_of_schemes(self, series):
+        text = render_series(series, schemes=["GSS"])
+        assert "GSS" in text and "SPM" not in text
+
+    def test_render_missing_cell_dash(self, series):
+        text = render_series(series, schemes=["GSS", "XX"])
+        assert "-" in text
+
+    def test_speed_changes_table(self, series):
+        text = render_speed_changes(series)
+        assert "speed changes" in text
+        assert "4.5" in text and "5.5" in text
+
+    def test_speed_changes_missing(self):
+        s = SeriesResult(name="empty", x_label="x")
+        assert "no speed-change data" in render_speed_changes(s)
+
+    def test_csv(self, series):
+        csv = series_to_csv(series)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "x,scheme,mean,std,ci95,n_runs"
+        assert len(lines) == 1 + 4
+        assert "0.1,SPM," in csv

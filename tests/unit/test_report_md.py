@@ -1,0 +1,34 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.report_md import generate_report, write_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate_report(n_runs=4, seed=1, figures=["fig6"])
+
+    def test_header_and_tables(self, report):
+        assert report.startswith("# Measured results")
+        assert "Table 1" in report and "Table 2" in report
+
+    def test_requested_figures_only(self, report):
+        assert "Figure 6" in report
+        assert "Figure 4" not in report and "Figure 5" not in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = [ln for ln in report.splitlines()
+                 if ln.startswith("| alpha |")]
+        assert lines, "figure table header missing"
+        header_cols = lines[0].count("|")
+        assert header_cols >= 6  # alpha + five schemes
+
+    def test_switch_table_included(self, report):
+        assert "switches per run" in report
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "out.md"
+        write_report(str(path), n_runs=3, figures=["fig6"])
+        assert path.read_text().startswith("# Measured results")

@@ -1,0 +1,152 @@
+"""Unit tests for the program-section decomposition (OR semantics)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder
+from repro.graph.sections import SectionStructure
+from tests.conftest import build_fork_graph, build_or_graph
+
+
+class TestDecomposition:
+    def test_pure_and_graph_is_one_section(self):
+        st = SectionStructure(build_fork_graph())
+        assert len(st.sections) == 1
+        root = st.root
+        assert root.is_root and root.is_terminal
+        assert set(root.nodes) == {"A", "A1", "B", "C", "A2", "D"}
+
+    def test_or_graph_sections(self):
+        st = SectionStructure(build_or_graph())
+        assert len(st.sections) == 4
+        assert st.root.nodes == ["A"]
+        assert st.root.exit_or == "O1"
+        b_sec = st.section_of_node("B")
+        c_sec = st.section_of_node("C")
+        assert b_sec.id != c_sec.id
+        assert b_sec.entry_or == "O1" and b_sec.exit_or == "O2"
+        d_sec = st.section_of_node("D")
+        assert d_sec.entry_or == "O2" and d_sec.is_terminal
+
+    def test_branches_with_probabilities(self):
+        st = SectionStructure(build_or_graph())
+        branches = dict(st.branches("O1"))
+        assert branches[st.section_of_node("B").id] == 0.3
+        assert branches[st.section_of_node("C").id] == 0.7
+        # merge OR continues into D with probability 1
+        assert st.branches("O2") == [(st.section_of_node("D").id, 1.0)]
+
+    def test_or_node_belongs_to_no_section(self):
+        st = SectionStructure(build_or_graph())
+        with pytest.raises(GraphError, match="section node"):
+            st.section_of_node("O1")
+
+    def test_subgraph_contains_only_internal_edges(self):
+        st = SectionStructure(build_or_graph())
+        sub = st.subgraph(st.root.id)
+        assert sub.node_names == ["A"]
+        assert sub.edges() == []
+
+    def test_zero_length_section_of_and_nodes(self):
+        # OR -> AND passthrough -> OR is a legal empty path
+        b = GraphBuilder("skip")
+        b.task("A", 4, 2)
+        b.or_node("O1", after=["A"])
+        b.task("B", 6, 3, after=["O1"])
+        b.and_node("skip", after=["O1"])
+        b.probability("O1", "B", 0.5)
+        b.probability("O1", "skip", 0.5)
+        b.or_merge("O2", ["B", "skip"])
+        b.task("C", 2, 1, after=["O2"])
+        st = SectionStructure(b.graph)
+        skip_sec = st.section_of_node("skip")
+        assert skip_sec.nodes == ["skip"]
+
+
+class TestStructuralRules:
+    def test_or_to_or_edge_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.or_node("O2", after=["O1"])
+        b.task("B", 1, 1, after=["O2"])
+        with pytest.raises(GraphError, match="OR->OR"):
+            SectionStructure(b.graph)
+
+    def test_or_successor_with_other_preds_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.task("X", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.task("B", 1, 1, after=["O1"])
+        b.edge("X", "B")  # B depends on both the OR and a plain task
+        with pytest.raises(GraphError, match="rule 2|rule 3"):
+            SectionStructure(b.graph)
+
+    def test_section_feeding_two_ors_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.or_node("O2", after=["A"])
+        b.task("B", 1, 1, after=["O1"])
+        b.task("C", 1, 1, after=["O2"])
+        with pytest.raises(GraphError, match="rule 4"):
+            SectionStructure(b.graph)
+
+    def test_two_or_successors_in_same_section_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.task("B", 1, 1, after=["O1"])
+        b.task("C", 1, 1, after=["O1"])
+        b.edge("B", "C")  # ties the two "alternative" paths together
+        b.probability("O1", "B", 0.5)
+        b.probability("O1", "C", 0.5)
+        with pytest.raises(GraphError):
+            SectionStructure(b.graph)
+
+    def test_missing_probabilities_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.task("B", 1, 1, after=["O1"])
+        b.task("C", 1, 1, after=["O1"])
+        b.probability("O1", "B", 0.5)
+        with pytest.raises(GraphError, match="lacks probabilities"):
+            SectionStructure(b.graph)
+
+    def test_probabilities_not_summing_to_one_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.task("B", 1, 1, after=["O1"])
+        b.task("C", 1, 1, after=["O1"])
+        b.probability("O1", "B", 0.5)
+        b.probability("O1", "C", 0.4)
+        with pytest.raises(GraphError, match="sum to"):
+            SectionStructure(b.graph)
+
+    def test_or_without_predecessor_rejected(self):
+        b = GraphBuilder("bad")
+        b.or_node("O1")
+        b.task("B", 1, 1, after=["O1"])
+        # rejected either as a predecessor-less OR or as a missing root
+        with pytest.raises(GraphError,
+                           match="no predecessor|root section"):
+            SectionStructure(b.graph)
+
+    def test_two_root_sections_rejected(self):
+        b = GraphBuilder("bad")
+        b.task("A", 1, 1)
+        b.task("B", 1, 1)
+        b.or_node("O1", after=["A"])
+        b.task("C", 1, 1, after=["O1"])
+        b.edge("B", "C") if False else None
+        # B is disconnected from A's component -> a second root section
+        with pytest.raises(GraphError, match="root section"):
+            SectionStructure(b.graph)
+
+    def test_branches_of_non_or_raises(self):
+        st = SectionStructure(build_or_graph())
+        with pytest.raises(GraphError, match="not an OR node"):
+            st.branches("A")

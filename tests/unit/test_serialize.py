@@ -1,0 +1,88 @@
+"""Unit tests for JSON (de)serialization."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    Application,
+    application_from_dict,
+    application_to_dict,
+    dumps,
+    graph_from_dict,
+    graph_to_dict,
+    loads,
+)
+from tests.conftest import build_nested_or_graph, build_or_graph
+
+
+class TestGraphRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        g = build_or_graph()
+        g2 = graph_from_dict(graph_to_dict(g))
+        assert g2.name == g.name
+        assert set(g2.node_names) == set(g.node_names)
+        assert set(g2.edges()) == set(g.edges())
+        assert g2.branch_probabilities("O1") == g.branch_probabilities("O1")
+
+    def test_round_trip_preserves_stats(self):
+        g = build_or_graph()
+        g2 = graph_from_dict(graph_to_dict(g))
+        for node in g.computation_nodes():
+            n2 = g2.node(node.name)
+            assert n2.wcet == node.wcet and n2.acet == node.acet
+
+    def test_round_trip_nested(self):
+        g = build_nested_or_graph()
+        d = graph_to_dict(g)
+        g2 = graph_from_dict(d)
+        assert graph_to_dict(g2) == d
+
+    def test_single_successor_or_has_no_probability_entry(self):
+        g = build_or_graph()
+        d = graph_to_dict(g)
+        assert "O2" not in d["branch_probabilities"]
+        assert "O1" in d["branch_probabilities"]
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(GraphError, match="malformed"):
+            graph_from_dict({"nodes": [{"name": "A"}]})  # kind missing
+
+    def test_invalid_structure_rejected_on_load(self):
+        g = build_or_graph()
+        d = graph_to_dict(g)
+        d["branch_probabilities"]["O1"]["B"] = 0.9  # sums to 1.6 now
+        with pytest.raises(GraphError):
+            graph_from_dict(d)
+
+    def test_validation_can_be_skipped(self):
+        g = build_or_graph()
+        d = graph_to_dict(g)
+        d["branch_probabilities"]["O1"]["B"] = 0.9
+        g2 = graph_from_dict(d, validate=False)
+        assert "O1" in g2.node_names
+
+
+class TestApplicationRoundTrip:
+    def test_json_round_trip(self):
+        app = Application(graph=build_or_graph(), deadline=40.5,
+                          name="demo", meta={"load": 0.5})
+        app2 = loads(dumps(app))
+        assert app2.deadline == 40.5
+        assert app2.name == "demo"
+        assert app2.meta == {"load": 0.5}
+        assert set(app2.graph.edges()) == set(app.graph.edges())
+
+    def test_dict_round_trip(self):
+        app = Application(graph=build_or_graph(), deadline=10)
+        d = application_to_dict(app)
+        app2 = application_from_dict(d)
+        assert application_to_dict(app2) == d
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError, match="invalid JSON"):
+            loads("{nope")
+
+    def test_missing_deadline_rejected(self):
+        d = {"graph": graph_to_dict(build_or_graph())}
+        with pytest.raises(GraphError, match="malformed"):
+            application_from_dict(d)

@@ -1,0 +1,53 @@
+"""Unit tests for the experiment statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import paired_ratio, summarize, summarize_all
+
+
+class TestSummarize:
+    def test_mean_and_std(self):
+        p = summarize(0.5, "GSS", np.array([0.4, 0.6]))
+        assert p.mean == pytest.approx(0.5)
+        assert p.std == pytest.approx(np.std([0.4, 0.6], ddof=1))
+        assert p.n_runs == 2
+        assert p.scheme == "GSS" and p.x == 0.5
+
+    def test_single_sample_has_zero_spread(self):
+        p = summarize(1.0, "NPM", np.array([0.7]))
+        assert p.std == 0.0 and p.ci95 == 0.0
+
+    def test_ci_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = summarize(0, "x", rng.normal(1, 0.1, 10))
+        large = summarize(0, "x", rng.normal(1, 0.1, 1000))
+        assert large.ci95 < small.ci95
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize(0, "x", np.array([]))
+
+    def test_as_row(self):
+        p = summarize(0.5, "GSS", np.array([0.4, 0.6]))
+        x, scheme, mean, std, n = p.as_row()
+        assert (x, scheme, n) == (0.5, "GSS", 2)
+
+    def test_summarize_all(self):
+        pts = summarize_all(0.3, {"A": np.ones(3), "B": np.zeros(3) + 2})
+        assert {p.scheme for p in pts} == {"A", "B"}
+        assert all(p.x == 0.3 for p in pts)
+
+
+class TestPairedRatio:
+    def test_ratio(self):
+        r = paired_ratio(np.array([1.0, 2.0]), np.array([2.0, 4.0]))
+        assert np.allclose(r, 0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            paired_ratio(np.ones(2), np.ones(3))
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError, match="baseline"):
+            paired_ratio(np.ones(2), np.array([1.0, 0.0]))

@@ -1,0 +1,73 @@
+"""Unit tests for trace collection and Gantt rendering."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sim.trace import render_gantt, task_table, trace_one_run
+from repro.workloads import application_with_load, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def traced():
+    app = application_with_load(figure3_graph(), 0.5, 2)
+    return trace_one_run(app, "GSS", power_model="transmeta", seed=42), app
+
+
+class TestTraceOneRun:
+    def test_trace_collected(self, traced):
+        result, _ = traced
+        assert result.trace
+        assert result.scheme == "GSS"
+        assert result.met_deadline
+
+    def test_trace_records_consistent(self, traced):
+        result, _ = traced
+        for rec in result.trace:
+            assert rec.finish > rec.start
+            assert 0 < rec.speed <= 1.0
+            assert rec.energy > 0
+            assert rec.duration == pytest.approx(rec.finish - rec.start)
+
+    def test_npm_trace(self):
+        app = application_with_load(figure3_graph(), 0.5, 2)
+        res = trace_one_run(app, "NPM", seed=1)
+        assert all(r.speed == 1.0 for r in res.trace)
+
+    def test_processor_non_overlap(self, traced):
+        result, _ = traced
+        by_proc = {}
+        for rec in result.trace:
+            by_proc.setdefault(rec.processor, []).append(rec)
+        for recs in by_proc.values():
+            recs.sort(key=lambda r: r.start)
+            for a, b in zip(recs, recs[1:]):
+                assert b.start >= a.finish - 1e-9
+
+
+class TestRendering:
+    def test_gantt_renders(self, traced):
+        result, app = traced
+        text = render_gantt(result, app.deadline)
+        assert "scheme=GSS" in text
+        assert "P0 |" in text and "P1 |" in text
+
+    def test_gantt_requires_trace(self):
+        app = application_with_load(figure3_graph(), 0.5, 2)
+        from repro.experiments import RunConfig, build_plans
+        from repro.core import get_policy
+        from repro.power import NO_OVERHEAD, transmeta_model
+        from repro.sim import sample_realization, simulate
+        import numpy as np
+        power = transmeta_model()
+        _, plan = build_plans(app, RunConfig(n_runs=1), power)
+        rl = sample_realization(plan.structure, np.random.default_rng(0))
+        run = get_policy("NPM").start_run(plan, power, NO_OVERHEAD, rl)
+        res = simulate(plan, run, power, NO_OVERHEAD, rl)  # no trace
+        with pytest.raises(ConfigError, match="no trace"):
+            render_gantt(res)
+
+    def test_task_table_lists_every_task(self, traced):
+        result, _ = traced
+        table = task_table(result)
+        for rec in result.trace:
+            assert rec.name in table

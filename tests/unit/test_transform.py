@@ -1,0 +1,126 @@
+"""Unit tests for graph transformations."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    GraphBuilder,
+    concatenate,
+    map_task_stats,
+    random_graph,
+    relabel,
+    scale_times,
+    total_probability,
+    validate_graph,
+    with_alpha,
+)
+from repro.types import TaskStats
+from tests.conftest import build_or_graph
+
+
+class TestWithAlpha:
+    def test_sets_acet(self):
+        g = with_alpha(build_or_graph(), 0.25)
+        for node in g.computation_nodes():
+            assert node.acet == pytest.approx(0.25 * node.wcet)
+
+    def test_preserves_structure(self):
+        base = build_or_graph()
+        g = with_alpha(base, 0.5)
+        assert set(g.edges()) == set(base.edges())
+        assert g.branch_probabilities("O1") == \
+            base.branch_probabilities("O1")
+        validate_graph(g)
+
+    def test_works_on_random_graphs(self):
+        base = random_graph(random.Random(4))
+        g = with_alpha(base, 0.3)
+        st = validate_graph(g)
+        assert total_probability(st) == pytest.approx(1.0)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigError):
+            with_alpha(build_or_graph(), 0.0)
+        with pytest.raises(ConfigError):
+            with_alpha(build_or_graph(), 1.0001)
+
+    def test_name_derivation(self):
+        assert with_alpha(build_or_graph(), 0.5).name == "orapp@a0.5"
+        assert with_alpha(build_or_graph(), 0.5, name="x").name == "x"
+
+
+class TestScaleTimes:
+    def test_scales_both(self):
+        base = build_or_graph()
+        g = scale_times(base, 10.0)
+        for node in base.computation_nodes():
+            scaled = g.node(node.name)
+            assert scaled.wcet == pytest.approx(node.wcet * 10)
+            assert scaled.acet == pytest.approx(node.acet * 10)
+
+    def test_invalid_factor(self):
+        with pytest.raises(ConfigError):
+            scale_times(build_or_graph(), 0.0)
+
+    def test_alpha_invariant(self):
+        base = build_or_graph()
+        g = scale_times(base, 3.5)
+        for node in base.computation_nodes():
+            assert g.node(node.name).stats.alpha == pytest.approx(
+                node.stats.alpha)
+
+
+class TestRelabel:
+    def test_prefixes_everything(self):
+        g = relabel(build_or_graph(), "x.")
+        assert "x.A" in g and "x.O1" in g
+        assert ("x.A", "x.O1") in g.edges()
+        assert g.branch_probabilities("x.O1") == {"x.B": 0.3,
+                                                  "x.C": 0.7}
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ConfigError):
+            relabel(build_or_graph(), "")
+
+
+class TestConcatenate:
+    def test_serial_composition(self):
+        g = concatenate(build_or_graph(), build_or_graph())
+        st = validate_graph(g)
+        # both OR structures survive; total probability still 1
+        assert total_probability(st) == pytest.approx(1.0)
+        assert "a.A" in g and "b.A" in g
+        # the handoff joins a's sink to b's root
+        assert ("a.D", "a.__handoff") in g.edges()
+        assert ("a.__handoff", "b.A") in g.edges()
+
+    def test_worst_case_adds_up(self):
+        from repro.workloads import worst_case_length
+        base = build_or_graph()
+        double = concatenate(base, base)
+        assert worst_case_length(double, 2) == pytest.approx(
+            2 * worst_case_length(base, 2))
+
+    def test_rejects_or_terminated_first(self):
+        b = GraphBuilder("endor")
+        b.task("A", 1, 1)
+        b.or_node("O", after=["A"])
+        g = b.graph  # ends at an OR node (unvalidated on purpose)
+        with pytest.raises(ConfigError, match="ends at an OR"):
+            concatenate(g, build_or_graph())
+
+
+class TestMapTaskStats:
+    def test_custom_mapping(self):
+        g = map_task_stats(
+            build_or_graph(),
+            lambda n, s: TaskStats(wcet=s.wcet + 1, acet=s.acet))
+        assert g.node("A").wcet == 9
+        assert g.node("A").acet == 5
+
+    def test_sync_nodes_untouched(self):
+        g = map_task_stats(build_or_graph(),
+                           lambda n, s: TaskStats(s.wcet * 2, s.acet))
+        assert g.node("O1").is_or and g.node("O1").stats is None

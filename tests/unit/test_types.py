@@ -1,0 +1,100 @@
+"""Unit tests for shared data types and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    DeadlineMissError,
+    GraphError,
+    InfeasibleError,
+    PowerModelError,
+    ReproError,
+    SimulationError,
+    ValidationError,
+)
+from repro.types import (
+    EnergyBreakdown,
+    PathStats,
+    ScheduledTask,
+    SimResult,
+    TaskRecord,
+)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (GraphError, ValidationError, InfeasibleError,
+                    PowerModelError, SimulationError, DeadlineMissError,
+                    ConfigError):
+            assert issubclass(exc, ReproError)
+
+    def test_validation_is_graph_error(self):
+        assert issubclass(ValidationError, GraphError)
+
+    def test_deadline_miss_is_simulation_error(self):
+        assert issubclass(DeadlineMissError, SimulationError)
+
+    def test_infeasible_message(self):
+        e = InfeasibleError(30.0, 25.0, detail="m=2")
+        assert "30" in str(e) and "25" in str(e) and "m=2" in str(e)
+        assert e.worst_case == 30.0 and e.deadline == 25.0
+
+    def test_deadline_miss_message(self):
+        e = DeadlineMissError(10.5, 10.0, scheme="GSS")
+        assert "GSS" in str(e)
+        assert e.finish_time == 10.5
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(busy=2.0, idle=1.0, overhead=0.5)
+        assert e.total == pytest.approx(3.5)
+
+    def test_iadd(self):
+        a = EnergyBreakdown(busy=1, idle=1, overhead=1)
+        a += EnergyBreakdown(busy=2, idle=3, overhead=4)
+        assert (a.busy, a.idle, a.overhead) == (3, 4, 5)
+
+
+class TestPathStats:
+    def test_valid(self):
+        s = PathStats(worst=10, average=5)
+        assert s.worst == 10 and s.average == 5
+
+    def test_average_above_worst_rejected(self):
+        with pytest.raises(ValueError, match="exceeds worst"):
+            PathStats(worst=5, average=6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PathStats(worst=-1, average=0)
+
+    def test_zero_allowed(self):
+        s = PathStats(worst=0, average=0)
+        assert s.worst == 0
+
+
+class TestRecords:
+    def test_task_record_duration(self):
+        r = TaskRecord(name="A", processor=0, start=1.0, finish=3.5,
+                       speed=0.5, actual_cycles=1.25, energy=0.1)
+        assert r.duration == pytest.approx(2.5)
+
+    def test_scheduled_task_duration(self):
+        s = ScheduledTask(name="A", processor=1, start=2, finish=7,
+                          order=0)
+        assert s.duration == 5
+
+    def test_sim_result_met_deadline(self):
+        e = EnergyBreakdown()
+        ok = SimResult(scheme="X", finish_time=9.999999, deadline=10,
+                       energy=e, n_speed_changes=0, n_tasks_run=1)
+        late = SimResult(scheme="X", finish_time=10.1, deadline=10,
+                         energy=e, n_speed_changes=0, n_tasks_run=1)
+        assert ok.met_deadline and not late.met_deadline
+
+    def test_sim_result_total_energy(self):
+        e = EnergyBreakdown(busy=1, idle=2, overhead=3)
+        r = SimResult(scheme="X", finish_time=1, deadline=10, energy=e,
+                      n_speed_changes=0, n_tasks_run=0)
+        assert r.total_energy == 6

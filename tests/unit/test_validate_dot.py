@@ -1,0 +1,86 @@
+"""Unit tests for whole-graph validation and DOT export."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.graph import (
+    AndOrGraph,
+    Application,
+    GraphBuilder,
+    to_dot,
+    validate_application,
+    validate_graph,
+)
+from tests.conftest import build_or_graph
+
+
+class TestValidation:
+    def test_valid_graph_returns_structure(self):
+        st = validate_graph(build_or_graph())
+        assert len(st.sections) == 4
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValidationError, match="empty"):
+            validate_graph(AndOrGraph("empty"))
+
+    def test_graph_without_computation_rejected(self):
+        g = AndOrGraph("sync-only")
+        g.add_and("A1")
+        g.add_and("A2")
+        g.add_edge("A1", "A2")
+        with pytest.raises(ValidationError, match="no computation"):
+            validate_graph(g)
+
+    def test_isolated_and_node_rejected(self):
+        g = AndOrGraph("iso")
+        g.add_computation("A", 1, 1)
+        g.add_and("X")
+        with pytest.raises(ValidationError, match="isolated"):
+            validate_graph(g)
+
+    def test_cycle_rejected(self):
+        g = AndOrGraph("cyc")
+        g.add_computation("A", 1, 1)
+        g.add_computation("B", 1, 1)
+        g.add_edge("A", "B")
+        g.add_edge("B", "A")
+        with pytest.raises(ValidationError, match="cycle"):
+            validate_graph(g)
+
+    def test_validate_application(self):
+        app = Application(build_or_graph(), deadline=50)
+        st = validate_application(app)
+        assert st.graph is app.graph
+
+
+class TestDotExport:
+    def test_shapes_by_kind(self):
+        text = to_dot(build_or_graph())
+        assert "shape=circle" in text          # computation
+        assert "shape=doublecircle" in text    # OR
+        b = GraphBuilder("with-and")
+        b.task("A", 1, 1)
+        b.and_node("X", after=["A"])
+        b.task("B", 1, 1, after=["X"])
+        assert "shape=diamond" in to_dot(b.graph)
+
+    def test_probability_labels(self):
+        text = to_dot(build_or_graph())
+        assert '"O1" -> "B" [label="30%"]' in text
+        assert '"O1" -> "C" [label="70%"]' in text
+
+    def test_wcet_acet_labels(self):
+        text = to_dot(build_or_graph())
+        assert "A\\n8/5" in text
+
+    def test_all_edges_present(self):
+        g = build_or_graph()
+        text = to_dot(g)
+        for u, v in g.edges():
+            assert f'"{u}" -> "{v}"' in text
+
+    def test_valid_dot_syntax_shape(self):
+        text = to_dot(build_or_graph(), rankdir="LR")
+        assert text.startswith("digraph")
+        assert text.rstrip().endswith("}")
+        assert "rankdir=LR" in text

@@ -1,0 +1,65 @@
+"""Unit tests for offline-plan visualization."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import Application
+from repro.offline import build_plan, render_plan, render_section
+from repro.workloads import application_with_load, figure3_graph
+from tests.conftest import build_fork_graph
+
+
+@pytest.fixture(scope="module")
+def fig3_plan():
+    app = application_with_load(figure3_graph(), 0.5, 2)
+    return build_plan(app, 2)
+
+
+class TestRenderSection:
+    def test_root_section(self, fig3_plan):
+        text = render_section(fig3_plan, fig3_plan.structure.root_id)
+        assert "(root)" in text
+        assert "LST" in text and "F=LST+c" in text
+        assert "P0 |" in text and "P1 |" in text
+
+    def test_sync_only_section(self, fig3_plan):
+        # the loop skip sections contain only an AND node
+        for sid, sp in fig3_plan.sections.items():
+            if not sp.schedule.tasks:
+                text = render_section(fig3_plan, sid)
+                assert "synchronization only" in text
+                return
+        pytest.fail("expected at least one zero-task section")
+
+    def test_unknown_section(self, fig3_plan):
+        with pytest.raises(ConfigError, match="no section"):
+            render_section(fig3_plan, 999)
+
+    def test_lst_consistency_in_output(self, fig3_plan):
+        sid = fig3_plan.structure.root_id
+        sp = fig3_plan.sections[sid]
+        text = render_section(fig3_plan, sid)
+        for name, lst in sp.lst.items():
+            assert f"{lst:>9.2f}" in text, name
+
+
+class TestRenderPlan:
+    def test_full_plan(self, fig3_plan):
+        text = render_plan(fig3_plan)
+        assert "offline plan" in text
+        assert f"T_worst={fig3_plan.t_worst:.2f}" in text
+        assert "PMP remaining-time profile" in text
+        # every branching OR shows its per-path w/a values
+        assert "O1 -> section" in text
+
+    def test_section_subset(self, fig3_plan):
+        text = render_plan(fig3_plan, sections=[0])
+        headers = [ln for ln in text.splitlines()
+                   if ln.startswith("section ")]
+        assert len(headers) == 1 and headers[0].startswith("section 0")
+
+    def test_plan_without_or_nodes(self):
+        app = Application(build_fork_graph(), deadline=40)
+        plan = build_plan(app, 2)
+        text = render_plan(plan)
+        assert "PMP remaining-time profile" not in text

@@ -1,0 +1,145 @@
+"""Unit tests for the ATR and Figure 3 workloads and load scaling."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.graph import (
+    enumerate_paths,
+    total_probability,
+    validate_graph,
+)
+from repro.workloads import (
+    AtrConfig,
+    application_with_load,
+    atr_graph,
+    average_case_length,
+    figure1a_graph,
+    figure1b_graph,
+    figure3_graph,
+    worst_case_length,
+)
+
+
+class TestAtrGraph:
+    def test_valid_structure(self):
+        st = validate_graph(atr_graph())
+        assert total_probability(st) == pytest.approx(1.0)
+
+    def test_one_path_per_roi_count(self):
+        cfg = AtrConfig()
+        st = validate_graph(atr_graph(cfg))
+        paths = enumerate_paths(st)
+        assert len(paths) == cfg.max_rois + 1
+
+    def test_path_probabilities_match_roi_distribution(self):
+        cfg = AtrConfig()
+        st = validate_graph(atr_graph(cfg))
+        probs = sorted(p.probability for p in enumerate_paths(st))
+        assert probs == sorted(cfg.roi_probs)
+
+    def test_alpha_sets_acet(self):
+        g = atr_graph(AtrConfig(alpha=0.6))
+        for node in g.computation_nodes():
+            assert node.acet == pytest.approx(0.6 * node.wcet)
+
+    def test_roi_tasks_are_parallel(self):
+        g = atr_graph(AtrConfig())
+        # the k=3 branch has 3 ROI tasks all fed by the same AND fork
+        assert set(g.successors("k3_fork")) == {
+            "k3_roi0", "k3_roi1", "k3_roi2"}
+
+    def test_roi_task_wcet_scales_with_templates(self):
+        cfg = AtrConfig(n_templates=5, match_wcet=2.0)
+        assert cfg.roi_task_wcet == 10.0
+        g = atr_graph(cfg)
+        assert g.node("k1_roi0").wcet == 10.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_rois": 0},
+        {"roi_probs": (0.5, 0.5)},                       # wrong length
+        {"roi_probs": (0.5, 0.2, 0.2, 0.2, 0.1)},        # sums to 1.2
+        {"roi_probs": (0.5, 0.3, 0.2, -0.1, 0.1)},       # negative
+        {"alpha": 0.0},
+        {"detect_wcet": -1.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            AtrConfig(**kwargs)
+
+
+class TestFigure3:
+    def test_valid_structure(self):
+        st = validate_graph(figure3_graph())
+        assert total_probability(st) == pytest.approx(1.0)
+
+    def test_contains_paper_nodes(self):
+        g = figure3_graph()
+        for name in ("A", "B", "F", "G", "H", "I", "J", "K", "L",
+                     "O1", "O2", "O3", "O4", "A1", "A2"):
+            assert name in g, name
+
+    def test_loop_expanded(self):
+        g = figure3_graph()
+        assert "LF#i1" in g and "LF#i4" in g    # probabilistic loop
+        assert "LT#i3" in g                      # deterministic 3x loop
+        assert "LT#or1" not in g.node_names      # no OR in the fixed loop
+
+    def test_branch_probabilities(self):
+        g = figure3_graph()
+        assert g.branch_probabilities("O1") == {"F": 0.35, "G": 0.65}
+        assert g.branch_probabilities("O3") == {"I": 0.30, "J": 0.70}
+
+    def test_alpha_override(self):
+        g = figure3_graph(alpha=0.5)
+        for node in g.computation_nodes():
+            assert node.acet == pytest.approx(0.5 * node.wcet)
+
+    def test_native_acets_kept_without_alpha(self):
+        g = figure3_graph()
+        assert g.node("A").acet == 5
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ConfigError):
+            figure3_graph(alpha=1.5)
+
+    def test_path_count(self):
+        st = validate_graph(figure3_graph())
+        # O1 (2 ways; F way multiplies by 4 loop exits) * O3 (2 ways)
+        assert len(enumerate_paths(st)) == (4 + 1) * 2
+
+
+class TestFigure1:
+    def test_figure1a_is_single_section(self):
+        st = validate_graph(figure1a_graph())
+        assert len(st.sections) == 1
+
+    def test_figure1b_has_two_paths(self):
+        st = validate_graph(figure1b_graph())
+        assert len(enumerate_paths(st)) == 2
+
+
+class TestLoadScaling:
+    def test_deadline_from_load(self):
+        g = figure3_graph()
+        t_worst = worst_case_length(g, 2)
+        app = application_with_load(g, 0.5, 2)
+        assert app.deadline == pytest.approx(t_worst / 0.5)
+        assert app.meta["load"] == 0.5
+
+    def test_load_one_zero_slack(self):
+        g = figure3_graph()
+        app = application_with_load(g, 1.0, 2)
+        assert app.deadline == pytest.approx(worst_case_length(g, 2))
+
+    def test_more_processors_shorten_t_worst(self):
+        g = atr_graph()
+        assert worst_case_length(g, 4) <= worst_case_length(g, 1)
+
+    def test_average_below_worst(self):
+        g = figure3_graph()
+        assert average_case_length(g, 2) < worst_case_length(g, 2)
+
+    @pytest.mark.parametrize("load", [0.0, -0.5, 1.5])
+    def test_invalid_load_rejected(self, load):
+        with pytest.raises(ConfigError):
+            application_with_load(figure3_graph(), load, 2)
