@@ -1,0 +1,47 @@
+"""Run-level parallel evaluation: equivalence shapes + kernel timing.
+
+Complements ``engine_speedup.py`` (the standalone before/after script):
+this module asserts the pooled path's invariants at bench size and
+times the sequential chunk kernel and the cached offline rebuild that
+the pooled path leans on.
+"""
+
+import numpy as np
+from conftest import BENCH_RUNS
+
+from repro.experiments import RunConfig, evaluate_application
+from repro.experiments.figures import ATR_ALPHA
+from repro.offline import build_plan, clear_plan_cache, plan_cache_stats
+from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+
+def _app():
+    return application_with_load(atr_graph(AtrConfig(alpha=ATR_ALPHA)),
+                                 0.6, 2)
+
+
+def test_pooled_evaluation_matches_serial(benchmark):
+    app = _app()
+    cfg = RunConfig(power_model="transmeta", n_runs=BENCH_RUNS, seed=2002)
+    serial = evaluate_application(app, cfg, n_jobs=1)
+    pooled = evaluate_application(app, cfg, n_jobs=2, runs_per_chunk=16)
+    for scheme in serial.normalized:
+        assert np.array_equal(serial.normalized[scheme],
+                              pooled.normalized[scheme])
+        assert np.array_equal(serial.speed_changes[scheme],
+                              pooled.speed_changes[scheme])
+    assert serial.path_keys == pooled.path_keys
+
+    small = RunConfig(power_model="transmeta", n_runs=20, seed=1)
+    benchmark(evaluate_application, app, small)
+
+
+def test_plan_cache_rebuild_throughput(benchmark):
+    """A cache-hit rebuild (the per-load cost in a sweep) stays cheap."""
+    app = _app()
+    clear_plan_cache()
+    build_plan(app, 2)  # populate
+    plan = benchmark(build_plan, app, 2)
+    assert plan.t_worst <= app.deadline
+    stats = plan_cache_stats()
+    assert stats["hits"] >= 1 and stats["misses"] >= 1

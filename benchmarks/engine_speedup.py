@@ -1,0 +1,107 @@
+"""Before/after wall-clock numbers for run-level parallel evaluation.
+
+Times one Figure-4-style Monte-Carlo point (ATR, dual-processor,
+Transmeta) twice — sequential (``n_jobs=1``) and pooled (``--jobs``) —
+verifies the two produce bit-identical arrays, and writes the numbers
+to ``BENCH_engine.json`` so CI and EXPERIMENTS.md can track the
+evaluation engine's throughput over time.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/engine_speedup.py \
+        [--runs 1000] [--jobs 0] [--load 0.8] [--out BENCH_engine.json] \
+        [--budget-seconds 0] [--min-speedup 0]
+
+``--budget-seconds`` (> 0) fails the invocation if the *sequential*
+point exceeds the budget — the CI smoke guard against perf regressions
+in the dispatch loop.  ``--min-speedup`` (> 0) additionally requires
+``serial/parallel >= min-speedup`` (only meaningful on multi-core
+runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments import RunConfig, evaluate_application
+from repro.experiments.figures import ATR_ALPHA
+from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--runs", type=int, default=1000)
+    ap.add_argument("--jobs", type=int, default=0,
+                    help="pooled worker count (0 = all cores)")
+    ap.add_argument("--runs-per-chunk", type=int, default=0)
+    ap.add_argument("--load", type=float, default=0.8)
+    ap.add_argument("--procs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=2002)
+    ap.add_argument("--out", type=str, default="BENCH_engine.json")
+    ap.add_argument("--budget-seconds", type=float, default=0.0)
+    ap.add_argument("--min-speedup", type=float, default=0.0)
+    args = ap.parse_args(argv)
+
+    graph = atr_graph(AtrConfig(alpha=ATR_ALPHA))
+    app = application_with_load(graph, args.load, args.procs)
+    cfg = RunConfig(power_model="transmeta", n_processors=args.procs,
+                    n_runs=args.runs, seed=args.seed)
+
+    t0 = time.perf_counter()
+    serial = evaluate_application(app, cfg, n_jobs=1)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    pooled = evaluate_application(app, cfg, n_jobs=args.jobs,
+                                  runs_per_chunk=args.runs_per_chunk)
+    t_pooled = time.perf_counter() - t0
+
+    for scheme in serial.normalized:
+        assert np.array_equal(serial.normalized[scheme],
+                              pooled.normalized[scheme]), \
+            f"pooled result diverged for {scheme}"
+    assert serial.path_keys == pooled.path_keys
+
+    speedup = t_serial / t_pooled if t_pooled > 0 else float("inf")
+    record = {
+        "benchmark": "engine_speedup",
+        "n_runs": args.runs,
+        "load": args.load,
+        "n_processors": args.procs,
+        "cores": os.cpu_count(),
+        "jobs": args.jobs,
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_pooled, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    print(f"engine_speedup: {args.runs} runs, load={args.load}, "
+          f"m={args.procs}")
+    print(f"  serial   {t_serial:8.3f} s")
+    print(f"  parallel {t_pooled:8.3f} s  (jobs={args.jobs}, "
+          f"cores={os.cpu_count()})")
+    print(f"  speedup  {speedup:8.2f} x  -> {args.out}")
+
+    if args.budget_seconds > 0 and t_serial > args.budget_seconds:
+        print(f"FAIL: sequential point took {t_serial:.1f}s "
+              f"(budget {args.budget_seconds:.1f}s)", file=sys.stderr)
+        return 1
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below required "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

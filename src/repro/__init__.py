@@ -38,6 +38,7 @@ from .errors import (
     DeadlineMissError,
     GraphError,
     InfeasibleError,
+    ParallelError,
     PowerModelError,
     ReproError,
     SimulationError,
@@ -51,7 +52,12 @@ from .graph import (
     NodeKind,
     validate_graph,
 )
-from .offline import OfflinePlan, build_plan
+from .offline import (
+    OfflinePlan,
+    build_plan,
+    clear_plan_cache,
+    plan_cache_stats,
+)
 from .power import (
     ContinuousPowerModel,
     DiscretePowerModel,
@@ -86,6 +92,8 @@ __all__ = [
     # offline + online
     "OfflinePlan",
     "build_plan",
+    "clear_plan_cache",
+    "plan_cache_stats",
     "simulate",
     "Realization",
     "sample_realization",
@@ -113,6 +121,7 @@ __all__ = [
     "InfeasibleError",
     "PowerModelError",
     "SimulationError",
+    "ParallelError",
     "DeadlineMissError",
     "ConfigError",
 ]

@@ -3,7 +3,7 @@
 Usage::
 
     python -m repro tables
-    python -m repro fig4 [--runs 1000] [--jobs 4] [--csv out.csv]
+    python -m repro fig4 [--runs 1000] [--jobs 4 | --n-jobs 4] [--csv out.csv]
     python -m repro fig5 ...
     python -m repro fig6 ...
     python -m repro run --app atr --load 0.5 --model xscale --procs 2
@@ -49,7 +49,16 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--runs", type=int, default=1000,
                         help="Monte-Carlo runs per point (paper: 1000)")
         fp.add_argument("--jobs", type=int, default=1,
-                        help="worker processes (0 = all cores)")
+                        help="worker processes across sweep points "
+                             "(0 = all cores)")
+        fp.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
+                        help="worker processes for the Monte-Carlo runs "
+                             "inside each point (0 = all cores); "
+                             "mutually exclusive with --jobs > 1")
+        fp.add_argument("--runs-per-chunk", type=int, default=0,
+                        dest="runs_per_chunk",
+                        help="runs per worker task for --n-jobs "
+                             "(0 = auto)")
         fp.add_argument("--seed", type=int, default=2002)
         fp.add_argument("--oracle", action="store_true",
                         help="include the clairvoyant lower bound")
@@ -68,6 +77,12 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--procs", type=int, default=2)
     rp.add_argument("--runs", type=int, default=1000)
     rp.add_argument("--seed", type=int, default=2002)
+    rp.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
+                    help="worker processes for the Monte-Carlo runs "
+                         "(0 = all cores)")
+    rp.add_argument("--runs-per-chunk", type=int, default=0,
+                    dest="runs_per_chunk",
+                    help="runs per worker task (0 = auto)")
     rp.add_argument("--schemes", nargs="*", default=list(PAPER_SCHEMES),
                     help=f"subset of {list(ALL_SCHEMES)}")
 
@@ -168,7 +183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             schemes.append("ORACLE")
         series = ALL_FIGURES[args.command](
             n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
-            seed=args.seed)
+            seed=args.seed, run_jobs=args.n_jobs,
+            runs_per_chunk=args.runs_per_chunk)
         _emit_figure(series, args.csv, chart=args.chart)
         if args.save:
             from .experiments.persist import save_series
@@ -182,7 +198,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         cfg = RunConfig(schemes=tuple(args.schemes),
                         power_model=args.model,
                         n_processors=args.procs, n_runs=args.runs,
-                        seed=args.seed)
+                        seed=args.seed, n_jobs=args.n_jobs,
+                        runs_per_chunk=args.runs_per_chunk)
         result = evaluate_application(app, cfg)
         print(f"app={args.app} load={args.load} model={args.model} "
               f"m={args.procs} runs={args.runs}")

@@ -80,3 +80,20 @@ class DeadlineMissError(SimulationError):
 
 class ConfigError(ReproError):
     """Invalid experiment or workload configuration."""
+
+
+class ParallelError(ReproError):
+    """A worker process failed during a parallel fan-out.
+
+    Wraps the original exception together with the failing work item's
+    context (the sweep point or run-chunk arguments), so a crash inside
+    a process pool is attributable without digging through subprocess
+    tracebacks.  The original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, label: str, cause: BaseException):
+        self.label = label
+        super().__init__(
+            f"parallel worker failed for {label}: "
+            f"{type(cause).__name__}: {cause}"
+        )

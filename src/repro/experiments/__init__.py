@@ -39,7 +39,13 @@ from .misprofile import (
     misprofile_evaluation,
     render_misprofile,
 )
-from .parallel import map_applications, map_load_points, resolve_jobs
+from .parallel import (
+    collect_in_order,
+    map_applications,
+    map_custom,
+    map_load_points,
+    resolve_jobs,
+)
 from .report import render_series, render_speed_changes, series_to_csv
 from .runner import EvaluationResult, RunConfig, build_plans, evaluate_application
 from .stats import paired_ratio, summarize, summarize_all
@@ -106,6 +112,8 @@ __all__ = [
     "render_misprofile",
     "map_load_points",
     "map_applications",
+    "map_custom",
+    "collect_in_order",
     "resolve_jobs",
     "save_series",
     "load_series",

@@ -38,21 +38,31 @@ FIG6_LOAD = 0.9
 
 
 def _fig_config(n_runs: int, n_processors: int, power_model: str,
-                schemes: Sequence[str], seed: int) -> RunConfig:
+                schemes: Sequence[str], seed: int,
+                run_jobs: int = 1, runs_per_chunk: int = 0) -> RunConfig:
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
-                     n_processors=n_processors, n_runs=n_runs, seed=seed)
+                     n_processors=n_processors, n_runs=n_runs, seed=seed,
+                     n_jobs=run_jobs, runs_per_chunk=runs_per_chunk)
 
 
 def figure4(n_runs: int = 1000,
             loads: Sequence[float] = DEFAULT_LOADS,
             schemes: Sequence[str] = PAPER_SCHEMES,
             n_jobs: int = 1, seed: int = 2002,
-            alpha: float = ATR_ALPHA) -> Dict[str, SeriesResult]:
-    """Energy vs load, ATR, dual-processor (Figure 4a/4b)."""
+            alpha: float = ATR_ALPHA,
+            run_jobs: int = 1,
+            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
+    """Energy vs load, ATR, dual-processor (Figure 4a/4b).
+
+    ``n_jobs`` parallelizes across sweep points; ``run_jobs`` (and
+    ``runs_per_chunk``) parallelize the Monte-Carlo runs inside each
+    point instead — prefer the latter when points are few but heavy.
+    """
     out: Dict[str, SeriesResult] = {}
     graph = atr_graph(AtrConfig(alpha=alpha))
     for model in PAPER_POWER_MODELS:
-        cfg = _fig_config(n_runs, 2, model, schemes, seed)
+        cfg = _fig_config(n_runs, 2, model, schemes, seed,
+                          run_jobs, runs_per_chunk)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}")
     return out
@@ -62,7 +72,9 @@ def figure5(n_runs: int = 1000,
             loads: Sequence[float] = DEFAULT_LOADS,
             schemes: Sequence[str] = PAPER_SCHEMES,
             n_jobs: int = 1, seed: int = 2002,
-            alpha: float = ATR_ALPHA) -> Dict[str, SeriesResult]:
+            alpha: float = ATR_ALPHA,
+            run_jobs: int = 1,
+            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
     The ATR graph is widened (more simultaneous ROIs) so that six
@@ -75,7 +87,8 @@ def figure5(n_runs: int = 1000,
                         roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
     graph = atr_graph(cfg_atr)
     for model in PAPER_POWER_MODELS:
-        cfg = _fig_config(n_runs, 6, model, schemes, seed)
+        cfg = _fig_config(n_runs, 6, model, schemes, seed,
+                          run_jobs, runs_per_chunk)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}")
     return out
@@ -85,11 +98,14 @@ def figure6(n_runs: int = 1000,
             alphas: Sequence[float] = DEFAULT_ALPHAS,
             schemes: Sequence[str] = PAPER_SCHEMES,
             n_jobs: int = 1, seed: int = 2002,
-            load: float = FIG6_LOAD) -> Dict[str, SeriesResult]:
+            load: float = FIG6_LOAD,
+            run_jobs: int = 1,
+            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b)."""
     out: Dict[str, SeriesResult] = {}
     for model in PAPER_POWER_MODELS:
-        cfg = _fig_config(n_runs, 2, model, schemes, seed)
+        cfg = _fig_config(n_runs, 2, model, schemes, seed,
+                          run_jobs, runs_per_chunk)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}")
     return out

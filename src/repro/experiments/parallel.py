@@ -9,6 +9,18 @@ sweeps deterministic regardless of worker scheduling.
 
 ``n_jobs=1`` (the default) bypasses the pool entirely — on single-core
 boxes the pickling round-trip costs more than it buys.
+
+Failure semantics: the pools fail fast.  If any worker raises, the
+outstanding futures are cancelled (``cancel_futures=True``) and the
+error is re-raised as :class:`~repro.errors.ParallelError` carrying the
+failing point's arguments, with the worker's exception chained as
+``__cause__``.
+
+There are two layers of parallelism: this module fans out across sweep
+*points*, while :func:`~repro.experiments.runner.evaluate_application`
+can additionally fan out the Monte-Carlo *runs* inside one point
+(``RunConfig.n_jobs``).  When the point-level pool is active, the
+per-point config is forced to ``n_jobs=1`` so workers never nest pools.
 """
 
 from __future__ import annotations
@@ -17,19 +29,47 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigError
+from ..errors import ConfigError, ParallelError
 from ..graph.andor import AndOrGraph, Application
 from ..workloads.scaling import application_with_load
 from .runner import EvaluationResult, RunConfig, evaluate_application
 
 
-def resolve_jobs(n_jobs: Optional[int]) -> int:
-    """Normalize an ``n_jobs`` request (None/0 → all cores, negative → error)."""
+def resolve_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` request.
+
+    ``None``/``0`` → all cores; negative → :class:`ConfigError`.  When
+    ``n_items`` is given, the answer is additionally clamped to the
+    amount of available work (never below 1), so a 32-core request for
+    a 3-point sweep starts 3 workers, not 32 mostly-idle ones.
+    """
     if n_jobs is None or n_jobs == 0:
-        return os.cpu_count() or 1
-    if n_jobs < 0:
+        jobs = os.cpu_count() or 1
+    elif n_jobs < 0:
         raise ConfigError(f"n_jobs must be positive, got {n_jobs}")
-    return n_jobs
+    else:
+        jobs = n_jobs
+    if n_items is not None:
+        jobs = max(1, min(jobs, n_items))
+    return jobs
+
+
+def collect_in_order(pool: ProcessPoolExecutor, futures: Sequence,
+                     labels: Sequence[str]) -> List:
+    """Gather futures in submission order, failing fast with context.
+
+    On the first worker exception the remaining futures are cancelled
+    and the pool is shut down without waiting, then the error is
+    re-raised as :class:`ParallelError` naming the failing work item.
+    """
+    results = []
+    for future, label in zip(futures, labels):
+        try:
+            results.append(future.result())
+        except Exception as exc:
+            pool.shutdown(wait=False, cancel_futures=True)
+            raise ParallelError(label, exc) from exc
+    return results
 
 
 def _evaluate_load_point(graph: AndOrGraph, load: float,
@@ -42,13 +82,15 @@ def map_load_points(graph: AndOrGraph, loads: Sequence[float],
                     config: RunConfig,
                     n_jobs: int = 1) -> List[EvaluationResult]:
     """Evaluate one application at several loads, optionally in parallel."""
-    jobs = resolve_jobs(n_jobs)
-    if jobs == 1 or len(loads) <= 1:
+    jobs = resolve_jobs(n_jobs, n_items=len(loads))
+    if jobs == 1:
         return [_evaluate_load_point(graph, ld, config) for ld in loads]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(loads))) as pool:
-        futures = [pool.submit(_evaluate_load_point, graph, ld, config)
+    point_config = config.with_(n_jobs=1)  # workers must not nest pools
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_evaluate_load_point, graph, ld, point_config)
                    for ld in loads]
-        return [f.result() for f in futures]
+        return collect_in_order(pool, futures,
+                                [f"load={ld!r}" for ld in loads])
 
 
 def _evaluate_app_point(app: Application,
@@ -59,21 +101,24 @@ def _evaluate_app_point(app: Application,
 def map_applications(apps: Sequence[Application], config: RunConfig,
                      n_jobs: int = 1) -> List[EvaluationResult]:
     """Evaluate several pre-built applications (e.g. an α sweep)."""
-    jobs = resolve_jobs(n_jobs)
-    if jobs == 1 or len(apps) <= 1:
+    jobs = resolve_jobs(n_jobs, n_items=len(apps))
+    if jobs == 1:
         return [_evaluate_app_point(a, config) for a in apps]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(apps))) as pool:
-        futures = [pool.submit(_evaluate_app_point, a, config)
+    point_config = config.with_(n_jobs=1)  # workers must not nest pools
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        futures = [pool.submit(_evaluate_app_point, a, point_config)
                    for a in apps]
-        return [f.result() for f in futures]
+        return collect_in_order(pool, futures,
+                                [f"app={a.name!r}" for a in apps])
 
 
 def map_custom(fn: Callable, args_list: Sequence[Tuple],
                n_jobs: int = 1) -> List:
     """Generic fan-out for ablation sweeps (fn must be picklable)."""
-    jobs = resolve_jobs(n_jobs)
-    if jobs == 1 or len(args_list) <= 1:
+    jobs = resolve_jobs(n_jobs, n_items=len(args_list))
+    if jobs == 1:
         return [fn(*args) for args in args_list]
-    with ProcessPoolExecutor(max_workers=min(jobs, len(args_list))) as pool:
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
         futures = [pool.submit(fn, *args) for args in args_list]
-        return [f.result() for f in futures]
+        return collect_in_order(pool, futures,
+                                [f"args={args!r}" for args in args_list])

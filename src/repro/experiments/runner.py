@@ -10,10 +10,19 @@ fanning points out over a process pool (:mod:`repro.experiments.parallel`).
 Determinism: one ``seed`` fixes the whole evaluation — realizations are
 drawn from ``numpy.random.default_rng(seed)`` in run order, and the
 schemes see identical realizations.
+
+Run-level parallelism (``n_jobs``): the full realization batch is
+sampled once in the parent process (so the fixed-seed random streams
+are untouched), split into contiguous chunks, and farmed to a
+``ProcessPoolExecutor`` whose workers receive the prebuilt plans,
+policies, power and overhead models once via the pool initializer.
+Per-chunk arrays are merged back at their run offsets, so ``n_jobs=1``
+and ``n_jobs=N`` produce bit-identical :class:`EvaluationResult`\\ s.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -27,7 +36,7 @@ from ..offline.plan import OfflinePlan, build_plan
 from ..power.model import PowerModel, make_power_model
 from ..power.overhead import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
 from ..sim.engine import simulate
-from ..sim.realization import sample_realization_batch
+from ..sim.realization import Realization, batch_in_chunks, sample_realization_batch
 
 
 @dataclass(frozen=True)
@@ -43,6 +52,11 @@ class RunConfig:
     sigma_fraction: float = 1.0 / 3.0
     idle_fraction: float = 0.05
     heuristic: str = "ltf"  # list-scheduling priority (paper: LTF)
+    #: worker processes for the runs *inside* one evaluation
+    #: (1 = sequential, 0 = all cores; clamped to the number of chunks)
+    n_jobs: int = 1
+    #: Monte-Carlo runs per worker task (0 = auto: ~4 chunks per worker)
+    runs_per_chunk: int = 0
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -51,6 +65,17 @@ class RunConfig:
             raise ConfigError("n_processors must be >= 1")
         if not self.schemes:
             raise ConfigError("need at least one scheme")
+        if self.n_jobs < 0:
+            raise ConfigError(
+                f"n_jobs must be >= 0 (0 = all cores), got {self.n_jobs}")
+        if self.runs_per_chunk < 0:
+            raise ConfigError(
+                f"runs_per_chunk must be >= 0 (0 = auto), "
+                f"got {self.runs_per_chunk}")
+        if self.runs_per_chunk > self.n_runs:
+            raise ConfigError(
+                f"runs_per_chunk ({self.runs_per_chunk}) exceeds n_runs "
+                f"({self.n_runs}); use 0 to size chunks automatically")
 
     def with_(self, **kwargs) -> "RunConfig":
         return replace(self, **kwargs)
@@ -96,14 +121,20 @@ class EvaluationResult:
         return {k: np.asarray(v) for k, v in groups.items()}
 
     def path_frequencies(self) -> Dict[str, float]:
-        """Observed fraction of runs per executed path."""
+        """Observed fraction of runs per executed path.
+
+        Occurrences are counted as integers and divided once, so each
+        frequency is exactly ``count/n`` (no float accumulation drift)
+        and the values sum to 1.0 up to at most one rounding error per
+        path.
+        """
         n = len(self.path_keys)
         if n == 0:
             raise ConfigError("path keys were not recorded for this run")
-        freq: Dict[str, float] = {}
+        counts: Dict[str, int] = {}
         for key in self.path_keys:
-            freq[key] = freq.get(key, 0.0) + 1.0 / n
-        return freq
+            counts[key] = counts.get(key, 0) + 1
+        return {key: count / n for key, count in counts.items()}
 
 
 def _path_key(structure, sim_result) -> str:
@@ -154,35 +185,41 @@ def build_plans(app: Application, config: RunConfig,
     return plan_dyn, plan_static
 
 
-def evaluate_application(app: Application,
-                         config: RunConfig) -> EvaluationResult:
-    """Simulate ``config.n_runs`` paired runs of every scheme on ``app``."""
-    power = config.make_power()
-    plan_dyn, plan_static = build_plans(app, config, power)
-    structure = plan_static.structure
+def _simulate_runs(plan_dyn: Optional[OfflinePlan],
+                   plan_static: OfflinePlan,
+                   scheme_names: Sequence[str],
+                   power: PowerModel,
+                   overhead: OverheadModel,
+                   realizations: Sequence[Realization]
+                   ) -> Tuple[np.ndarray, Dict[str, np.ndarray],
+                              Dict[str, np.ndarray], List[str]]:
+    """Simulate a block of prebuilt realizations under every scheme.
 
+    The shared core of the sequential path and the per-chunk worker
+    task: runs are simulated strictly in the order of ``realizations``
+    and each run's computation is independent of the block's
+    boundaries, which is what makes chunked execution bit-identical to
+    sequential execution.
+    """
+    structure = plan_static.structure
     policies: Dict[str, SpeedPolicy] = {}
-    for name in config.schemes:
+    for name in scheme_names:
         policy = get_policy(name)
         policies[policy.name] = policy
 
-    n = config.n_runs
+    n = len(realizations)
     npm_policy = get_policy("NPM")
     npm_energy = np.empty(n)
     absolute = {name: np.empty(n) for name in policies}
     changes = {name: np.empty(n, dtype=float) for name in policies}
+    path_keys: List[str] = []
 
-    result_path_keys: List[str] = []
-    rng = np.random.default_rng(config.seed)
-    realizations = sample_realization_batch(
-        structure, rng, n, sigma_fraction=config.sigma_fraction)
-    for i in range(n):
-        rl = realizations[i]
+    for i, rl in enumerate(realizations):
         npm_run = npm_policy.start_run(plan_static, power, NO_OVERHEAD,
                                        realization=rl)
         base = simulate(plan_static, npm_run, power, NO_OVERHEAD, rl)
         npm_energy[i] = base.total_energy
-        result_path_keys.append(_path_key(structure, base))
+        path_keys.append(_path_key(structure, base))
         for name, policy in policies.items():
             if name == "NPM":
                 absolute[name][i] = base.total_energy
@@ -194,16 +231,115 @@ def evaluate_application(app: Application,
                 changes[name][i] = 0.0
                 continue
             plan = plan_dyn if policy.requires_reserve else plan_static
-            run = policy.start_run(plan, power, config.overhead,
+            run = policy.start_run(plan, power, overhead,
                                    realization=rl)
-            res = simulate(plan, run, power, config.overhead, rl)
+            res = simulate(plan, run, power, overhead, rl)
             absolute[name][i] = res.total_energy
             changes[name][i] = res.n_speed_changes
+    return npm_energy, absolute, changes, path_keys
+
+
+#: per-worker evaluation context, installed once by the pool initializer
+#: instead of pickling the plans/models into every chunk task
+_WORKER_CTX: Dict[str, tuple] = {}
+
+
+def _init_eval_worker(plan_dyn: Optional[OfflinePlan],
+                      plan_static: OfflinePlan,
+                      scheme_names: Tuple[str, ...],
+                      power: PowerModel,
+                      overhead: OverheadModel) -> None:
+    _WORKER_CTX["ctx"] = (plan_dyn, plan_static, scheme_names, power,
+                          overhead)
+
+
+def _eval_chunk(start: int, realizations: Sequence[Realization]):
+    """Worker task: simulate one chunk, tagged with its run offset."""
+    plan_dyn, plan_static, scheme_names, power, overhead = \
+        _WORKER_CTX["ctx"]
+    npm, absolute, changes, keys = _simulate_runs(
+        plan_dyn, plan_static, scheme_names, power, overhead, realizations)
+    return start, npm, absolute, changes, keys
+
+
+def _auto_chunk_size(n_runs: int, jobs: int) -> int:
+    """Default chunk size: ~4 chunks per worker for load balancing.
+
+    Small enough that a straggler chunk costs ~1/(4·jobs) of the work,
+    large enough that per-task pickling of realizations stays noise.
+    Any chunk size yields identical results; this only shapes timing.
+    """
+    return max(1, -(-n_runs // (4 * jobs)))
+
+
+def evaluate_application(app: Application,
+                         config: RunConfig,
+                         n_jobs: Optional[int] = None,
+                         runs_per_chunk: Optional[int] = None
+                         ) -> EvaluationResult:
+    """Simulate ``config.n_runs`` paired runs of every scheme on ``app``.
+
+    ``n_jobs``/``runs_per_chunk`` override the corresponding
+    :class:`RunConfig` fields when given (``None`` defers to the
+    config).  Results are bit-identical for every worker count: the
+    realization batch is sampled once here, in the parent, from the
+    config's seed, and chunk boundaries only partition prebuilt work.
+    """
+    power = config.make_power()
+    plan_dyn, plan_static = build_plans(app, config, power)
+    structure = plan_static.structure
+
+    # canonical scheme labels, preserving request order (aliases resolved)
+    scheme_names = tuple(get_policy(name).name for name in config.schemes)
+
+    n = config.n_runs
+    rng = np.random.default_rng(config.seed)
+    realizations = sample_realization_batch(
+        structure, rng, n, sigma_fraction=config.sigma_fraction)
+
+    from .parallel import collect_in_order, resolve_jobs
+    eff_jobs = config.n_jobs if n_jobs is None else n_jobs
+    eff_chunk = (config.runs_per_chunk if runs_per_chunk is None
+                 else runs_per_chunk)
+    if eff_chunk < 0:
+        raise ConfigError(
+            f"runs_per_chunk must be >= 0 (0 = auto), got {eff_chunk}")
+    jobs = resolve_jobs(eff_jobs, n_items=n)
+    chunk_size = min(eff_chunk, n) if eff_chunk else _auto_chunk_size(n, jobs)
+    chunks = list(batch_in_chunks(realizations, chunk_size))
+    jobs = min(jobs, len(chunks))
+
+    if jobs == 1:
+        npm_energy, absolute, changes, path_keys = _simulate_runs(
+            plan_dyn, plan_static, scheme_names, power, config.overhead,
+            realizations)
+    else:
+        npm_energy = np.empty(n)
+        absolute = {name: np.empty(n) for name in scheme_names}
+        changes = {name: np.empty(n, dtype=float) for name in scheme_names}
+        path_keys = [""] * n
+        with ProcessPoolExecutor(
+                max_workers=jobs,
+                initializer=_init_eval_worker,
+                initargs=(plan_dyn, plan_static, scheme_names, power,
+                          config.overhead)) as pool:
+            futures = [pool.submit(_eval_chunk, start, block)
+                       for start, block in chunks]
+            labels = [f"runs[{start}:{start + len(block)}]"
+                      for start, block in chunks]
+            for start, npm, c_abs, c_chg, keys in \
+                    collect_in_order(pool, futures, labels):
+                stop = start + len(keys)
+                npm_energy[start:stop] = npm
+                path_keys[start:stop] = keys
+                for name in scheme_names:
+                    absolute[name][start:stop] = c_abs[name]
+                    changes[name][start:stop] = c_chg[name]
 
     result = EvaluationResult(app_name=app.name, config=config,
                               npm_energy=npm_energy,
-                              path_keys=result_path_keys)
-    for name in policies:
+                              path_keys=list(path_keys))
+    for name in scheme_names:
         result.absolute[name] = absolute[name]
         result.normalized[name] = absolute[name] / npm_energy
         result.speed_changes[name] = changes[name]

@@ -12,8 +12,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..graph.andor import AndOrGraph
 from ..types import SeriesResult
 from ..workloads.scaling import application_with_load
-from .parallel import map_applications, map_load_points
-from .runner import EvaluationResult, RunConfig
+from .parallel import map_applications, map_custom, map_load_points
+from .runner import EvaluationResult, RunConfig, evaluate_application
 from .stats import summarize
 
 #: the paper's sweep grid (figures plot 0.1 … 1.0)
@@ -37,7 +37,14 @@ def sweep_load(graph: AndOrGraph, config: RunConfig,
                loads: Sequence[float] = DEFAULT_LOADS,
                n_jobs: int = 1,
                name: str = "load-sweep") -> SeriesResult:
-    """Normalized energy vs load (the Figure 4/5 x-axis)."""
+    """Normalized energy vs load (the Figure 4/5 x-axis).
+
+    ``n_jobs`` fans the sweep *points* out over processes; set
+    ``config.n_jobs`` instead to parallelize the Monte-Carlo *runs*
+    inside each point (useful when points are few but expensive).  The
+    point-level pool forces run-level ``n_jobs=1`` in its workers, so
+    the two levels never nest.
+    """
     results = map_load_points(graph, list(loads), config, n_jobs=n_jobs)
     return _series_from(name, "load", loads, results,
                         meta={"app": graph.name,
@@ -78,6 +85,7 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
 
     Backs the paper's observation that "when the number of processors
     increases, the performance of the dynamic schemes decreases".
+    ``n_jobs`` fans the per-count evaluations out over processes.
     """
     apps = []
     configs: List[RunConfig] = []
@@ -85,8 +93,10 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
         cfg = config.with_(n_processors=m)
         apps.append(application_with_load(graph_builder(), load, m))
         configs.append(cfg)
-    results = [map_applications([app], cfg, n_jobs=1)[0]
-               for app, cfg in zip(apps, configs)]
+    if n_jobs != 1:  # point-level pool active: workers must not nest pools
+        configs = [c.with_(n_jobs=1) for c in configs]
+    results = map_custom(evaluate_application,
+                         list(zip(apps, configs)), n_jobs=n_jobs)
     return _series_from(name, "processors",
                         [float(m) for m in processor_counts], results,
                         meta={"load": load,
@@ -101,16 +111,20 @@ def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
     """Normalized energy vs voltage-switch overhead (ablation).
 
     The paper's future-work question: how sensitive are the schemes to
-    the speed-adjustment cost?
+    the speed-adjustment cost?  ``n_jobs`` fans the per-overhead
+    evaluations out over processes.
     """
-    results = []
+    points = []
     for t_adj in adjust_times:
         cfg = config.with_(overhead=config.overhead.__class__(
             comp_cycles=config.overhead.comp_cycles,
             adjust_time=t_adj,
             time_unit_us=config.overhead.time_unit_us))
+        if n_jobs != 1:  # point-level pool active: no nested pools
+            cfg = cfg.with_(n_jobs=1)
         app = application_with_load(graph, load, cfg.n_processors)
-        results.append(map_applications([app], cfg, n_jobs=1)[0])
+        points.append((app, cfg))
+    results = map_custom(evaluate_application, points, n_jobs=n_jobs)
     return _series_from(name, "adjust_time",
                         [float(t) for t in adjust_times], results,
                         meta={"load": load, "app": graph.name,

@@ -17,7 +17,14 @@ from .heuristics import (
     available_heuristics,
     get_heuristic,
 )
-from .plan import OfflinePlan, SectionPlan, build_plan
+from .plan import (
+    OfflinePlan,
+    SectionPlan,
+    build_plan,
+    clear_plan_cache,
+    graph_fingerprint,
+    plan_cache_stats,
+)
 from .visualize import render_plan, render_section
 
 __all__ = [
@@ -28,6 +35,9 @@ __all__ = [
     "OfflinePlan",
     "SectionPlan",
     "build_plan",
+    "clear_plan_cache",
+    "graph_fingerprint",
+    "plan_cache_stats",
     "get_heuristic",
     "available_heuristics",
     "DEFAULT_HEURISTIC",

@@ -20,11 +20,14 @@ This implements Section 3.2's two-round offline phase:
 
 from __future__ import annotations
 
+import hashlib
+import json
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import InfeasibleError
-from ..graph.andor import Application
+from ..errors import InfeasibleError, ValidationError
+from ..graph.andor import AndOrGraph, Application
 from ..graph.sections import SectionStructure
 from ..graph.validate import validate_application
 from ..types import PathStats, ScheduledTask
@@ -96,26 +99,83 @@ class OfflinePlan:
         return self.branch_stats[or_name][target_sid]
 
 
-def build_plan(app: Application, n_processors: int,
-               reserve: float = 0.0,
-               structure: Optional[SectionStructure] = None,
-               require_feasible: bool = True,
-               heuristic: str = "ltf") -> OfflinePlan:
-    """Run the offline phase for ``app`` on ``n_processors`` processors.
+@dataclass
+class _CanonicalStage:
+    """The deadline-independent output of round 1 for one cache key.
 
-    ``heuristic`` picks the list-scheduling priority (see
-    :mod:`repro.offline.heuristics`); the paper uses LTF.  Raises
-    :class:`InfeasibleError` if the canonical worst case misses the
-    deadline (set ``require_feasible=False`` to obtain the plan anyway,
-    e.g. to measure by how much a deadline must be extended).
+    Canonical list schedules depend only on the graph, the processor
+    count, the reserve and the heuristic — not on the deadline — so a
+    load sweep that revisits the same graph at many deadlines can reuse
+    them.  Everything mutable in :class:`SectionPlan` (shift, LSTs,
+    remaining-time fields) is recomputed per :func:`build_plan` call
+    from this read-only snapshot.
     """
+
+    structure: SectionStructure
+    #: sid -> (wc schedule, length_wc, length_ac, dispatch_order, preds)
+    sections: Dict[int, Tuple[CanonicalSchedule, float, float,
+                              List[str], Dict[str, List[str]]]]
+
+
+#: canonical-stage cache: (graph fingerprint, m, reserve, heuristic) ->
+#: :class:`_CanonicalStage`.  Per-process (workers each grow their own),
+#: bounded LRU.  Not thread-safe; the library is process-parallel only.
+_PLAN_CACHE: "OrderedDict[Tuple[str, int, float, str], _CanonicalStage]" \
+    = OrderedDict()
+_PLAN_CACHE_MAX = 64
+_plan_cache_hits = 0
+_plan_cache_misses = 0
+
+
+def graph_fingerprint(graph: AndOrGraph) -> str:
+    """A deterministic content hash of a graph (nodes, edges, probabilities).
+
+    Two structurally identical graphs fingerprint identically regardless
+    of object identity; any change to a node's timing, an edge, or a
+    branch probability changes the digest.  Used as the graph component
+    of the offline-plan cache key.
+    """
+    from ..graph.serialize import graph_to_dict
+    payload = json.dumps(graph_to_dict(graph), sort_keys=True)
+    return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached canonical stage (and reset the hit counters)."""
+    global _plan_cache_hits, _plan_cache_misses
+    _PLAN_CACHE.clear()
+    _plan_cache_hits = 0
+    _plan_cache_misses = 0
+
+
+def plan_cache_stats() -> Dict[str, int]:
+    """Cache effectiveness counters: ``{"hits", "misses", "size"}``."""
+    return {"hits": _plan_cache_hits, "misses": _plan_cache_misses,
+            "size": len(_PLAN_CACHE)}
+
+
+def _canonical_stage(app: Application, n_processors: int, reserve: float,
+                     structure: Optional[SectionStructure],
+                     heuristic: str, use_cache: bool) -> _CanonicalStage:
+    """Round 1, memoized on ``(graph, m, reserve, heuristic)``."""
+    global _plan_cache_hits, _plan_cache_misses
+    key = (graph_fingerprint(app.graph), n_processors, float(reserve),
+           heuristic)
+    if use_cache:
+        stage = _PLAN_CACHE.get(key)
+        if stage is not None:
+            _plan_cache_hits += 1
+            _PLAN_CACHE.move_to_end(key)
+            return stage
+        _plan_cache_misses += 1
+
     from .heuristics import get_heuristic
     heuristic_fn = get_heuristic(heuristic)
     if structure is None:
         structure = validate_application(app)
-    graph = app.graph
 
-    sections: Dict[int, SectionPlan] = {}
+    sections: Dict[int, Tuple[CanonicalSchedule, float, float,
+                              List[str], Dict[str, List[str]]]] = {}
     for section in structure.sections:
         sub = structure.subgraph(section.id)
         priority = heuristic_fn(sub)
@@ -128,13 +188,55 @@ def build_plan(app: Application, n_processors: int,
             name: [p for p in sub.predecessors(name)]
             for name in sub.node_names
         }
-        sections[section.id] = SectionPlan(
-            sid=section.id,
+        sections[section.id] = (wc, wc.length, ac.length,
+                                list(wc.dispatch_order), preds_within)
+
+    stage = _CanonicalStage(structure=structure, sections=sections)
+    if use_cache:
+        _PLAN_CACHE[key] = stage
+        while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+            _PLAN_CACHE.popitem(last=False)
+    return stage
+
+
+def build_plan(app: Application, n_processors: int,
+               reserve: float = 0.0,
+               structure: Optional[SectionStructure] = None,
+               require_feasible: bool = True,
+               heuristic: str = "ltf",
+               use_cache: bool = True) -> OfflinePlan:
+    """Run the offline phase for ``app`` on ``n_processors`` processors.
+
+    ``heuristic`` picks the list-scheduling priority (see
+    :mod:`repro.offline.heuristics`); the paper uses LTF.  Raises
+    :class:`InfeasibleError` if the canonical worst case misses the
+    deadline (set ``require_feasible=False`` to obtain the plan anyway,
+    e.g. to measure by how much a deadline must be extended).
+
+    The expensive round-1 canonical schedules are memoized on
+    ``(graph fingerprint, n_processors, reserve, heuristic)`` — they do
+    not depend on the deadline, so load sweeps over one graph rebuild
+    only the cheap shifting round.  ``use_cache=False`` bypasses the
+    memo (and does not populate it).
+    """
+    if app.deadline <= 0:  # validate_application may be skipped on a hit
+        raise ValidationError(
+            f"deadline must be positive, got {app.deadline}")
+    stage = _canonical_stage(app, n_processors, reserve, structure,
+                             heuristic, use_cache)
+    if structure is None:
+        structure = stage.structure
+
+    sections: Dict[int, SectionPlan] = {}
+    for sid, (wc, length_wc, length_ac, order, preds) in \
+            stage.sections.items():
+        sections[sid] = SectionPlan(
+            sid=sid,
             schedule=wc,
-            length_wc=wc.length,
-            length_ac=ac.length,
-            dispatch_order=list(wc.dispatch_order),
-            preds_within=preds_within,
+            length_wc=length_wc,
+            length_ac=length_ac,
+            dispatch_order=list(order),
+            preds_within={k: list(v) for k, v in preds.items()},
         )
 
     branch_stats: Dict[str, Dict[int, PathStats]] = {}

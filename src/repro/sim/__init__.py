@@ -14,6 +14,7 @@ from .power_trace import (
 )
 from .realization import (
     Realization,
+    batch_in_chunks,
     sample_realization,
     sample_realization_batch,
     sample_realizations,
@@ -28,6 +29,7 @@ __all__ = [
     "render_profile",
     "compare_profiles",
     "Realization",
+    "batch_in_chunks",
     "sample_realization",
     "sample_realization_batch",
     "sample_realizations",

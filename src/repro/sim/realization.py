@@ -184,3 +184,19 @@ def sample_realization_batch(structure: SectionStructure,
                    for or_name, picks in choice_matrix.items()}
         out.append(Realization(actuals=actuals, choices=choices))
     return out
+
+
+def batch_in_chunks(realizations: "list[Realization]", chunk_size: int):
+    """Yield ``(start, block)`` slices of a prebuilt realization batch.
+
+    The run-level parallel evaluator samples the whole batch once in the
+    parent process (so fixed-seed random streams stay bit-identical to
+    the sequential path) and farms these contiguous blocks to workers;
+    ``start`` is the block's offset in run order, which the parent uses
+    to merge per-chunk results back into position.
+    """
+    if chunk_size < 1:
+        raise SimulationError(
+            f"chunk size must be >= 1, got {chunk_size}")
+    for start in range(0, len(realizations), chunk_size):
+        yield start, realizations[start:start + chunk_size]

@@ -31,6 +31,15 @@ class TestResolveJobs:
         with pytest.raises(ConfigError):
             resolve_jobs(-1)
 
+    def test_clamped_to_available_work(self):
+        assert resolve_jobs(32, n_items=3) == 3
+        assert resolve_jobs(None, n_items=2) <= 2
+        assert resolve_jobs(2, n_items=100) == 2
+
+    def test_clamp_never_below_one(self):
+        assert resolve_jobs(4, n_items=0) == 1
+        assert resolve_jobs(None, n_items=0) == 1
+
 
 class TestSerialParallelEquivalence:
     def test_load_points_identical(self, cfg):
@@ -49,6 +58,18 @@ class TestSerialParallelEquivalence:
         pooled = map_applications(apps, cfg, n_jobs=2)
         for a, b in zip(serial, pooled):
             assert a.mean_normalized() == b.mean_normalized()
+
+    def test_pool_disables_nested_run_parallelism(self, cfg):
+        # a config asking for run-level workers must not nest pools
+        # inside point-level workers — and must still match serial
+        g = figure3_graph()
+        serial = map_load_points(g, [0.4, 0.7], cfg, n_jobs=1)
+        pooled = map_load_points(g, [0.4, 0.7], cfg.with_(n_jobs=2),
+                                 n_jobs=2)
+        for a, b in zip(serial, pooled):
+            for scheme in a.normalized:
+                assert np.array_equal(a.normalized[scheme],
+                                      b.normalized[scheme])
 
     def test_results_in_submission_order(self, cfg):
         g = figure3_graph()

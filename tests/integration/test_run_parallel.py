@@ -1,0 +1,145 @@
+"""Run-level parallel evaluation: determinism, chunking, failure paths.
+
+The contract under test: ``evaluate_application`` samples the full
+realization batch once in the parent from the config seed, so the
+worker count and chunk size may shape wall-clock but must never change
+a single bit of the result.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ParallelError
+from repro.experiments import RunConfig, evaluate_application
+from repro.experiments.parallel import map_custom, map_load_points
+from repro.experiments.runner import EvaluationResult, _auto_chunk_size
+from repro.workloads import application_with_load, atr_graph, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def app():
+    return application_with_load(atr_graph(), 0.5, 2)
+
+
+@pytest.fixture(scope="module")
+def serial_result(app):
+    return evaluate_application(app, RunConfig(n_runs=30, seed=11),
+                                n_jobs=1)
+
+
+def _assert_identical(a, b):
+    assert np.array_equal(a.npm_energy, b.npm_energy)
+    assert a.path_keys == b.path_keys
+    assert set(a.normalized) == set(b.normalized)
+    for scheme in a.normalized:
+        assert np.array_equal(a.normalized[scheme], b.normalized[scheme])
+        assert np.array_equal(a.absolute[scheme], b.absolute[scheme])
+        assert np.array_equal(a.speed_changes[scheme],
+                              b.speed_changes[scheme])
+
+
+class TestRunLevelDeterminism:
+    def test_pooled_identical_to_serial(self, app, serial_result):
+        pooled = evaluate_application(app, RunConfig(n_runs=30, seed=11),
+                                      n_jobs=4)
+        _assert_identical(serial_result, pooled)
+
+    def test_chunk_size_irrelevant(self, app, serial_result):
+        for chunk in (1, 7, 30):
+            pooled = evaluate_application(
+                app, RunConfig(n_runs=30, seed=11),
+                n_jobs=2, runs_per_chunk=chunk)
+            _assert_identical(serial_result, pooled)
+
+    def test_config_carried_jobs(self, app, serial_result):
+        cfg = RunConfig(n_runs=30, seed=11, n_jobs=3, runs_per_chunk=8)
+        _assert_identical(serial_result, evaluate_application(app, cfg))
+
+    def test_explicit_argument_overrides_config(self, app, serial_result):
+        cfg = RunConfig(n_runs=30, seed=11, n_jobs=4)
+        # n_jobs=1 override must take the sequential path and still match
+        _assert_identical(serial_result,
+                          evaluate_application(app, cfg, n_jobs=1))
+
+    def test_jobs_clamped_to_work(self, app):
+        # 3 runs, 16 workers requested: must not crash or pad results
+        res = evaluate_application(app, RunConfig(n_runs=3, seed=2),
+                                   n_jobs=16, runs_per_chunk=1)
+        assert res.npm_energy.shape == (3,)
+        assert len(res.path_keys) == 3
+
+
+class TestChunkKnobValidation:
+    def test_auto_chunk_size_bounds(self):
+        assert _auto_chunk_size(1000, 4) == 63  # ceil(1000/16)
+        assert _auto_chunk_size(3, 8) == 1
+        assert _auto_chunk_size(1, 1) == 1
+
+    def test_negative_jobs_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(n_jobs=-1)
+
+    def test_negative_chunk_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(runs_per_chunk=-5)
+
+    def test_chunk_beyond_runs_rejected(self):
+        with pytest.raises(ConfigError, match="exceeds n_runs"):
+            RunConfig(n_runs=10, runs_per_chunk=11)
+
+    def test_negative_chunk_argument_rejected(self, app):
+        with pytest.raises(ConfigError):
+            evaluate_application(app, RunConfig(n_runs=5),
+                                 runs_per_chunk=-1)
+
+
+def _fail_on(x):
+    if x == "bad":
+        raise RuntimeError("worker exploded")
+    return x
+
+
+class TestWorkerFailures:
+    def test_custom_pool_failure_has_context(self):
+        with pytest.raises(ParallelError, match="args=\\('bad',\\)") as ei:
+            map_custom(_fail_on, [("ok",), ("bad",), ("ok",)], n_jobs=2)
+        assert isinstance(ei.value.__cause__, RuntimeError)
+        assert "worker exploded" in str(ei.value)
+
+    def test_load_point_failure_names_the_point(self):
+        cfg = RunConfig(schemes=("GSS",), n_runs=5, seed=1)
+        # load > 1 is rejected inside the worker process
+        with pytest.raises(ParallelError, match="load=1.5"):
+            map_load_points(figure3_graph(), [0.5, 1.5], cfg, n_jobs=2)
+
+    def test_failure_surfaces_promptly(self):
+        import time
+        start = time.monotonic()
+        with pytest.raises(ParallelError):
+            map_custom(_fail_on, [("bad",)] + [("ok",)] * 3, n_jobs=2)
+        # fail-fast: nowhere near the time 4 sequential retries would take
+        assert time.monotonic() - start < 30.0
+
+
+class TestPathFrequencies:
+    def test_exact_fractions(self):
+        res = EvaluationResult(app_name="x", config=RunConfig(n_runs=7),
+                               path_keys=["a", "b", "a", "c", "a", "b",
+                                          "a"])
+        freq = res.path_frequencies()
+        assert freq == {"a": 4 / 7, "b": 2 / 7, "c": 1 / 7}
+
+    def test_sum_is_exact_for_large_n(self):
+        # the old 1/n accumulation drifted; counting must not
+        keys = (["p"] * 333) + (["q"] * 334) + (["r"] * 333)
+        res = EvaluationResult(app_name="x", config=RunConfig(n_runs=1000),
+                               path_keys=keys)
+        freq = res.path_frequencies()
+        assert freq["p"] == 333 / 1000
+        assert freq["q"] == 334 / 1000
+        assert sum(freq.values()) == pytest.approx(1.0, abs=1e-15)
+
+    def test_empty_rejected(self):
+        res = EvaluationResult(app_name="x", config=RunConfig(n_runs=1))
+        with pytest.raises(ConfigError):
+            res.path_frequencies()

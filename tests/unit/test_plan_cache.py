@@ -1,0 +1,125 @@
+"""The offline canonical-stage cache: correctness before speed.
+
+The cache memoizes only the deadline-independent round-1 output, so a
+hit must reproduce exactly the plan a cold build produces — including
+for a *different* deadline on the same graph — and plans built from
+the same cached stage must not share mutable state.
+"""
+
+import pytest
+
+from repro.graph import Application
+from repro.offline import (
+    build_plan,
+    clear_plan_cache,
+    graph_fingerprint,
+    plan_cache_stats,
+)
+from repro.offline.plan import _PLAN_CACHE, _PLAN_CACHE_MAX
+from repro.workloads import application_with_load, atr_graph, figure3_graph
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _plans_equal(a, b):
+    assert a.t_worst == b.t_worst
+    assert a.t_avg == b.t_avg
+    assert set(a.sections) == set(b.sections)
+    for sid in a.sections:
+        sa, sb = a.sections[sid], b.sections[sid]
+        assert sa.lst == sb.lst
+        assert sa.finish_bound == sb.finish_bound
+        assert sa.shift == sb.shift
+        assert sa.dispatch_order == sb.dispatch_order
+    for or_name in a.branch_stats:
+        assert a.branch_stats[or_name] == b.branch_stats[or_name]
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        g = figure3_graph()
+        assert graph_fingerprint(g) == graph_fingerprint(g)
+
+    def test_identical_construction_matches(self):
+        assert graph_fingerprint(figure3_graph()) == \
+            graph_fingerprint(figure3_graph())
+
+    def test_timing_change_changes_digest(self):
+        assert graph_fingerprint(figure3_graph(alpha=0.5)) != \
+            graph_fingerprint(figure3_graph(alpha=0.9))
+
+
+class TestCacheCorrectness:
+    def test_hit_reproduces_cold_build(self):
+        app = application_with_load(atr_graph(), 0.5, 2)
+        cold = build_plan(app, 2, use_cache=False)
+        warm_miss = build_plan(app, 2)   # populates
+        warm_hit = build_plan(app, 2)    # serves from cache
+        assert plan_cache_stats()["hits"] >= 1
+        _plans_equal(cold, warm_miss)
+        _plans_equal(cold, warm_hit)
+
+    def test_different_deadline_reuses_stage(self):
+        g = atr_graph()
+        app_a = application_with_load(g, 0.4, 2)
+        app_b = application_with_load(g, 0.8, 2)
+        plan_a = build_plan(app_a, 2)
+        misses_before = plan_cache_stats()["misses"]
+        plan_b = build_plan(app_b, 2)
+        # same graph/m/reserve/heuristic: round 1 came from the cache
+        assert plan_cache_stats()["misses"] == misses_before
+        # but round 2 (shifting) sees each deadline
+        assert plan_a.t_worst == plan_b.t_worst
+        root = plan_a.structure.root_id
+        assert plan_a.sections[root].shift != plan_b.sections[root].shift
+        cold_b = build_plan(app_b, 2, use_cache=False)
+        _plans_equal(plan_b, cold_b)
+
+    def test_plans_do_not_share_mutable_state(self):
+        app = application_with_load(atr_graph(), 0.5, 2)
+        first = build_plan(app, 2)
+        root = first.structure.root_id
+        first.sections[root].shift = -123.0
+        first.sections[root].lst.clear()
+        first.sections[root].dispatch_order.append("intruder")
+        second = build_plan(app, 2)
+        assert second.sections[root].shift != -123.0
+        assert second.sections[root].lst
+        assert "intruder" not in second.sections[root].dispatch_order
+
+    def test_key_dimensions_miss(self):
+        app = application_with_load(atr_graph(), 0.5, 4)
+        build_plan(app, 4)
+        base = plan_cache_stats()["misses"]
+        build_plan(app, 2, require_feasible=False)       # different m
+        build_plan(app, 4, reserve=0.01)                 # different reserve
+        build_plan(app, 4, heuristic="stf")              # different heuristic
+        assert plan_cache_stats()["misses"] == base + 3
+
+    def test_use_cache_false_does_not_populate(self):
+        app = application_with_load(figure3_graph(), 0.6, 2,)
+        clear_plan_cache()
+        build_plan(app, 2, use_cache=False)
+        assert plan_cache_stats() == {"hits": 0, "misses": 0, "size": 0}
+
+    def test_eviction_bound(self):
+        g = figure3_graph()
+        app = application_with_load(g, 0.6, 2)
+        for i in range(_PLAN_CACHE_MAX + 5):
+            build_plan(app, 2, reserve=1e-6 * i, require_feasible=False)
+        assert len(_PLAN_CACHE) <= _PLAN_CACHE_MAX
+
+    def test_infeasible_still_raised_on_hit(self):
+        from repro.errors import InfeasibleError
+        g = atr_graph()
+        app = application_with_load(g, 0.5, 2)
+        build_plan(app, 2)  # populate stage for (g, 2, 0.0, ltf)
+        tight = Application(graph=g, deadline=app.deadline / 100.0,
+                            name="tight")
+        with pytest.raises(InfeasibleError):
+            build_plan(tight, 2)
