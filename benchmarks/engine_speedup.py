@@ -1,22 +1,39 @@
-"""Before/after wall-clock numbers for run-level parallel evaluation.
+"""Before/after wall-clock numbers for the Monte-Carlo evaluation engine.
 
-Times one Figure-4-style Monte-Carlo point (ATR, dual-processor,
-Transmeta) twice — sequential (``n_jobs=1``) and pooled (``--jobs``) —
-verifies the two produce bit-identical arrays, and writes the numbers
-to ``BENCH_engine.json`` so CI and EXPERIMENTS.md can track the
-evaluation engine's throughput over time.
+Times one Figure-5-style Monte-Carlo point (ATR, dual-processor, load
+0.8, Transmeta) three ways and writes the numbers to
+``BENCH_engine.json`` so CI and EXPERIMENTS.md can track the engine's
+throughput over time:
+
+1. **dict kernel** — ``_simulate_runs`` (the reference string-keyed
+   engine) on prebuilt plans and a presampled realization batch;
+2. **compiled kernel** — ``_simulate_runs_compiled`` (the integer-
+   indexed section program) on the same plans and batch, verified
+   bit-identical;
+3. **pool** — ``evaluate_application`` sequential vs pooled, verified
+   bit-identical.  Below :data:`RunConfig.parallel_min_runs` the pooled
+   call intentionally falls back to sequential execution (pool startup
+   would cost more than it buys); ``pool_fell_back`` records whether
+   that happened.
+
+The kernel comparison is serial and single-point on purpose: it
+isolates the per-run simulation cost from sampling, plan building and
+pool plumbing, which is the quantity the compiled engine optimizes.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/engine_speedup.py \
-        [--runs 1000] [--jobs 0] [--load 0.8] [--out BENCH_engine.json] \
-        [--budget-seconds 0] [--min-speedup 0]
+        [--runs 200] [--jobs 0] [--load 0.8] [--out BENCH_engine.json] \
+        [--budget-seconds 0] [--min-speedup 0] [--min-kernel-speedup 0]
 
 ``--budget-seconds`` (> 0) fails the invocation if the *sequential*
-point exceeds the budget — the CI smoke guard against perf regressions
-in the dispatch loop.  ``--min-speedup`` (> 0) additionally requires
+evaluation exceeds the budget — the CI smoke guard against perf
+regressions in the dispatch loop.  ``--min-speedup`` (> 0) requires
 ``serial/parallel >= min-speedup`` (only meaningful on multi-core
-runners).
+runners).  ``--min-kernel-speedup`` (> 0) requires the compiled kernel
+to beat the dict kernel by at least that factor — CI runs it at 1.0 so
+a regression that makes the default engine *slower* than the reference
+engine fails the build.
 """
 
 from __future__ import annotations
@@ -29,23 +46,42 @@ import time
 
 import numpy as np
 
+from repro.core.registry import get_policy
 from repro.experiments import RunConfig, evaluate_application
 from repro.experiments.figures import ATR_ALPHA
+from repro.experiments.runner import (
+    _simulate_runs,
+    _simulate_runs_compiled,
+    build_plans,
+)
+from repro.sim.realization import sample_realization_batch
 from repro.workloads import AtrConfig, application_with_load, atr_graph
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--runs", type=int, default=1000)
+    ap.add_argument("--runs", type=int, default=200)
     ap.add_argument("--jobs", type=int, default=0,
                     help="pooled worker count (0 = all cores)")
     ap.add_argument("--runs-per-chunk", type=int, default=0)
     ap.add_argument("--load", type=float, default=0.8)
     ap.add_argument("--procs", type=int, default=2)
     ap.add_argument("--seed", type=int, default=2002)
+    ap.add_argument("--reps", type=int, default=3,
+                    help="kernel timing repetitions (best-of)")
     ap.add_argument("--out", type=str, default="BENCH_engine.json")
     ap.add_argument("--budget-seconds", type=float, default=0.0)
     ap.add_argument("--min-speedup", type=float, default=0.0)
+    ap.add_argument("--min-kernel-speedup", type=float, default=0.0)
     args = ap.parse_args(argv)
 
     graph = atr_graph(AtrConfig(alpha=ATR_ALPHA))
@@ -53,6 +89,35 @@ def main(argv=None) -> int:
     cfg = RunConfig(power_model="transmeta", n_processors=args.procs,
                     n_runs=args.runs, seed=args.seed)
 
+    # -- per-run kernel comparison (serial, single point) -------------------
+    power = cfg.make_power()
+    plan_dyn, plan_static = build_plans(app, cfg, power)
+    scheme_names = tuple(get_policy(n).name for n in cfg.schemes)
+    rng = np.random.default_rng(cfg.seed)
+    batch = sample_realization_batch(plan_static.structure, rng, args.runs,
+                                     sigma_fraction=cfg.sigma_fraction)
+
+    def dict_kernel():
+        return _simulate_runs(plan_dyn, plan_static, scheme_names, power,
+                              cfg.overhead, batch)
+
+    def compiled_kernel():
+        return _simulate_runs_compiled(plan_dyn, plan_static, scheme_names,
+                                       power, cfg.overhead, batch)
+
+    d_npm, d_abs, _, d_keys = dict_kernel()   # warm-up + reference output
+    c_npm, c_abs, _, c_keys = compiled_kernel()
+    assert d_keys == c_keys, "compiled kernel diverged on path keys"
+    assert np.array_equal(d_npm, c_npm), "compiled kernel diverged on NPM"
+    for scheme in d_abs:
+        assert np.array_equal(d_abs[scheme], c_abs[scheme]), \
+            f"compiled kernel diverged for {scheme}"
+
+    t_dict = _best_of(dict_kernel, args.reps)
+    t_compiled = _best_of(compiled_kernel, args.reps)
+    kernel_speedup = t_dict / t_compiled if t_compiled > 0 else float("inf")
+
+    # -- serial vs pooled evaluation ----------------------------------------
     t0 = time.perf_counter()
     serial = evaluate_application(app, cfg, n_jobs=1)
     t_serial = time.perf_counter() - t0
@@ -61,6 +126,7 @@ def main(argv=None) -> int:
     pooled = evaluate_application(app, cfg, n_jobs=args.jobs,
                                   runs_per_chunk=args.runs_per_chunk)
     t_pooled = time.perf_counter() - t0
+    fell_back = 0 < args.runs < cfg.parallel_min_runs
 
     for scheme in serial.normalized:
         assert np.array_equal(serial.normalized[scheme],
@@ -76,9 +142,16 @@ def main(argv=None) -> int:
         "n_processors": args.procs,
         "cores": os.cpu_count(),
         "jobs": args.jobs,
+        "dict_kernel_seconds": round(t_dict, 4),
+        "compiled_kernel_seconds": round(t_compiled, 4),
+        "dict_us_per_run": round(t_dict / args.runs * 1e6, 1),
+        "compiled_us_per_run": round(t_compiled / args.runs * 1e6, 1),
+        "kernel_speedup": round(kernel_speedup, 3),
         "serial_seconds": round(t_serial, 4),
         "parallel_seconds": round(t_pooled, 4),
         "speedup": round(speedup, 3),
+        "pool_fell_back": fell_back,
+        "parallel_min_runs": cfg.parallel_min_runs,
         "bit_identical": True,
     }
     with open(args.out, "w", encoding="utf-8") as fh:
@@ -87,10 +160,16 @@ def main(argv=None) -> int:
 
     print(f"engine_speedup: {args.runs} runs, load={args.load}, "
           f"m={args.procs}")
-    print(f"  serial   {t_serial:8.3f} s")
-    print(f"  parallel {t_pooled:8.3f} s  (jobs={args.jobs}, "
-          f"cores={os.cpu_count()})")
-    print(f"  speedup  {speedup:8.2f} x  -> {args.out}")
+    print(f"  dict kernel     {t_dict:8.4f} s "
+          f"({t_dict / args.runs * 1e6:7.1f} us/run)")
+    print(f"  compiled kernel {t_compiled:8.4f} s "
+          f"({t_compiled / args.runs * 1e6:7.1f} us/run)")
+    print(f"  kernel speedup  {kernel_speedup:8.2f} x")
+    print(f"  serial eval     {t_serial:8.3f} s")
+    print(f"  pooled eval     {t_pooled:8.3f} s  (jobs={args.jobs}, "
+          f"cores={os.cpu_count()}"
+          f"{', fell back to serial' if fell_back else ''})")
+    print(f"  pool speedup    {speedup:8.2f} x  -> {args.out}")
 
     if args.budget_seconds > 0 and t_serial > args.budget_seconds:
         print(f"FAIL: sequential point took {t_serial:.1f}s "
@@ -99,6 +178,10 @@ def main(argv=None) -> int:
     if args.min_speedup > 0 and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.2f}x below required "
               f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.min_kernel_speedup > 0 and kernel_speedup < args.min_kernel_speedup:
+        print(f"FAIL: compiled kernel speedup {kernel_speedup:.2f}x below "
+              f"required {args.min_kernel_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 

@@ -60,6 +60,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="runs per worker task for --n-jobs "
                              "(0 = auto)")
         fp.add_argument("--seed", type=int, default=2002)
+        fp.add_argument("--engine", choices=("compiled", "dict"),
+                        default="compiled",
+                        help="simulation kernel (results are "
+                             "bit-identical; 'dict' is the reference "
+                             "engine, ~4x slower)")
+        fp.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 25 "
+                             "functions by cumulative time")
         fp.add_argument("--oracle", action="store_true",
                         help="include the clairvoyant lower bound")
         fp.add_argument("--csv", type=str, default=None,
@@ -83,6 +91,13 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--runs-per-chunk", type=int, default=0,
                     dest="runs_per_chunk",
                     help="runs per worker task (0 = auto)")
+    rp.add_argument("--engine", choices=("compiled", "dict"),
+                    default="compiled",
+                    help="simulation kernel (results are bit-identical; "
+                         "'dict' is the reference engine, ~4x slower)")
+    rp.add_argument("--profile", action="store_true",
+                    help="run under cProfile and print the top 25 "
+                         "functions by cumulative time")
     rp.add_argument("--schemes", nargs="*", default=list(PAPER_SCHEMES),
                     help=f"subset of {list(ALL_SCHEMES)}")
 
@@ -170,6 +185,17 @@ def _emit_figure(series_by_model: Dict[str, SeriesResult],
         print(f"(csv written to {csv_path})")
 
 
+def _run_profiled(fn, *args, **kwargs):
+    """Run ``fn`` under cProfile, print top-25 cumulative, return result."""
+    import cProfile
+    import pstats
+    prof = cProfile.Profile()
+    result = prof.runcall(fn, *args, **kwargs)
+    stats = pstats.Stats(prof, stream=sys.stdout)
+    stats.sort_stats("cumulative").print_stats(25)
+    return result
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -181,10 +207,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         schemes = list(PAPER_SCHEMES)
         if args.oracle:
             schemes.append("ORACLE")
-        series = ALL_FIGURES[args.command](
+        fig_fn = ALL_FIGURES[args.command]
+        fig_kwargs = dict(
             n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
             seed=args.seed, run_jobs=args.n_jobs,
-            runs_per_chunk=args.runs_per_chunk)
+            runs_per_chunk=args.runs_per_chunk, engine=args.engine)
+        if args.profile:
+            series = _run_profiled(fig_fn, **fig_kwargs)
+        else:
+            series = fig_fn(**fig_kwargs)
         _emit_figure(series, args.csv, chart=args.chart)
         if args.save:
             from .experiments.persist import save_series
@@ -199,8 +230,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         power_model=args.model,
                         n_processors=args.procs, n_runs=args.runs,
                         seed=args.seed, n_jobs=args.n_jobs,
-                        runs_per_chunk=args.runs_per_chunk)
-        result = evaluate_application(app, cfg)
+                        runs_per_chunk=args.runs_per_chunk,
+                        engine=args.engine)
+        if args.profile:
+            result = _run_profiled(evaluate_application, app, cfg)
+        else:
+            result = evaluate_application(app, cfg)
         print(f"app={args.app} load={args.load} model={args.model} "
               f"m={args.procs} runs={args.runs}")
         print(f"{'scheme':>8} {'E/E_NPM':>10} {'switches':>10}")

@@ -26,12 +26,14 @@ from .base import PolicyRun, SpeedPolicy, speculative_speed
 
 class _AdaptiveRun(PolicyRun):
     fixed_speed = None
+    or_respec = "average"
 
     def __init__(self, name: str, plan: OfflinePlan, power: PowerModel):
         self.name = name
         self._plan = plan
         self._power = power
         self._level = speculative_speed(plan.t_avg, plan.deadline, power)
+        self.floor_const = self._level
 
     def floor(self, t: float) -> float:
         return self._level
@@ -41,6 +43,7 @@ class _AdaptiveRun(PolicyRun):
         self._level = speculative_speed(stats.average,
                                         self._plan.deadline - t,
                                         self._power)
+        self.floor_const = self._level
 
 
 class AdaptiveSpeculation(SpeedPolicy):

@@ -35,6 +35,20 @@ class PolicyRun(abc.ABC):
     name: str = "abstract"
     #: run everything at this level; ``None`` enables dynamic speed setting
     fixed_speed: Optional[float] = None
+    #: when not ``None``, ``floor(t)`` is guaranteed to return exactly
+    #: this value until the next ``on_or_fired`` (which may update it) —
+    #: the compiled kernel then skips the per-task ``floor`` call.
+    #: Schemes with genuinely time-varying floors (SS²) leave it ``None``.
+    floor_const: Optional[float] = 0.0
+    #: when not ``None``, a ``(f_lo, f_hi, theta)`` triple declaring that
+    #: ``floor(t)`` is exactly ``f_lo if t < theta else f_hi`` for the
+    #: whole run (SS²); lets the compiled engine vectorize the floor
+    floor_step: Optional[tuple] = None
+    #: when not ``None``, declares that ``on_or_fired`` re-speculates the
+    #: constant floor as ``speculative_speed(stats.<or_respec>, D - t)``
+    #: from the fired branch's remaining-time statistics ("average" for
+    #: AS, "worst" for PS); lets the compiled engine vectorize OR firings
+    or_respec: Optional[str] = None
 
     def floor(self, t: float) -> float:
         """Speculative speed floor at time ``t`` (0 = pure greedy)."""
@@ -52,12 +66,29 @@ class SpeedPolicy(abc.ABC):
     #: True if the scheme changes speeds at runtime and therefore needs
     #: the per-task overhead reserve built into its offline plan
     requires_reserve: bool = True
+    #: True if ``start_run`` must be handed the realization (the
+    #: clairvoyant oracle); the compiled evaluation path materializes
+    #: per-run :class:`Realization` dicts only for such schemes
+    needs_realization: bool = False
 
     @abc.abstractmethod
     def start_run(self, plan: OfflinePlan, power: PowerModel,
                   overhead: OverheadModel,
                   realization: Optional[Realization] = None) -> PolicyRun:
         """Create the per-run state for one simulation."""
+
+    def batch_fixed_speed(self, plan: OfflinePlan, power: PowerModel,
+                          overhead: OverheadModel) -> Optional[float]:
+        """The scheme's single speed when it is the same for every run.
+
+        Fixed-speed schemes whose level depends only on the plan (NPM,
+        SPM — not the per-realization oracle) return it here, which lets
+        the compiled engine evaluate a whole realization batch with the
+        vectorized fast path.  ``None`` means "no batch-constant speed";
+        the evaluation falls back to per-run ``start_run``.
+        """
+        del plan, power, overhead
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(name={self.name!r})"

@@ -32,6 +32,7 @@ class ClairvoyantOracle(SpeedPolicy):
 
     name = "ORACLE"
     requires_reserve = False
+    needs_realization = True  # the peeked realization sets the speed
 
     def start_run(self, plan: OfflinePlan, power: PowerModel,
                   overhead: OverheadModel,

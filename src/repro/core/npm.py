@@ -26,3 +26,7 @@ class NoPowerManagement(SpeedPolicy):
                   overhead: OverheadModel,
                   realization: Optional[Realization] = None) -> PolicyRun:
         return _FixedRun(self.name, power.s_max)
+
+    def batch_fixed_speed(self, plan: OfflinePlan, power: PowerModel,
+                          overhead: OverheadModel) -> float:
+        return power.s_max

@@ -38,6 +38,7 @@ from .base import PolicyRun, SpeedPolicy, speculative_speed
 
 class _ProportionalRun(PolicyRun):
     fixed_speed = None
+    or_respec = "worst"
 
     def __init__(self, name: str, plan: OfflinePlan, power: PowerModel):
         self.name = name
@@ -45,6 +46,7 @@ class _ProportionalRun(PolicyRun):
         self._power = power
         self._level = speculative_speed(plan.t_worst, plan.deadline,
                                         power)
+        self.floor_const = self._level
 
     def floor(self, t: float) -> float:
         return self._level
@@ -54,6 +56,7 @@ class _ProportionalRun(PolicyRun):
         self._level = speculative_speed(stats.worst,
                                         self._plan.deadline - t,
                                         self._power)
+        self.floor_const = self._level
 
 
 class ProportionalSpeculation(SpeedPolicy):

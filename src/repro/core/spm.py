@@ -35,6 +35,10 @@ class StaticPowerManagement(SpeedPolicy):
                   realization: Optional[Realization] = None) -> PolicyRun:
         return _FixedRun(self.name, spm_speed(plan, power, overhead))
 
+    def batch_fixed_speed(self, plan: OfflinePlan, power: PowerModel,
+                          overhead: OverheadModel) -> float:
+        return spm_speed(plan, power, overhead)
+
 
 def spm_speed(plan: OfflinePlan, power: PowerModel,
               overhead: OverheadModel) -> float:

@@ -38,6 +38,7 @@ class _ConstantFloorRun(PolicyRun):
     def __init__(self, name: str, level: float):
         self.name = name
         self._level = level
+        self.floor_const = level
 
     def floor(self, t: float) -> float:
         return self._level
@@ -45,12 +46,14 @@ class _ConstantFloorRun(PolicyRun):
 
 class _TwoSpeedRun(PolicyRun):
     fixed_speed = None
+    floor_const = None  # the floor steps at θ, mid-run
 
     def __init__(self, name: str, f_lo: float, f_hi: float, theta: float):
         self.name = name
         self.f_lo = f_lo
         self.f_hi = f_hi
         self.theta = theta
+        self.floor_step = (f_lo, f_hi, theta)
 
     def floor(self, t: float) -> float:
         return self.f_lo if t < self.theta else self.f_hi

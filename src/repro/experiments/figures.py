@@ -39,10 +39,12 @@ FIG6_LOAD = 0.9
 
 def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 schemes: Sequence[str], seed: int,
-                run_jobs: int = 1, runs_per_chunk: int = 0) -> RunConfig:
+                run_jobs: int = 1, runs_per_chunk: int = 0,
+                engine: str = "compiled") -> RunConfig:
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
                      n_processors=n_processors, n_runs=n_runs, seed=seed,
-                     n_jobs=run_jobs, runs_per_chunk=runs_per_chunk)
+                     n_jobs=run_jobs, runs_per_chunk=runs_per_chunk,
+                     engine=engine)
 
 
 def figure4(n_runs: int = 1000,
@@ -51,7 +53,8 @@ def figure4(n_runs: int = 1000,
             n_jobs: int = 1, seed: int = 2002,
             alpha: float = ATR_ALPHA,
             run_jobs: int = 1,
-            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
+            runs_per_chunk: int = 0,
+            engine: str = "compiled") -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
     ``n_jobs`` parallelizes across sweep points; ``run_jobs`` (and
@@ -62,7 +65,7 @@ def figure4(n_runs: int = 1000,
     graph = atr_graph(AtrConfig(alpha=alpha))
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
-                          run_jobs, runs_per_chunk)
+                          run_jobs, runs_per_chunk, engine)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}")
     return out
@@ -74,7 +77,8 @@ def figure5(n_runs: int = 1000,
             n_jobs: int = 1, seed: int = 2002,
             alpha: float = ATR_ALPHA,
             run_jobs: int = 1,
-            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
+            runs_per_chunk: int = 0,
+            engine: str = "compiled") -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
     The ATR graph is widened (more simultaneous ROIs) so that six
@@ -88,7 +92,7 @@ def figure5(n_runs: int = 1000,
     graph = atr_graph(cfg_atr)
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
-                          run_jobs, runs_per_chunk)
+                          run_jobs, runs_per_chunk, engine)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}")
     return out
@@ -100,12 +104,13 @@ def figure6(n_runs: int = 1000,
             n_jobs: int = 1, seed: int = 2002,
             load: float = FIG6_LOAD,
             run_jobs: int = 1,
-            runs_per_chunk: int = 0) -> Dict[str, SeriesResult]:
+            runs_per_chunk: int = 0,
+            engine: str = "compiled") -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b)."""
     out: Dict[str, SeriesResult] = {}
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
-                          run_jobs, runs_per_chunk)
+                          run_jobs, runs_per_chunk, engine)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}")
     return out

@@ -28,15 +28,38 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.base import SpeedPolicy
+from ..core.base import PolicyRun, SpeedPolicy
 from ..core.registry import PAPER_SCHEMES, get_policy
 from ..errors import ConfigError, InfeasibleError
 from ..graph.andor import Application
 from ..offline.plan import OfflinePlan, build_plan
 from ..power.model import PowerModel, make_power_model
 from ..power.overhead import NO_OVERHEAD, PAPER_OVERHEAD, OverheadModel
+from ..sim.compiled import (
+    CompiledKernel,
+    compile_plan,
+    run_dynamic_batch,
+    run_fixed_batch,
+    supports_dynamic_batch,
+)
 from ..sim.engine import simulate
-from ..sim.realization import Realization, batch_in_chunks, sample_realization_batch
+from ..sim.realization import (
+    Realization,
+    RealizationBatch,
+    batch_in_chunks,
+    sample_realization_batch,
+)
+
+
+#: engines selectable via :attr:`RunConfig.engine`
+ENGINES = ("compiled", "dict")
+
+#: default :attr:`RunConfig.parallel_min_runs`: with the compiled kernel
+#: a run costs tens of microseconds while spawning a worker pool costs
+#: tens of milliseconds per process, so batches below roughly this size
+#: finish faster sequentially (measured on the BENCH_engine.json
+#: operating point; see benchmarks/engine_speedup.py)
+DEFAULT_PARALLEL_MIN_RUNS = 2000
 
 
 @dataclass(frozen=True)
@@ -57,6 +80,14 @@ class RunConfig:
     n_jobs: int = 1
     #: Monte-Carlo runs per worker task (0 = auto: ~4 chunks per worker)
     runs_per_chunk: int = 0
+    #: simulation kernel: "compiled" (integer-indexed section program,
+    #: the default) or "dict" (the reference string-keyed engine);
+    #: results are bit-identical either way
+    engine: str = "compiled"
+    #: below this many runs a multi-worker request falls back to
+    #: sequential execution — pool startup would cost more than it buys
+    #: (0 disables the fallback; see docs/usage.md for the calibration)
+    parallel_min_runs: int = DEFAULT_PARALLEL_MIN_RUNS
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -76,6 +107,13 @@ class RunConfig:
             raise ConfigError(
                 f"runs_per_chunk ({self.runs_per_chunk}) exceeds n_runs "
                 f"({self.n_runs}); use 0 to size chunks automatically")
+        if self.engine not in ENGINES:
+            raise ConfigError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}")
+        if self.parallel_min_runs < 0:
+            raise ConfigError(
+                f"parallel_min_runs must be >= 0 (0 = never fall back), "
+                f"got {self.parallel_min_runs}")
 
     def with_(self, **kwargs) -> "RunConfig":
         return replace(self, **kwargs)
@@ -239,6 +277,99 @@ def _simulate_runs(plan_dyn: Optional[OfflinePlan],
     return npm_energy, absolute, changes, path_keys
 
 
+def _simulate_runs_compiled(plan_dyn: Optional[OfflinePlan],
+                            plan_static: OfflinePlan,
+                            scheme_names: Sequence[str],
+                            power: PowerModel,
+                            overhead: OverheadModel,
+                            batch: RealizationBatch
+                            ) -> Tuple[np.ndarray, Dict[str, np.ndarray],
+                                       Dict[str, np.ndarray], List[str]]:
+    """The compiled-engine counterpart of :func:`_simulate_runs`.
+
+    Bit-identical outputs, different execution strategy: the realization
+    batch stays in the matrix form it was sampled as, NPM/SPM (and any
+    other batch-constant fixed speed) go through the vectorized
+    fixed-speed path, the protocol-declared dynamic schemes (GSS, SS1,
+    SS2, AS, PS on a discrete power model) go through the vectorized
+    dynamic path, and anything else runs the scalar compiled kernel per
+    run — no per-run dict materialization anywhere except for schemes
+    that declare ``needs_realization`` (the oracle).
+    """
+    policies: Dict[str, SpeedPolicy] = {}
+    for name in scheme_names:
+        policy = get_policy(name)
+        policies[policy.name] = policy
+
+    n = len(batch)
+    prog_static = compile_plan(plan_static)
+    prog_dyn = compile_plan(plan_dyn) if plan_dyn is not None else None
+    matrix = prog_static.realization_matrix(batch)
+    groups, path_keys = prog_static.executed_paths(batch.choices, n)
+
+    base = run_fixed_batch(prog_static, power, NO_OVERHEAD, matrix,
+                           groups, path_keys, power.s_max, "NPM")
+    npm_energy = base.total_energy
+    absolute: Dict[str, np.ndarray] = {}
+    changes: Dict[str, np.ndarray] = {}
+    rows = None
+    choice_rows = None
+    for name, policy in policies.items():
+        if name == "NPM":
+            absolute[name] = npm_energy.copy()
+            changes[name] = np.full(n, float(base.n_speed_changes))
+            continue
+        if policy.requires_reserve and plan_dyn is None:
+            # DVS disabled at this load: the scheme runs like NPM
+            absolute[name] = npm_energy.copy()
+            changes[name] = np.zeros(n)
+            continue
+        plan = plan_dyn if policy.requires_reserve else plan_static
+        prog = prog_dyn if policy.requires_reserve else prog_static
+        speed = policy.batch_fixed_speed(plan, power, overhead)
+        if speed is not None:
+            res = run_fixed_batch(prog, power, overhead, matrix, groups,
+                                  path_keys, speed, name)
+            absolute[name] = res.total_energy
+            changes[name] = np.full(n, float(res.n_speed_changes))
+            continue
+        needs_rl = policy.needs_realization
+        probe = None
+        if not needs_rl:
+            probe = policy.start_run(plan, power, overhead)
+            if supports_dynamic_batch(probe, power):
+                res = run_dynamic_batch(prog, power, overhead, matrix,
+                                        groups, path_keys, probe, name)
+                absolute[name] = res.total_energy
+                changes[name] = res.n_speed_changes.astype(float)
+                continue
+        if rows is None:  # lazily, only if a per-run scheme is present
+            rows = matrix.tolist()
+            choice_rows = batch.choice_rows()
+        kernel = CompiledKernel(prog, power, overhead)
+        abs_arr = np.empty(n)
+        chg_arr = np.empty(n, dtype=float)
+        shared_run = None
+        if probe is not None:
+            # a run that never re-speculates (no on_or_fired override)
+            # carries no mutable state, so one object serves every run
+            if type(probe).on_or_fired is PolicyRun.on_or_fired:
+                shared_run = probe
+        for i in range(n):
+            if shared_run is not None:
+                run = shared_run
+            else:
+                rl = batch.realization(i) if needs_rl else None
+                run = policy.start_run(plan, power, overhead,
+                                       realization=rl)
+            res = kernel.run(run, rows[i], choice_rows[i])
+            abs_arr[i] = res.total_energy
+            chg_arr[i] = res.n_speed_changes
+        absolute[name] = abs_arr
+        changes[name] = chg_arr
+    return npm_energy, absolute, changes, path_keys
+
+
 #: per-worker evaluation context, installed once by the pool initializer
 #: instead of pickling the plans/models into every chunk task
 _WORKER_CTX: Dict[str, tuple] = {}
@@ -248,17 +379,24 @@ def _init_eval_worker(plan_dyn: Optional[OfflinePlan],
                       plan_static: OfflinePlan,
                       scheme_names: Tuple[str, ...],
                       power: PowerModel,
-                      overhead: OverheadModel) -> None:
+                      overhead: OverheadModel,
+                      engine: str = "dict") -> None:
     _WORKER_CTX["ctx"] = (plan_dyn, plan_static, scheme_names, power,
-                          overhead)
+                          overhead, engine)
 
 
-def _eval_chunk(start: int, realizations: Sequence[Realization]):
+def _eval_chunk(start: int, realizations):
     """Worker task: simulate one chunk, tagged with its run offset."""
-    plan_dyn, plan_static, scheme_names, power, overhead = \
+    plan_dyn, plan_static, scheme_names, power, overhead, engine = \
         _WORKER_CTX["ctx"]
-    npm, absolute, changes, keys = _simulate_runs(
-        plan_dyn, plan_static, scheme_names, power, overhead, realizations)
+    if engine == "compiled":
+        npm, absolute, changes, keys = _simulate_runs_compiled(
+            plan_dyn, plan_static, scheme_names, power, overhead,
+            realizations)
+    else:
+        npm, absolute, changes, keys = _simulate_runs(
+            plan_dyn, plan_static, scheme_names, power, overhead,
+            realizations)
     return start, npm, absolute, changes, keys
 
 
@@ -305,12 +443,26 @@ def evaluate_application(app: Application,
         raise ConfigError(
             f"runs_per_chunk must be >= 0 (0 = auto), got {eff_chunk}")
     jobs = resolve_jobs(eff_jobs, n_items=n)
+    if jobs > 1 and 0 < n < config.parallel_min_runs:
+        # too little work to amortize pool startup: run sequentially
+        # (results are bit-identical either way; this is purely timing)
+        jobs = 1
     chunk_size = min(eff_chunk, n) if eff_chunk else _auto_chunk_size(n, jobs)
     chunks = list(batch_in_chunks(realizations, chunk_size))
     jobs = min(jobs, len(chunks))
 
+    if config.engine == "compiled":
+        # compile in the parent so the pool initializer ships the
+        # program to every worker once instead of each recompiling it
+        compile_plan(plan_static)
+        if plan_dyn is not None:
+            compile_plan(plan_dyn)
+        runs_fn = _simulate_runs_compiled
+    else:
+        runs_fn = _simulate_runs
+
     if jobs == 1:
-        npm_energy, absolute, changes, path_keys = _simulate_runs(
+        npm_energy, absolute, changes, path_keys = runs_fn(
             plan_dyn, plan_static, scheme_names, power, config.overhead,
             realizations)
     else:
@@ -322,7 +474,7 @@ def evaluate_application(app: Application,
                 max_workers=jobs,
                 initializer=_init_eval_worker,
                 initargs=(plan_dyn, plan_static, scheme_names, power,
-                          config.overhead)) as pool:
+                          config.overhead, config.engine)) as pool:
             futures = [pool.submit(_eval_chunk, start, block)
                        for start, block in chunks]
             labels = [f"runs[{start}:{start + len(block)}]"

@@ -82,6 +82,12 @@ class OfflinePlan:
     t_avg: float
     #: per OR node, per successor section id: remaining-time statistics
     branch_stats: Dict[str, Dict[int, PathStats]]
+    #: lazily compiled section program (:mod:`repro.sim.compiled`); the
+    #: deadline-shifted finish bounds bake into it, so it lives on the
+    #: plan instance rather than in the deadline-independent round-1
+    #: cache above.  Per-process, like that cache.
+    compiled: Optional[object] = field(default=None, repr=False,
+                                       compare=False)
 
     @property
     def deadline(self) -> float:

@@ -4,6 +4,17 @@ Public surface: :func:`simulate` (one run of one scheme on one
 realization) and realization sampling.
 """
 
+from .compiled import (
+    CompiledKernel,
+    CompiledPlan,
+    DynamicBatchResult,
+    FixedBatchResult,
+    compile_plan,
+    run_dynamic_batch,
+    run_fixed_batch,
+    simulate_compiled,
+    supports_dynamic_batch,
+)
 from .engine import simulate
 from .event_engine import simulate_events
 from .power_trace import (
@@ -14,6 +25,7 @@ from .power_trace import (
 )
 from .realization import (
     Realization,
+    RealizationBatch,
     batch_in_chunks,
     sample_realization,
     sample_realization_batch,
@@ -23,12 +35,22 @@ from .realization import (
 
 __all__ = [
     "simulate",
+    "simulate_compiled",
     "simulate_events",
+    "CompiledKernel",
+    "CompiledPlan",
+    "DynamicBatchResult",
+    "FixedBatchResult",
+    "compile_plan",
+    "run_dynamic_batch",
+    "run_fixed_batch",
+    "supports_dynamic_batch",
     "PowerProfile",
     "power_profile",
     "render_profile",
     "compare_profiles",
     "Realization",
+    "RealizationBatch",
     "batch_in_chunks",
     "sample_realization",
     "sample_realization_batch",

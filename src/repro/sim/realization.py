@@ -17,7 +17,7 @@ real-time tasks never exceed their WCET.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -41,6 +41,82 @@ class Realization:
         except KeyError:
             raise SimulationError(
                 f"realization has no actual time for task {name!r}") from None
+
+
+class RealizationBatch:
+    """``n`` realizations kept in the matrix form they were sampled as.
+
+    The vectorized sampler draws all actual times as one
+    ``(n, n_tasks)`` float matrix and all branch choices as one integer
+    block per OR node.  This class keeps that columnar layout — the
+    compiled simulation kernel (:mod:`repro.sim.compiled`) consumes it
+    directly, with no per-run dict materialization — while still
+    behaving like a read-only sequence of :class:`Realization` objects
+    for the dict engine and for existing callers: ``len(batch)``,
+    ``batch[i]`` (materializes one :class:`Realization`), iteration and
+    slicing (``batch[a:b]`` is a zero-copy view batch) all work.
+
+    ``names`` lists the computation tasks in column order;
+    ``choices[or_name]`` is an ``(n,)`` integer array of chosen
+    successor section ids.
+    """
+
+    __slots__ = ("names", "actuals", "choices", "_col_of")
+
+    def __init__(self, names: List[str], actuals: np.ndarray,
+                 choices: Dict[str, np.ndarray]):
+        if actuals.ndim != 2 or actuals.shape[1] != len(names):
+            raise SimulationError(
+                f"actuals matrix shape {actuals.shape} does not match "
+                f"{len(names)} task columns")
+        self.names = list(names)
+        self.actuals = actuals
+        self.choices = choices
+        self._col_of: Optional[Dict[str, int]] = None
+
+    def __len__(self) -> int:
+        return self.actuals.shape[0]
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return RealizationBatch(
+                self.names, self.actuals[index],
+                {k: v[index] for k, v in self.choices.items()})
+        return self.realization(int(index))
+
+    def __iter__(self):
+        for i in range(len(self)):
+            yield self.realization(i)
+
+    def realization(self, i: int) -> Realization:
+        """Materialize run ``i`` as a dict-based :class:`Realization`."""
+        n = len(self)
+        if not -n <= i < n:
+            raise IndexError(f"run index {i} out of range for {n} runs")
+        if i < 0:
+            i += n
+        actuals = dict(zip(self.names, self.actuals[i].tolist()))
+        choices = {name: int(picks[i])
+                   for name, picks in self.choices.items()}
+        return Realization(actuals=actuals, choices=choices)
+
+    def column_of(self, name: str) -> int:
+        """Column index of one task in the actuals matrix."""
+        if self._col_of is None:
+            self._col_of = {n: i for i, n in enumerate(self.names)}
+        try:
+            return self._col_of[name]
+        except KeyError:
+            raise SimulationError(
+                f"realization batch has no actual times for task "
+                f"{name!r}") from None
+
+    def choice_rows(self) -> List[Dict[str, int]]:
+        """Per-run ``{or_name: target_sid}`` dicts (one small dict per run)."""
+        lists = {name: picks.tolist()
+                 for name, picks in self.choices.items()}
+        return [{name: picks[i] for name, picks in lists.items()}
+                for i in range(len(self))]
 
 
 def worst_case_realization(structure: SectionStructure,
@@ -104,7 +180,9 @@ def sample_realization(structure: SectionStructure,
     if comp:
         wcet = np.array([n.wcet for n in comp])
         acet = np.array([n.acet for n in comp])
-        sigma = (wcet - acet) * sigma_fraction
+        # clamp like the batch sampler: a task profiled with acet == wcet
+        # has zero spread, not a negative one (rng.normal rejects σ < 0)
+        sigma = np.maximum((wcet - acet) * sigma_fraction, 0.0)
         raw = rng.normal(acet, sigma)
         lo = np.minimum(acet * 0.01, wcet * 0.01)
         actual = np.clip(raw, lo, wcet)
@@ -140,7 +218,7 @@ def sample_realizations(structure: SectionStructure,
 def sample_realization_batch(structure: SectionStructure,
                              rng: np.random.Generator, n: int,
                              sigma_fraction: float = 1.0 / 3.0
-                             ) -> "list[Realization]":
+                             ) -> RealizationBatch:
     """Draw ``n`` realizations with vectorized sampling.
 
     Statistically identical to ``n`` calls of
@@ -150,6 +228,10 @@ def sample_realization_batch(structure: SectionStructure,
     evaluations.  (The random streams differ from the sequential
     sampler's, so fixed-seed results are reproducible per-sampler, not
     across samplers.)
+
+    Returns a :class:`RealizationBatch`, which keeps the sampled matrix
+    intact for the compiled kernel while still iterating as a sequence
+    of :class:`Realization` objects for the dict engine.
     """
     if n < 1:
         raise SimulationError(f"batch size must be >= 1, got {n}")
@@ -163,37 +245,30 @@ def sample_realization_batch(structure: SectionStructure,
     lo = np.minimum(acet * 0.01, wcet * 0.01)
     actual = np.clip(raw, lo, wcet)
 
-    branching = []
+    choice_matrix: Dict[str, np.ndarray] = {}
     for node in graph.or_nodes():
         branches = structure.branches(node.name)
-        if branches:
-            targets = [t for t, _p in branches]
-            cum = np.cumsum([p for _t, p in branches])
-            branching.append((node.name, targets, cum))
-    choice_matrix = {}
-    for or_name, targets, cum in branching:
+        if not branches:
+            continue
+        targets = np.array([t for t, _p in branches])
+        cum = np.cumsum([p for _t, p in branches])
         u = rng.random(n)
         idx = np.minimum(np.searchsorted(cum, u, side="right"),
                          len(targets) - 1)
-        choice_matrix[or_name] = [targets[i] for i in idx]
+        choice_matrix[node.name] = targets[idx]
 
-    out = []
-    for i in range(n):
-        actuals = dict(zip(names, actual[i].tolist()))
-        choices = {or_name: picks[i]
-                   for or_name, picks in choice_matrix.items()}
-        out.append(Realization(actuals=actuals, choices=choices))
-    return out
+    return RealizationBatch(names, actual, choice_matrix)
 
 
-def batch_in_chunks(realizations: "list[Realization]", chunk_size: int):
+def batch_in_chunks(realizations, chunk_size: int):
     """Yield ``(start, block)`` slices of a prebuilt realization batch.
 
     The run-level parallel evaluator samples the whole batch once in the
     parent process (so fixed-seed random streams stay bit-identical to
     the sequential path) and farms these contiguous blocks to workers;
     ``start`` is the block's offset in run order, which the parent uses
-    to merge per-chunk results back into position.
+    to merge per-chunk results back into position.  Works on plain lists
+    and on :class:`RealizationBatch` (slicing keeps the matrix layout).
     """
     if chunk_size < 1:
         raise SimulationError(

@@ -39,34 +39,99 @@ def _assert_identical(a, b):
 
 
 class TestRunLevelDeterminism:
+    # parallel_min_runs=0 disables the small-batch serial fallback so
+    # these bench-sized batches genuinely exercise the worker pool
+
     def test_pooled_identical_to_serial(self, app, serial_result):
-        pooled = evaluate_application(app, RunConfig(n_runs=30, seed=11),
-                                      n_jobs=4)
+        pooled = evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+            n_jobs=4)
         _assert_identical(serial_result, pooled)
 
     def test_chunk_size_irrelevant(self, app, serial_result):
         for chunk in (1, 7, 30):
             pooled = evaluate_application(
-                app, RunConfig(n_runs=30, seed=11),
+                app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
                 n_jobs=2, runs_per_chunk=chunk)
             _assert_identical(serial_result, pooled)
 
     def test_config_carried_jobs(self, app, serial_result):
-        cfg = RunConfig(n_runs=30, seed=11, n_jobs=3, runs_per_chunk=8)
+        cfg = RunConfig(n_runs=30, seed=11, n_jobs=3, runs_per_chunk=8,
+                        parallel_min_runs=0)
         _assert_identical(serial_result, evaluate_application(app, cfg))
 
     def test_explicit_argument_overrides_config(self, app, serial_result):
-        cfg = RunConfig(n_runs=30, seed=11, n_jobs=4)
+        cfg = RunConfig(n_runs=30, seed=11, n_jobs=4, parallel_min_runs=0)
         # n_jobs=1 override must take the sequential path and still match
         _assert_identical(serial_result,
                           evaluate_application(app, cfg, n_jobs=1))
 
+    def test_dict_engine_pool_identical(self, app, serial_result):
+        pooled = evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, engine="dict",
+                           parallel_min_runs=0), n_jobs=2)
+        _assert_identical(serial_result, pooled)
+
     def test_jobs_clamped_to_work(self, app):
         # 3 runs, 16 workers requested: must not crash or pad results
-        res = evaluate_application(app, RunConfig(n_runs=3, seed=2),
-                                   n_jobs=16, runs_per_chunk=1)
+        res = evaluate_application(
+            app, RunConfig(n_runs=3, seed=2, parallel_min_runs=0),
+            n_jobs=16, runs_per_chunk=1)
         assert res.npm_energy.shape == (3,)
         assert len(res.path_keys) == 3
+
+
+class TestSerialFallback:
+    """Below ``parallel_min_runs`` a pooled request must run serially."""
+
+    def _spy_pool(self, monkeypatch):
+        import repro.experiments.runner as runner_mod
+        calls = []
+        orig = runner_mod.ProcessPoolExecutor
+
+        def spy(*args, **kwargs):
+            calls.append(kwargs.get("max_workers"))
+            return orig(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", spy)
+        return calls
+
+    def test_small_batch_stays_serial(self, app, serial_result,
+                                      monkeypatch):
+        # 30 runs < DEFAULT_PARALLEL_MIN_RUNS: no pool despite n_jobs=4
+        calls = self._spy_pool(monkeypatch)
+        res = evaluate_application(app, RunConfig(n_runs=30, seed=11),
+                                   n_jobs=4)
+        assert calls == []
+        _assert_identical(serial_result, res)
+
+    def test_zero_threshold_forces_pool(self, app, serial_result,
+                                        monkeypatch):
+        calls = self._spy_pool(monkeypatch)
+        res = evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+            n_jobs=2)
+        assert calls == [2]
+        _assert_identical(serial_result, res)
+
+    def test_threshold_boundary_is_inclusive(self, app, monkeypatch):
+        # n_runs == parallel_min_runs is big enough: the pool runs
+        calls = self._spy_pool(monkeypatch)
+        evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=30),
+            n_jobs=2)
+        assert calls == [2]
+
+    def test_below_threshold_by_one_stays_serial(self, app, monkeypatch):
+        calls = self._spy_pool(monkeypatch)
+        evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=31),
+            n_jobs=2)
+        assert calls == []
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ConfigError):
+            RunConfig(parallel_min_runs=-1)
 
 
 class TestChunkKnobValidation:

@@ -1,0 +1,163 @@
+"""Unit tests for the compiled section program (structure and errors).
+
+The heavy correctness guarantees live in
+``tests/property/test_compiled_equivalence.py``; these tests pin the
+compiler's structural invariants, its caching, its error paths and the
+dynamic-batch eligibility protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_policy
+from repro.errors import SimulationError
+from repro.offline import build_plan
+from repro.power import PAPER_OVERHEAD, ContinuousPowerModel, transmeta_model
+from repro.sim import (
+    Realization,
+    compile_plan,
+    sample_realization_batch,
+    simulate_compiled,
+    supports_dynamic_batch,
+)
+from repro.workloads import application_with_load
+from tests.conftest import build_chain_graph, build_or_graph
+
+
+@pytest.fixture
+def or_plan():
+    app = application_with_load(build_or_graph(), 0.7, 2)
+    return build_plan(app, 2)
+
+
+class TestCompiledPlan:
+    def test_cached_on_plan(self, or_plan):
+        prog = compile_plan(or_plan)
+        assert compile_plan(or_plan) is prog
+        assert or_plan.compiled is prog
+
+    def test_slots_cover_every_node(self, or_plan):
+        prog = compile_plan(or_plan)
+        total = sum(len(sec.entries) for sec in prog.sections.values())
+        assert total == prog.n_slots
+        gids = [e[1] for sec in prog.sections.values()
+                for e in sec.entries]
+        assert sorted(gids) == list(range(prog.n_slots))
+
+    def test_columns_match_computation_nodes(self, or_plan):
+        prog = compile_plan(or_plan)
+        graph = or_plan.app.graph
+        assert prog.comp_names == [n.name
+                                   for n in graph.computation_nodes()]
+        for sec in prog.sections.values():
+            for is_and, _gid, col, *_rest in sec.entries:
+                assert (col == -1) == is_and
+
+    def test_branch_stats_compiled_in(self, or_plan):
+        prog = compile_plan(or_plan)
+        for sec in prog.sections.values():
+            if sec.exit_or is not None and sec.branch_ids:
+                for tid in sec.branch_ids:
+                    worst, average = sec.branch_stats[tid]
+                    stats = or_plan.branch_stats[sec.exit_or][tid]
+                    assert (worst, average) == (stats.worst,
+                                                stats.average)
+
+    def test_missing_actual_fails_at_bind(self, or_plan):
+        prog = compile_plan(or_plan)
+        rl = Realization(actuals={"A": 1.0}, choices={})
+        with pytest.raises(SimulationError, match="no actual time"):
+            prog.actuals_row(rl)
+
+    def test_missing_choice_fails(self, or_plan):
+        prog = compile_plan(or_plan)
+        with pytest.raises(SimulationError, match="no branch choice"):
+            prog.executed_paths({}, 1)
+
+    def test_foreign_choice_fails(self, or_plan):
+        prog = compile_plan(or_plan)
+        bad = {name: np.array([9999])
+               for sec in prog.sections.values()
+               if sec.exit_or is not None and len(sec.branch_ids) > 1
+               for name in [sec.exit_or]}
+        with pytest.raises(SimulationError, match="not a successor"):
+            prog.executed_paths(bad, 1)
+
+    def test_executed_paths_keys_and_groups(self, or_plan):
+        prog = compile_plan(or_plan)
+        rng = np.random.default_rng(3)
+        batch = sample_realization_batch(or_plan.structure, rng, 50)
+        groups, keys = prog.executed_paths(batch.choices, 50)
+        assert len(keys) == 50
+        covered = np.concatenate([idx for _path, idx in groups])
+        assert sorted(covered.tolist()) == list(range(50))
+        for path, idx in groups:
+            key = ">".join(str(s) for s in path)
+            assert all(keys[i] == key for i in idx.tolist())
+
+
+class TestDynamicBatchEligibility:
+    @pytest.mark.parametrize("scheme,expected", [
+        ("GSS", True), ("SS1", True), ("SS2", True),
+        ("AS", True), ("PS", True),
+    ])
+    def test_paper_dynamic_schemes_are_eligible(self, or_plan, scheme,
+                                                expected):
+        power = transmeta_model()
+        run = get_policy(scheme).start_run(or_plan, power, PAPER_OVERHEAD)
+        assert supports_dynamic_batch(run, power) is expected
+
+    def test_fixed_speed_run_is_not(self, or_plan):
+        power = transmeta_model()
+        run = get_policy("NPM").start_run(or_plan, power, PAPER_OVERHEAD)
+        assert not supports_dynamic_batch(run, power)
+
+    def test_continuous_power_model_is_not(self, or_plan):
+        power = ContinuousPowerModel(s_min=0.1)
+        run = get_policy("GSS").start_run(or_plan, power, PAPER_OVERHEAD)
+        assert not supports_dynamic_batch(run, power)
+
+    def test_undeclared_or_hook_is_not(self, or_plan):
+        from repro.core.base import PolicyRun
+        power = transmeta_model()
+
+        class Custom(PolicyRun):
+            name = "custom"
+            fixed_speed = None
+
+            def on_or_fired(self, or_name, target_sid, t):
+                pass  # overridden but undeclared: must stay scalar
+
+        assert not supports_dynamic_batch(Custom(), power)
+
+
+class TestScalarKernel:
+    def test_wcet_overrun_rejected(self):
+        app = application_with_load(build_chain_graph(2, wcet=10,
+                                                      acet=5), 0.5, 2)
+        plan = build_plan(app, 2)
+        power = transmeta_model()
+        rl = Realization(actuals={"T0": 11.0, "T1": 5.0}, choices={})
+        run = get_policy("NPM").start_run(plan, power, PAPER_OVERHEAD)
+        with pytest.raises(SimulationError, match="exceeds WCET"):
+            simulate_compiled(plan, run, power, PAPER_OVERHEAD, rl)
+
+    def test_scratch_reuse_is_invisible(self, or_plan):
+        # back-to-back runs on one program must not leak state
+        power = transmeta_model()
+        rng = np.random.default_rng(8)
+        batch = sample_realization_batch(or_plan.structure, rng, 3)
+        policy = get_policy("GSS")
+        results = []
+        for rl in batch:
+            run = policy.start_run(or_plan, power, PAPER_OVERHEAD)
+            results.append(simulate_compiled(or_plan, run, power,
+                                             PAPER_OVERHEAD, rl))
+        rerun = []
+        for rl in batch:
+            run = policy.start_run(or_plan, power, PAPER_OVERHEAD)
+            rerun.append(simulate_compiled(or_plan, run, power,
+                                           PAPER_OVERHEAD, rl))
+        for a, b in zip(results, rerun):
+            assert a.total_energy == b.total_energy
+            assert a.finish_time == b.finish_time

@@ -129,3 +129,24 @@ class TestBatchSampling:
         from repro.sim.realization import sample_realization_batch
         with pytest.raises(SimulationError):
             sample_realization_batch(or_structure, rng, 0)
+
+    def test_sigma_clamp_matches_per_run_sampler(self):
+        """Regression: a task with acet == wcet (zero-width distribution)
+        must sample deterministically at its WCET in the batch sampler,
+        exactly like the per-run sampler — the two share the same
+        ``max(sigma, 0)`` clamp."""
+        from repro.graph import GraphBuilder
+        from repro.sim.realization import (
+            sample_realization,
+            sample_realization_batch,
+        )
+        b = GraphBuilder("det-mixed")
+        b.task("A", 10, 10)            # acet == wcet: no variance at all
+        b.task("B", 20, 8, after=["A"])
+        st = validate_graph(b.build_graph())
+        batch = sample_realization_batch(st, np.random.default_rng(4), 50)
+        assert np.all(batch.actuals[:, batch.column_of("A")] == 10.0)
+        assert np.all(batch.actuals[:, batch.column_of("B")] <= 20.0)
+        rng = np.random.default_rng(4)
+        for _ in range(10):
+            assert sample_realization(st, rng).actual("A") == 10.0
