@@ -1,0 +1,161 @@
+"""Sweep-scale execution-engine benchmark: cold vs warm pool vs cache.
+
+Times the same Figure-5-shaped load sweep (widened ATR graph, six
+processors) three ways and emits ``BENCH_sweep.json``:
+
+1. **cold** — no shared :class:`~repro.experiments.ExecutionContext`:
+   every sweep point spins up (and tears down) its own worker pool,
+   which is what the pre-PR-4 engine always did;
+2. **warm** — one persistent ``ExecutionContext`` shared across all
+   points, so pool spin-up is paid once for the whole sweep.  An
+   :class:`~repro.experiments.EvaluationCache` in a scratch directory
+   is attached, so this pass also populates the on-disk cache (the
+   ``put`` cost is charged to the warm timing, as in real use);
+3. **cache** — the identical sweep re-run against the now-populated
+   cache: every point is served from disk without touching a pool.
+
+All three passes are asserted bit-identical point by point before any
+timing is reported — a speedup that changes results is a bug, not a
+feature.
+
+``--budget-seconds`` (> 0) fails the invocation if the *cold* sweep
+exceeds the budget.  ``--min-warm-speedup`` / ``--min-cache-speedup``
+(> 0) gate the respective ratios; CI smoke uses a loose
+``--min-warm-speedup 1.0`` (warm must never lose to cold), while the
+defaults on a developer box comfortably clear 1.5x / 5x.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/sweep_speedup.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.experiments import (EvaluationCache, ExecutionContext, RunConfig,
+                               sweep_load)
+from repro.workloads import AtrConfig, atr_graph
+
+#: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
+FIG5_ATR = dict(max_rois=6,
+                roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
+
+
+def _assert_series_equal(a, b, label: str) -> None:
+    assert a.points == b.points, f"{label}: sweep points diverged"
+    assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
+        f"{label}: speed-change counts diverged"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--points", type=int, default=10,
+                    help="number of load-sweep points (grid 0.1..1.0)")
+    ap.add_argument("--runs", type=int, default=120,
+                    help="Monte-Carlo runs per point")
+    ap.add_argument("--jobs", type=int, default=4,
+                    help="worker count for both pool flavours")
+    ap.add_argument("--procs", type=int, default=6)
+    ap.add_argument("--seed", type=int, default=2002)
+    ap.add_argument("--alpha", type=float, default=0.9)
+    ap.add_argument("--out", default="BENCH_sweep.json")
+    ap.add_argument("--budget-seconds", type=float, default=0.0,
+                    dest="budget_seconds")
+    ap.add_argument("--min-warm-speedup", type=float, default=0.0,
+                    dest="min_warm_speedup")
+    ap.add_argument("--min-cache-speedup", type=float, default=0.0,
+                    dest="min_cache_speedup")
+    args = ap.parse_args(argv)
+    if args.points < 1:
+        ap.error("--points must be >= 1")
+
+    graph = atr_graph(AtrConfig(alpha=args.alpha, **FIG5_ATR))
+    loads = [round(0.1 + 0.9 * i / max(args.points - 1, 1), 4)
+             for i in range(args.points)]
+    # run-level pooling per point with the fallback disabled: the cold
+    # pass then pays one pool spin-up per sweep point, which is exactly
+    # the overhead the persistent context amortizes
+    cfg = RunConfig(n_runs=args.runs, seed=args.seed,
+                    n_processors=args.procs, engine="compiled",
+                    n_jobs=args.jobs, parallel_min_runs=0)
+
+    print(f"sweep_speedup: {args.points} points x {args.runs} runs, "
+          f"m={args.procs}, jobs={args.jobs}, cores={os.cpu_count()}")
+
+    t0 = time.perf_counter()
+    series_cold = sweep_load(graph, cfg, loads)
+    t_cold = time.perf_counter() - t0
+    print(f"  cold  (pool per point)   {t_cold:8.3f} s")
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = EvaluationCache(tmp)
+        with ExecutionContext(n_jobs=args.jobs, cache=cache) as ctx:
+            t0 = time.perf_counter()
+            series_warm = sweep_load(graph, cfg, loads, context=ctx)
+            t_warm = time.perf_counter() - t0
+            pools_created = ctx.pools_created
+        print(f"  warm  (persistent pool)  {t_warm:8.3f} s  "
+              f"(pools created: {pools_created})")
+
+        before = cache.stats()
+        with ExecutionContext(n_jobs=args.jobs, cache=cache) as ctx:
+            t0 = time.perf_counter()
+            series_hit = sweep_load(graph, cfg, loads, context=ctx)
+            t_hit = time.perf_counter() - t0
+            stats = {k: ctx.cache_stats()[k] - before[k] for k in before}
+        print(f"  cache (hits from disk)   {t_hit:8.3f} s  "
+              f"({stats['hits']} hits / {stats['misses']} misses)")
+        assert stats["hits"] >= args.points, \
+            "cache pass did not hit on every sweep point"
+
+    _assert_series_equal(series_cold, series_warm, "warm vs cold")
+    _assert_series_equal(series_cold, series_hit, "cache vs cold")
+
+    warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    cache_speedup = t_cold / t_hit if t_hit > 0 else float("inf")
+    record = {
+        "benchmark": "sweep_speedup",
+        "bit_identical": True,
+        "points": args.points,
+        "n_runs": args.runs,
+        "n_processors": args.procs,
+        "jobs": args.jobs,
+        "cores": os.cpu_count(),
+        "cold_seconds": round(t_cold, 4),
+        "warm_seconds": round(t_warm, 4),
+        "cache_seconds": round(t_hit, 4),
+        "warm_speedup": round(warm_speedup, 3),
+        "cache_speedup": round(cache_speedup, 3),
+        "warm_pools_created": pools_created,
+        "cache_hits": stats["hits"],
+        "cache_misses": stats["misses"],
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  warm speedup  {warm_speedup:8.2f} x")
+    print(f"  cache speedup {cache_speedup:8.2f} x  -> {args.out}")
+
+    if args.budget_seconds > 0 and t_cold > args.budget_seconds:
+        print(f"FAIL: cold sweep took {t_cold:.2f} s, budget "
+              f"{args.budget_seconds:.2f} s", file=sys.stderr)
+        return 1
+    if args.min_warm_speedup > 0 and warm_speedup < args.min_warm_speedup:
+        print(f"FAIL: warm speedup {warm_speedup:.2f}x below required "
+              f"{args.min_warm_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.min_cache_speedup > 0 and cache_speedup < args.min_cache_speedup:
+        print(f"FAIL: cache speedup {cache_speedup:.2f}x below required "
+              f"{args.min_cache_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -68,6 +68,13 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
+        fp.add_argument("--no-cache", action="store_true",
+                        help="recompute every point, bypassing the "
+                             "on-disk evaluation cache")
+        fp.add_argument("--cache-dir", type=str, default=None,
+                        dest="cache_dir",
+                        help="evaluation-cache directory (default: "
+                             ".repro-cache)")
         fp.add_argument("--oracle", action="store_true",
                         help="include the clairvoyant lower bound")
         fp.add_argument("--csv", type=str, default=None,
@@ -166,7 +173,35 @@ def build_parser() -> argparse.ArgumentParser:
                                                     "xscale"])
     su.add_argument("--procs", type=int, default=2)
     su.add_argument("--seed", type=int, default=2002)
+    su.add_argument("--jobs", type=int, default=1,
+                    help="worker processes across suite cells "
+                         "(0 = all cores)")
+    su.add_argument("--no-cache", action="store_true",
+                    help="recompute every cell, bypassing the on-disk "
+                         "evaluation cache")
+    su.add_argument("--cache-dir", type=str, default=None, dest="cache_dir",
+                    help="evaluation-cache directory (default: "
+                         ".repro-cache)")
     return p
+
+
+def _make_context(n_jobs: int, no_cache: bool, cache_dir: Optional[str]):
+    """One ExecutionContext per CLI command: shared pool + optional cache."""
+    from .experiments.engine import ExecutionContext
+    cache = None
+    if not no_cache:
+        from .experiments.evalcache import DEFAULT_CACHE_DIR, EvaluationCache
+        cache = EvaluationCache(cache_dir or DEFAULT_CACHE_DIR)
+    return ExecutionContext(n_jobs=n_jobs, cache=cache)
+
+
+def _print_cache_stats(context) -> None:
+    stats = context.cache_stats()
+    if stats is not None:
+        print(f"(cache: {stats['hits']} hits, {stats['misses']} misses"
+              + (f", {stats['errors']} corrupt entries dropped"
+                 if stats["errors"] else "")
+              + f" in {context.cache.root})")
 
 
 def _emit_figure(series_by_model: Dict[str, SeriesResult],
@@ -178,6 +213,10 @@ def _emit_figure(series_by_model: Dict[str, SeriesResult],
             from .experiments.chart import render_chart
             print(render_chart(series))
         print(render_speed_changes(series))
+        cache = series.meta.get("cache")
+        if cache is not None:
+            print(f"({series.name}: cache {cache['hits']} hits / "
+                  f"{cache['misses']} misses)")
         chunks.append(series_to_csv(series))
     if csv_path:
         with open(csv_path, "w", encoding="utf-8") as fh:
@@ -208,15 +247,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.oracle:
             schemes.append("ORACLE")
         fig_fn = ALL_FIGURES[args.command]
-        fig_kwargs = dict(
-            n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
-            seed=args.seed, run_jobs=args.n_jobs,
-            runs_per_chunk=args.runs_per_chunk, engine=args.engine)
-        if args.profile:
-            series = _run_profiled(fig_fn, **fig_kwargs)
-        else:
-            series = fig_fn(**fig_kwargs)
-        _emit_figure(series, args.csv, chart=args.chart)
+        # the pool serves whichever level is parallel (the two are
+        # mutually exclusive: point-level --jobs or run-level --n-jobs)
+        ctx_jobs = args.jobs if args.jobs != 1 else args.n_jobs
+        with _make_context(ctx_jobs, args.no_cache, args.cache_dir) as ctx:
+            fig_kwargs = dict(
+                n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
+                seed=args.seed, run_jobs=args.n_jobs,
+                runs_per_chunk=args.runs_per_chunk, engine=args.engine,
+                context=ctx)
+            if args.profile:
+                series = _run_profiled(fig_fn, **fig_kwargs)
+            else:
+                series = fig_fn(**fig_kwargs)
+            _emit_figure(series, args.csv, chart=args.chart)
+            _print_cache_stats(ctx)
         if args.save:
             from .experiments.persist import save_series
             save_series(series, args.save)
@@ -336,7 +381,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                           models=tuple(args.models),
                           n_processors=args.procs, n_runs=args.runs,
                           seed=args.seed)
-        print(render_suite(run_suite(cfg)))
+        with _make_context(args.jobs, args.no_cache, args.cache_dir) as ctx:
+            print(render_suite(run_suite(cfg, n_jobs=args.jobs,
+                                         context=ctx)))
+            _print_cache_stats(ctx)
         return 0
 
     return 2  # pragma: no cover - argparse enforces the choices

@@ -5,7 +5,11 @@
 * :mod:`~repro.experiments.figures` — Figure 4/5/6 regeneration,
 * :mod:`~repro.experiments.tables` — Table 1/2 regeneration,
 * :mod:`~repro.experiments.report` — text/CSV rendering,
-* :mod:`~repro.experiments.parallel` — process-pool fan-out.
+* :mod:`~repro.experiments.parallel` — process-pool fan-out,
+* :mod:`~repro.experiments.engine` — persistent sweep-scale execution
+  (one worker pool + shared-memory transport + evaluation cache),
+* :mod:`~repro.experiments.evalcache` — content-addressed on-disk
+  cache of evaluation points.
 """
 
 from .chart import render_chart, render_charts
@@ -23,6 +27,8 @@ from .distribution import (
     result_distributions,
     summarize_distribution,
 )
+from .engine import ExecutionContext
+from .evalcache import EvaluationCache, evaluation_key
 from .exact import ExactResult, exact_evaluation, render_exact
 from .figures import (
     ALL_FIGURES,
@@ -33,7 +39,13 @@ from .figures import (
     figure5,
     figure6,
 )
-from .persist import load_series, merge_series, save_series
+from .persist import (
+    load_evaluation,
+    load_series,
+    merge_series,
+    save_evaluation,
+    save_series,
+)
 from .misprofile import (
     MisprofileResult,
     misprofile_evaluation,
@@ -43,6 +55,7 @@ from .parallel import (
     collect_in_order,
     map_applications,
     map_custom,
+    map_evaluations,
     map_load_points,
     resolve_jobs,
 )
@@ -113,9 +126,15 @@ __all__ = [
     "map_load_points",
     "map_applications",
     "map_custom",
+    "map_evaluations",
     "collect_in_order",
     "resolve_jobs",
+    "ExecutionContext",
+    "EvaluationCache",
+    "evaluation_key",
     "save_series",
     "load_series",
     "merge_series",
+    "save_evaluation",
+    "load_evaluation",
 ]

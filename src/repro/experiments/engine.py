@@ -1,0 +1,371 @@
+"""Sweep-scale execution engine: one pool per sweep, not per point.
+
+PR 2/3 made a *single* evaluation point fast; the figure/suite layer
+still paid full setup cost at every one of its dozens of points — a
+fresh ``ProcessPoolExecutor`` (fork + import + initializer pickling)
+per point for run-level parallelism, re-pickled realization chunks, and
+full recomputation on every regeneration.  This module amortizes all
+three, one level up the stack:
+
+* :class:`ExecutionContext` — a **persistent, reusable process pool**
+  created lazily once per sweep/figure/suite and shared by the
+  point-level fan-out (:mod:`repro.experiments.parallel`) and the
+  run-level chunking inside :func:`~repro.experiments.runner.
+  evaluate_application`.  Workers are long-lived, so their per-process
+  caches (the offline round-1 plan cache, the compiled section-program
+  cache keyed by plan fingerprint) persist across sweep points: each
+  program ships/compiles once per worker, not once per point.
+* **Zero-copy realization transport** — the parent samples the
+  ``(runs × tasks)`` realization matrix once and publishes it in a
+  :mod:`multiprocessing.shared_memory` segment; workers receive
+  ``(name, shape, dtype, row range)`` descriptors and map the matrix
+  as a NumPy view instead of unpickling per-chunk array copies.  When
+  shared memory is unavailable (or the matrix is empty) the transport
+  degrades to plain pickled chunks — values are identical either way.
+* An optional **content-addressed evaluation cache**
+  (:mod:`repro.experiments.evalcache`) attached to the context, so
+  ``repro fig`` / ``repro suite`` regeneration is incremental.
+
+Everything here preserves the engine's core contract: results are
+**bit-identical** to sequential execution for every pool size, chunk
+size and transport (the realization batch is sampled once in the
+parent; workers only partition prebuilt work).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigError, ParallelError
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+    _SHM_AVAILABLE = True
+except ImportError:  # pragma: no cover - e.g. stripped-down interpreters
+    _shared_memory = None
+    _SHM_AVAILABLE = False
+
+
+def resolve_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` request.
+
+    ``None``/``0`` → all cores; negative → :class:`ConfigError`.  When
+    ``n_items`` is given, the answer is additionally clamped to the
+    amount of available work (never below 1), so a 32-core request for
+    a 3-point sweep starts 3 workers, not 32 mostly-idle ones.
+    """
+    if n_jobs is None or n_jobs == 0:
+        jobs = os.cpu_count() or 1
+    elif n_jobs < 0:
+        raise ConfigError(f"n_jobs must be positive, got {n_jobs}")
+    else:
+        jobs = n_jobs
+    if n_items is not None:
+        jobs = max(1, min(jobs, n_items))
+    return jobs
+
+
+# ---------------------------------------------------------------------------
+# shared-memory realization transport
+# ---------------------------------------------------------------------------
+
+class ShmChunk:
+    """Picklable descriptor of one run-range of a shared realization matrix.
+
+    The parent ships ``(segment name, full matrix shape, dtype, row
+    range)`` plus the small per-OR choice slices; the worker attaches
+    the segment once (cached across chunks and evaluations) and builds
+    a :class:`~repro.sim.realization.RealizationBatch` over a zero-copy
+    NumPy view of the rows.
+    """
+
+    __slots__ = ("shm_name", "shape", "dtype", "start", "stop", "names",
+                 "choices")
+
+    def __init__(self, shm_name: str, shape: Tuple[int, int], dtype: str,
+                 start: int, stop: int, names: List[str],
+                 choices: Dict[str, np.ndarray]):
+        self.shm_name = shm_name
+        self.shape = shape
+        self.dtype = dtype
+        self.start = start
+        self.stop = stop
+        self.names = names
+        self.choices = choices
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def resolve(self):
+        """Materialize the chunk as a batch over the shared matrix view."""
+        from ..sim.realization import RealizationBatch
+        seg = _attach_segment(self.shm_name)
+        matrix = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                            buffer=seg.buf)
+        return RealizationBatch(self.names, matrix[self.start:self.stop],
+                                self.choices)
+
+
+#: worker-side attached segments, keyed by name.  Bounded: a worker
+#: only ever needs the segment of the evaluation it is running plus at
+#: most one predecessor that is still being torn down.
+_ATTACHED: "OrderedDict[str, object]" = OrderedDict()
+_ATTACHED_MAX = 2
+
+
+def _attach_segment(name: str):
+    seg = _ATTACHED.get(name)
+    if seg is not None:
+        _ATTACHED.move_to_end(name)
+        return seg
+    try:  # Python >= 3.13: opt out of resource tracking directly
+        seg = _shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        # Pre-3.13 the resource tracker registers attached segments as
+        # if the attaching process owned them (bpo-39959): forked
+        # workers share the parent's tracker, so the registration —
+        # and a later unregister — would fight the parent's own
+        # create/unlink bookkeeping of the same segment.  Suppress the
+        # attach-side registration entirely: the parent owns the
+        # segment's lifetime.
+        from multiprocessing import resource_tracker
+        original_register = resource_tracker.register
+
+        def _register_skipping_shm(rname, rtype):
+            if rtype != "shared_memory":  # pragma: no cover
+                original_register(rname, rtype)
+
+        resource_tracker.register = _register_skipping_shm
+        try:
+            seg = _shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+    _ATTACHED[name] = seg
+    while len(_ATTACHED) > _ATTACHED_MAX:
+        _, old = _ATTACHED.popitem(last=False)
+        try:
+            old.close()
+        except OSError:  # pragma: no cover - best-effort teardown
+            pass
+    return seg
+
+
+class SharedBatch:
+    """Parent-side owner of one realization matrix in shared memory.
+
+    Copies the batch's actual-time matrix into a fresh segment once;
+    :meth:`chunk` hands out :class:`ShmChunk` descriptors for row
+    ranges.  :meth:`close` releases and unlinks the segment (POSIX
+    semantics: workers still holding a mapping keep reading safely
+    until they drop it).
+    """
+
+    def __init__(self, batch):
+        actuals = np.ascontiguousarray(batch.actuals)
+        self._shm = _shared_memory.SharedMemory(create=True,
+                                                size=actuals.nbytes)
+        self.shape = actuals.shape
+        self.dtype = actuals.dtype.str
+        view = np.ndarray(self.shape, dtype=actuals.dtype,
+                          buffer=self._shm.buf)
+        view[:] = actuals
+        self.names = list(batch.names)
+        self.choices = batch.choices
+
+    def chunk(self, start: int, stop: int) -> ShmChunk:
+        return ShmChunk(self._shm.name, self.shape, self.dtype, start, stop,
+                        self.names,
+                        {k: v[start:stop] for k, v in self.choices.items()})
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (OSError, FileNotFoundError):  # pragma: no cover
+            pass
+
+
+def share_batch(batch) -> Optional[SharedBatch]:
+    """Publish a realization batch in shared memory, or ``None``.
+
+    Returns ``None`` — meaning "fall back to pickled chunks" — when the
+    platform has no shared memory, the matrix is empty, or segment
+    creation fails at runtime (e.g. ``/dev/shm`` exhausted).
+    """
+    if not _SHM_AVAILABLE or batch.actuals.nbytes == 0:
+        return None
+    try:
+        return SharedBatch(batch)
+    except OSError:  # pragma: no cover - depends on host state
+        return None
+
+
+# ---------------------------------------------------------------------------
+# worker-side evaluation setup cache (run-level chunk tasks)
+# ---------------------------------------------------------------------------
+
+#: per-worker prepared evaluation contexts, keyed by setup fingerprint:
+#: ``(plan_dyn, plan_static, scheme_names, power, overhead, engine)``.
+#: Long-lived workers keep the plans and their compiled section
+#: programs across every chunk — and, thanks to the fingerprint key,
+#: across repeated evaluations of the same point.
+_SETUP_CACHE: "OrderedDict[str, tuple]" = OrderedDict()
+_SETUP_CACHE_MAX = 8
+
+
+def _prepared_setup(setup_key: str, app, config):
+    setup = _SETUP_CACHE.get(setup_key)
+    if setup is not None:
+        _SETUP_CACHE.move_to_end(setup_key)
+        return setup
+    from ..core.registry import get_policy
+    from ..sim.compiled import compile_plan
+    from .runner import build_plans
+    power = config.make_power()
+    plan_dyn, plan_static = build_plans(app, config, power)
+    scheme_names = tuple(get_policy(name).name for name in config.schemes)
+    if config.engine == "compiled":
+        compile_plan(plan_static)
+        if plan_dyn is not None:
+            compile_plan(plan_dyn)
+    setup = (plan_dyn, plan_static, scheme_names, power, config.overhead,
+             config.engine)
+    _SETUP_CACHE[setup_key] = setup
+    while len(_SETUP_CACHE) > _SETUP_CACHE_MAX:
+        _SETUP_CACHE.popitem(last=False)
+    return setup
+
+
+def _eval_chunk_task(setup_key: str, app, config, start: int, chunk):
+    """Worker task: simulate one run-range, tagged with its offset.
+
+    ``chunk`` is either a :class:`ShmChunk` descriptor (zero-copy
+    transport) or a pickled realization-batch slice (fallback); the
+    plans are rebuilt deterministically from ``(app, config)`` on the
+    first chunk of an evaluation and served from the worker's setup
+    cache afterwards.
+    """
+    from .runner import _simulate_runs, _simulate_runs_compiled
+    plan_dyn, plan_static, scheme_names, power, overhead, engine = \
+        _prepared_setup(setup_key, app, config)
+    if isinstance(chunk, ShmChunk):
+        chunk = chunk.resolve()
+    if engine == "compiled":
+        npm, absolute, changes, keys = _simulate_runs_compiled(
+            plan_dyn, plan_static, scheme_names, power, overhead, chunk)
+    else:
+        npm, absolute, changes, keys = _simulate_runs(
+            plan_dyn, plan_static, scheme_names, power, overhead, chunk)
+    return start, npm, absolute, changes, keys
+
+
+# ---------------------------------------------------------------------------
+# the execution context
+# ---------------------------------------------------------------------------
+
+class ExecutionContext:
+    """One pool, one cache, many sweep points.
+
+    Create one per sweep/figure/suite (or pass your own across several)
+    and hand it to ``sweep_*``/``figure*``/``run_suite``/
+    ``evaluate_application``.  The worker pool is created lazily on
+    first parallel use and reused until :meth:`close`; a context whose
+    resolved job count is 1 never spawns a process at all, so it is
+    free to create unconditionally.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker processes (``None``/``0`` = all cores, ``1`` = inline).
+    cache:
+        Optional :class:`~repro.experiments.evalcache.EvaluationCache`;
+        evaluation points are looked up before computing and stored
+        after.
+    shared_memory:
+        Whether run-level chunk tasks ship realization rows through
+        shared memory (default) or pickled slices.  Purely transport —
+        results are bit-identical.
+
+    Not thread-safe, and not picklable (workers never see the context;
+    they see plain task tuples).
+    """
+
+    def __init__(self, n_jobs: Optional[int] = None, cache=None,
+                 shared_memory: bool = True):
+        if n_jobs is not None and n_jobs < 0:
+            raise ConfigError(f"n_jobs must be >= 0, got {n_jobs}")
+        self._n_jobs = n_jobs
+        self.cache = cache
+        self.shared_memory = bool(shared_memory) and _SHM_AVAILABLE
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._closed = False
+        #: pools created over the context's lifetime (normally 0 or 1;
+        #: a failed sweep resets the pool and the next use re-creates
+        #: it).  Exposed for tests and the sweep benchmark.
+        self.pools_created = 0
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "ExecutionContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def jobs(self, n_items: Optional[int] = None) -> int:
+        """The resolved worker count, optionally clamped to the work."""
+        return resolve_jobs(self._n_jobs, n_items=n_items)
+
+    def pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created on first use."""
+        if self._closed:
+            raise ParallelError("closed execution context",
+                                RuntimeError("context already closed"))
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs())
+            self.pools_created += 1
+        return self._pool
+
+    def reset(self) -> None:
+        """Tear the pool down (it is re-created lazily on next use)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the pool down for good; further parallel use fails."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._closed = True
+
+    # -- execution ----------------------------------------------------------
+    def map(self, fn: Callable, args_list: Sequence[Tuple],
+            labels: Optional[Sequence[str]] = None) -> List:
+        """Run ``fn(*args)`` for every args tuple on the pool, in order.
+
+        Fail-fast: the first worker exception cancels the outstanding
+        futures, resets the pool (so the context stays usable) and
+        re-raises as :class:`ParallelError` naming the failing item.
+        """
+        if labels is None:
+            labels = [f"args={args!r}" for args in args_list]
+        pool = self.pool()
+        futures = [pool.submit(fn, *args) for args in args_list]
+        results = []
+        for future, label in zip(futures, labels):
+            try:
+                results.append(future.result())
+            except Exception as exc:
+                self.reset()
+                raise ParallelError(label, exc) from exc
+        return results
+
+    # -- cache --------------------------------------------------------------
+    def cache_stats(self) -> Optional[Dict[str, int]]:
+        """The attached cache's hit/miss counters, or ``None``."""
+        return self.cache.stats() if self.cache is not None else None

@@ -54,12 +54,16 @@ def figure4(n_runs: int = 1000,
             alpha: float = ATR_ALPHA,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
-            engine: str = "compiled") -> Dict[str, SeriesResult]:
+            engine: str = "compiled",
+            context=None) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
     ``n_jobs`` parallelizes across sweep points; ``run_jobs`` (and
     ``runs_per_chunk``) parallelize the Monte-Carlo runs inside each
     point instead — prefer the latter when points are few but heavy.
+    ``context`` (an :class:`~repro.experiments.engine.ExecutionContext`)
+    shares one worker pool and evaluation cache across both sub-figures
+    — and across figures, if the caller passes the same context to each.
     """
     out: Dict[str, SeriesResult] = {}
     graph = atr_graph(AtrConfig(alpha=alpha))
@@ -67,7 +71,7 @@ def figure4(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
-                                name=f"figure4-{model}")
+                                name=f"figure4-{model}", context=context)
     return out
 
 
@@ -78,7 +82,8 @@ def figure5(n_runs: int = 1000,
             alpha: float = ATR_ALPHA,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
-            engine: str = "compiled") -> Dict[str, SeriesResult]:
+            engine: str = "compiled",
+            context=None) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
     The ATR graph is widened (more simultaneous ROIs) so that six
@@ -94,7 +99,7 @@ def figure5(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
-                                name=f"figure5-{model}")
+                                name=f"figure5-{model}", context=context)
     return out
 
 
@@ -105,14 +110,20 @@ def figure6(n_runs: int = 1000,
             load: float = FIG6_LOAD,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
-            engine: str = "compiled") -> Dict[str, SeriesResult]:
-    """Energy vs α, synthetic application, dual-processor (Figure 6a/6b)."""
+            engine: str = "compiled",
+            context=None) -> Dict[str, SeriesResult]:
+    """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
+
+    ``context`` (an :class:`~repro.experiments.engine.ExecutionContext`)
+    shares one worker pool and evaluation cache across both sub-figures.
+    """
     out: Dict[str, SeriesResult] = {}
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
-                                 n_jobs=n_jobs, name=f"figure6-{model}")
+                                 n_jobs=n_jobs, name=f"figure6-{model}",
+                                 context=context)
     return out
 
 

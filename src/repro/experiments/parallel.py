@@ -7,14 +7,21 @@ scatter/gather, implemented with the standard library so the package
 stays dependency-light.  Results come back in submission order, keeping
 sweeps deterministic regardless of worker scheduling.
 
-``n_jobs=1`` (the default) bypasses the pool entirely — on single-core
-boxes the pickling round-trip costs more than it buys.
+``n_jobs=1`` (the default, with no context supplied) bypasses the pool
+entirely — on single-core boxes the pickling round-trip costs more than
+it buys.
+
+Since PR 4 the pool itself lives in an
+:class:`~repro.experiments.engine.ExecutionContext`: pass one
+``context`` to share a single persistent pool (and optionally an
+evaluation cache) across every map call of a sweep, figure or suite,
+instead of paying pool spin-up per call.  Without a context, each call
+creates and disposes its own — the pre-PR-4 behaviour.
 
 Failure semantics: the pools fail fast.  If any worker raises, the
-outstanding futures are cancelled (``cancel_futures=True``) and the
-error is re-raised as :class:`~repro.errors.ParallelError` carrying the
-failing point's arguments, with the worker's exception chained as
-``__cause__``.
+outstanding futures are cancelled and the error is re-raised as
+:class:`~repro.errors.ParallelError` carrying the failing point's
+arguments, with the original exception chained as ``__cause__``.
 
 There are two layers of parallelism: this module fans out across sweep
 *points*, while :func:`~repro.experiments.runner.evaluate_application`
@@ -25,33 +32,19 @@ per-point config is forced to ``n_jobs=1`` so workers never nest pools.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigError, ParallelError
+from ..errors import ParallelError
 from ..graph.andor import AndOrGraph, Application
 from ..workloads.scaling import application_with_load
+from .engine import ExecutionContext, resolve_jobs
 from .runner import EvaluationResult, RunConfig, evaluate_application
 
-
-def resolve_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
-    """Normalize an ``n_jobs`` request.
-
-    ``None``/``0`` → all cores; negative → :class:`ConfigError`.  When
-    ``n_items`` is given, the answer is additionally clamped to the
-    amount of available work (never below 1), so a 32-core request for
-    a 3-point sweep starts 3 workers, not 32 mostly-idle ones.
-    """
-    if n_jobs is None or n_jobs == 0:
-        jobs = os.cpu_count() or 1
-    elif n_jobs < 0:
-        raise ConfigError(f"n_jobs must be positive, got {n_jobs}")
-    else:
-        jobs = n_jobs
-    if n_items is not None:
-        jobs = max(1, min(jobs, n_items))
-    return jobs
+__all__ = [
+    "resolve_jobs", "collect_in_order", "map_evaluations",
+    "map_load_points", "map_applications", "map_custom",
+]
 
 
 def collect_in_order(pool: ProcessPoolExecutor, futures: Sequence,
@@ -72,6 +65,81 @@ def collect_in_order(pool: ProcessPoolExecutor, futures: Sequence,
     return results
 
 
+def _evaluate_app_point(app: Application,
+                        config: RunConfig) -> EvaluationResult:
+    return evaluate_application(app, config)
+
+
+def map_evaluations(apps: Sequence[Application],
+                    config, n_jobs: int = 1,
+                    context: Optional[ExecutionContext] = None,
+                    labels: Optional[Sequence[str]] = None
+                    ) -> List[EvaluationResult]:
+    """Evaluate several applications on one shared execution context.
+
+    The engine-aware core of every point mapper: resolves the worker
+    count (the context's, if one is given, else ``n_jobs``), consults
+    the context's evaluation cache point by point (only misses are
+    computed), fans misses out over the persistent pool with per-point
+    configs forced to ``n_jobs=1`` (pools never nest), and stores fresh
+    results back.  Results keep submission order and are bit-identical
+    to a serial loop.
+
+    ``config`` is one :class:`RunConfig` shared by every point, or a
+    sequence of per-point configs (same length as ``apps``) for sweeps
+    whose x-axis is a config field (processor count, overhead, …).
+    """
+    if isinstance(config, RunConfig):
+        configs: List[RunConfig] = [config] * len(apps)
+    else:
+        configs = list(config)
+        if len(configs) != len(apps):
+            raise ParallelError(
+                f"{len(configs)} configs for {len(apps)} applications",
+                ValueError("apps/configs length mismatch"))
+    if labels is None:
+        labels = [f"app={app.name!r}" for app in apps]
+    owned = context is None
+    ctx = context if context is not None else ExecutionContext(
+        n_jobs=resolve_jobs(n_jobs, n_items=len(apps)))
+    try:
+        if ctx.jobs(n_items=len(apps)) == 1:
+            # serial point loop; the context still supplies the cache
+            # and the run-level pool (config.n_jobs) to each point
+            return [evaluate_application(app, cfg, context=ctx)
+                    for app, cfg in zip(apps, configs)]
+        results: List[Optional[EvaluationResult]] = [None] * len(apps)
+        pending = list(range(len(apps)))
+        keys: List[str] = []
+        if ctx.cache is not None:
+            # cache lookups happen here in the parent — workers stay
+            # cache-blind, so concurrent sweeps never race on entries
+            from .evalcache import evaluation_key
+            keys = [evaluation_key(app, cfg)
+                    for app, cfg in zip(apps, configs)]
+            pending = []
+            for i, app in enumerate(apps):
+                hit = ctx.cache.get(keys[i], app.name, configs[i])
+                if hit is not None:
+                    results[i] = hit
+                else:
+                    pending.append(i)
+        if pending:
+            # workers must not nest pools: point configs go out serial
+            computed = ctx.map(
+                _evaluate_app_point,
+                [(apps[i], configs[i].with_(n_jobs=1)) for i in pending],
+                [labels[i] for i in pending])
+            for i, res in zip(pending, computed):
+                results[i] = res
+                if ctx.cache is not None:
+                    ctx.cache.put(keys[i], res)
+        return results
+    finally:
+        if owned:
+            ctx.close()
+
+
 def _evaluate_load_point(graph: AndOrGraph, load: float,
                          config: RunConfig) -> EvaluationResult:
     app = application_with_load(graph, load, config.n_processors)
@@ -79,46 +147,40 @@ def _evaluate_load_point(graph: AndOrGraph, load: float,
 
 
 def map_load_points(graph: AndOrGraph, loads: Sequence[float],
-                    config: RunConfig,
-                    n_jobs: int = 1) -> List[EvaluationResult]:
+                    config: RunConfig, n_jobs: int = 1,
+                    context: Optional[ExecutionContext] = None
+                    ) -> List[EvaluationResult]:
     """Evaluate one application at several loads, optionally in parallel."""
-    jobs = resolve_jobs(n_jobs, n_items=len(loads))
-    if jobs == 1:
+    if context is None and resolve_jobs(n_jobs, n_items=len(loads)) == 1:
         return [_evaluate_load_point(graph, ld, config) for ld in loads]
-    point_config = config.with_(n_jobs=1)  # workers must not nest pools
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_evaluate_load_point, graph, ld, point_config)
-                   for ld in loads]
-        return collect_in_order(pool, futures,
-                                [f"load={ld!r}" for ld in loads])
-
-
-def _evaluate_app_point(app: Application,
-                        config: RunConfig) -> EvaluationResult:
-    return evaluate_application(app, config)
+    apps = []
+    for ld in loads:
+        try:
+            apps.append(application_with_load(graph, ld, config.n_processors))
+        except Exception as exc:
+            raise ParallelError(f"load={ld!r}", exc) from exc
+    return map_evaluations(apps, config, n_jobs=n_jobs, context=context,
+                           labels=[f"load={ld!r}" for ld in loads])
 
 
 def map_applications(apps: Sequence[Application], config: RunConfig,
-                     n_jobs: int = 1) -> List[EvaluationResult]:
+                     n_jobs: int = 1,
+                     context: Optional[ExecutionContext] = None
+                     ) -> List[EvaluationResult]:
     """Evaluate several pre-built applications (e.g. an α sweep)."""
-    jobs = resolve_jobs(n_jobs, n_items=len(apps))
-    if jobs == 1:
-        return [_evaluate_app_point(a, config) for a in apps]
-    point_config = config.with_(n_jobs=1)  # workers must not nest pools
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(_evaluate_app_point, a, point_config)
-                   for a in apps]
-        return collect_in_order(pool, futures,
-                                [f"app={a.name!r}" for a in apps])
+    return map_evaluations(apps, config, n_jobs=n_jobs, context=context)
 
 
 def map_custom(fn: Callable, args_list: Sequence[Tuple],
-               n_jobs: int = 1) -> List:
+               n_jobs: int = 1,
+               context: Optional[ExecutionContext] = None) -> List:
     """Generic fan-out for ablation sweeps (fn must be picklable)."""
-    jobs = resolve_jobs(n_jobs, n_items=len(args_list))
-    if jobs == 1:
+    if context is None:
+        jobs = resolve_jobs(n_jobs, n_items=len(args_list))
+        if jobs == 1:
+            return [fn(*args) for args in args_list]
+        with ExecutionContext(n_jobs=jobs) as ctx:
+            return ctx.map(fn, args_list)
+    if context.jobs(n_items=len(args_list)) == 1:
         return [fn(*args) for args in args_list]
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
-        futures = [pool.submit(fn, *args) for args in args_list]
-        return collect_in_order(pool, futures,
-                                [f"args={args!r}" for args in args_list])
+    return context.map(fn, args_list)

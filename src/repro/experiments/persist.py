@@ -4,6 +4,14 @@ Full-size figure runs are cheap here but not free; persisting a
 :class:`~repro.types.SeriesResult` as JSON lets EXPERIMENTS.md numbers
 be re-rendered, diffed across code changes, and plotted without
 re-simulating.  The format is versioned and validated on load.
+
+Raw per-run arrays have their own binary persistence:
+:func:`save_evaluation` / :func:`load_evaluation` round-trip one
+:class:`~repro.experiments.runner.EvaluationResult` through the same
+validated ``.npz`` payload the evaluation cache
+(:mod:`repro.experiments.evalcache`) stores, so a saved evaluation is
+bit-identical on reload — useful for archiving the exact arrays behind
+a published figure, not just its summary statistics.
 """
 
 from __future__ import annotations
@@ -11,6 +19,8 @@ from __future__ import annotations
 import json
 from pathlib import Path
 from typing import Dict, List, Union
+
+import numpy as np
 
 from ..errors import ConfigError
 from ..types import ExperimentPoint, SeriesResult
@@ -92,6 +102,37 @@ def load_series(path: Union[str, Path]) -> Dict[str, SeriesResult]:
         raise ConfigError(f"{path} is not a series bundle")
     return {k: series_from_jsonable(v)
             for k, v in payload["series"].items()}
+
+
+def save_evaluation(result, path: Union[str, Path]) -> None:
+    """Write one evaluation's raw per-run arrays as an ``.npz`` file.
+
+    The payload is the evaluation cache's on-disk format (schemes,
+    per-run NPM energies, per-scheme absolute energies and switch
+    counts, executed-path keys); ``normalized`` is re-derived exactly
+    on load.
+    """
+    from .evalcache import _result_to_payload
+    with open(path, "wb") as fh:
+        np.savez(fh, **_result_to_payload(result))
+
+
+def load_evaluation(path: Union[str, Path], app_name: str, config):
+    """Read an evaluation saved by :func:`save_evaluation` (validating).
+
+    ``app_name``/``config`` re-attach the context the arrays were
+    computed under; the config must describe the stored arrays (same
+    schemes, same ``n_runs``) or a :class:`ConfigError` is raised.
+    """
+    from .evalcache import _payload_to_result
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            return _payload_to_result(dict(data), app_name, config)
+    except FileNotFoundError:
+        raise ConfigError(f"no such evaluation file: {path}") from None
+    except (OSError, ValueError, KeyError) as exc:
+        raise ConfigError(
+            f"malformed evaluation file {path}: {exc}") from exc
 
 
 def merge_series(a: SeriesResult, b: SeriesResult) -> SeriesResult:

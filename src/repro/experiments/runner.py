@@ -13,16 +13,18 @@ schemes see identical realizations.
 
 Run-level parallelism (``n_jobs``): the full realization batch is
 sampled once in the parent process (so the fixed-seed random streams
-are untouched), split into contiguous chunks, and farmed to a
-``ProcessPoolExecutor`` whose workers receive the prebuilt plans,
-policies, power and overhead models once via the pool initializer.
-Per-chunk arrays are merged back at their run offsets, so ``n_jobs=1``
-and ``n_jobs=N`` produce bit-identical :class:`EvaluationResult`\\ s.
+are untouched), split into contiguous chunks, and farmed to the worker
+pool of an :class:`~repro.experiments.engine.ExecutionContext` — a
+caller-supplied persistent one (shared across a whole sweep), or an
+ephemeral per-evaluation context when none is given.  Chunks travel as
+zero-copy shared-memory row ranges where available (pickled slices
+otherwise), and per-chunk arrays are merged back at their run offsets,
+so ``n_jobs=1`` and ``n_jobs=N`` produce bit-identical
+:class:`EvaluationResult`\\ s for every transport.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -370,36 +372,6 @@ def _simulate_runs_compiled(plan_dyn: Optional[OfflinePlan],
     return npm_energy, absolute, changes, path_keys
 
 
-#: per-worker evaluation context, installed once by the pool initializer
-#: instead of pickling the plans/models into every chunk task
-_WORKER_CTX: Dict[str, tuple] = {}
-
-
-def _init_eval_worker(plan_dyn: Optional[OfflinePlan],
-                      plan_static: OfflinePlan,
-                      scheme_names: Tuple[str, ...],
-                      power: PowerModel,
-                      overhead: OverheadModel,
-                      engine: str = "dict") -> None:
-    _WORKER_CTX["ctx"] = (plan_dyn, plan_static, scheme_names, power,
-                          overhead, engine)
-
-
-def _eval_chunk(start: int, realizations):
-    """Worker task: simulate one chunk, tagged with its run offset."""
-    plan_dyn, plan_static, scheme_names, power, overhead, engine = \
-        _WORKER_CTX["ctx"]
-    if engine == "compiled":
-        npm, absolute, changes, keys = _simulate_runs_compiled(
-            plan_dyn, plan_static, scheme_names, power, overhead,
-            realizations)
-    else:
-        npm, absolute, changes, keys = _simulate_runs(
-            plan_dyn, plan_static, scheme_names, power, overhead,
-            realizations)
-    return start, npm, absolute, changes, keys
-
-
 def _auto_chunk_size(n_runs: int, jobs: int) -> int:
     """Default chunk size: ~4 chunks per worker for load balancing.
 
@@ -413,8 +385,8 @@ def _auto_chunk_size(n_runs: int, jobs: int) -> int:
 def evaluate_application(app: Application,
                          config: RunConfig,
                          n_jobs: Optional[int] = None,
-                         runs_per_chunk: Optional[int] = None
-                         ) -> EvaluationResult:
+                         runs_per_chunk: Optional[int] = None,
+                         context=None) -> EvaluationResult:
     """Simulate ``config.n_runs`` paired runs of every scheme on ``app``.
 
     ``n_jobs``/``runs_per_chunk`` override the corresponding
@@ -422,7 +394,26 @@ def evaluate_application(app: Application,
     config).  Results are bit-identical for every worker count: the
     realization batch is sampled once here, in the parent, from the
     config's seed, and chunk boundaries only partition prebuilt work.
+
+    ``context`` is an optional
+    :class:`~repro.experiments.engine.ExecutionContext`.  When given,
+    run-level chunks execute on its persistent worker pool (instead of
+    an ephemeral per-evaluation pool), its ``shared_memory`` flag picks
+    the chunk transport, and its attached evaluation cache is consulted
+    before computing and filled after.  None of this changes results —
+    only where and how fast they are computed.
     """
+    from .engine import (ExecutionContext, _eval_chunk_task, resolve_jobs,
+                         share_batch)
+
+    cache = context.cache if context is not None else None
+    if cache is not None:
+        from .evalcache import evaluation_key
+        cache_key = evaluation_key(app, config)
+        cached = cache.get(cache_key, app.name, config)
+        if cached is not None:
+            return cached
+
     power = config.make_power()
     plan_dyn, plan_static = build_plans(app, config, power)
     structure = plan_static.structure
@@ -435,7 +426,6 @@ def evaluate_application(app: Application,
     realizations = sample_realization_batch(
         structure, rng, n, sigma_fraction=config.sigma_fraction)
 
-    from .parallel import collect_in_order, resolve_jobs
     eff_jobs = config.n_jobs if n_jobs is None else n_jobs
     eff_chunk = (config.runs_per_chunk if runs_per_chunk is None
                  else runs_per_chunk)
@@ -451,42 +441,46 @@ def evaluate_application(app: Application,
     chunks = list(batch_in_chunks(realizations, chunk_size))
     jobs = min(jobs, len(chunks))
 
-    if config.engine == "compiled":
-        # compile in the parent so the pool initializer ships the
-        # program to every worker once instead of each recompiling it
-        compile_plan(plan_static)
-        if plan_dyn is not None:
-            compile_plan(plan_dyn)
-        runs_fn = _simulate_runs_compiled
-    else:
-        runs_fn = _simulate_runs
-
     if jobs == 1:
+        runs_fn = (_simulate_runs_compiled if config.engine == "compiled"
+                   else _simulate_runs)
         npm_energy, absolute, changes, path_keys = runs_fn(
             plan_dyn, plan_static, scheme_names, power, config.overhead,
             realizations)
     else:
-        npm_energy = np.empty(n)
-        absolute = {name: np.empty(n) for name in scheme_names}
-        changes = {name: np.empty(n, dtype=float) for name in scheme_names}
-        path_keys = [""] * n
-        with ProcessPoolExecutor(
-                max_workers=jobs,
-                initializer=_init_eval_worker,
-                initargs=(plan_dyn, plan_static, scheme_names, power,
-                          config.overhead, config.engine)) as pool:
-            futures = [pool.submit(_eval_chunk, start, block)
-                       for start, block in chunks]
+        from .evalcache import plan_setup_key
+        setup_key = plan_setup_key(app, config)
+        owned = context is None
+        ctx = ExecutionContext(n_jobs=jobs) if owned else context
+        shared = share_batch(realizations) if ctx.shared_memory else None
+        try:
+            if shared is not None:
+                args = [(setup_key, app, config, start,
+                         shared.chunk(start, start + len(block)))
+                        for start, block in chunks]
+            else:
+                args = [(setup_key, app, config, start, block)
+                        for start, block in chunks]
             labels = [f"runs[{start}:{start + len(block)}]"
                       for start, block in chunks]
+            npm_energy = np.empty(n)
+            absolute = {name: np.empty(n) for name in scheme_names}
+            changes = {name: np.empty(n, dtype=float)
+                       for name in scheme_names}
+            path_keys = [""] * n
             for start, npm, c_abs, c_chg, keys in \
-                    collect_in_order(pool, futures, labels):
+                    ctx.map(_eval_chunk_task, args, labels):
                 stop = start + len(keys)
                 npm_energy[start:stop] = npm
                 path_keys[start:stop] = keys
                 for name in scheme_names:
                     absolute[name][start:stop] = c_abs[name]
                     changes[name][start:stop] = c_chg[name]
+        finally:
+            if shared is not None:
+                shared.close()
+            if owned:
+                ctx.close()
 
     result = EvaluationResult(app_name=app.name, config=config,
                               npm_energy=npm_energy,
@@ -495,4 +489,7 @@ def evaluate_application(app: Application,
         result.absolute[name] = absolute[name]
         result.normalized[name] = absolute[name] / npm_energy
         result.speed_changes[name] = changes[name]
+
+    if cache is not None:
+        cache.put(cache_key, result)
     return result

@@ -19,7 +19,8 @@ from ..workloads.library import LIBRARY
 from ..workloads.scaling import application_with_load
 from ..workloads.synthetic import figure3_graph
 from .compare import compare_all, win_matrix
-from .runner import EvaluationResult, RunConfig, evaluate_application
+from .parallel import map_evaluations
+from .runner import EvaluationResult, RunConfig
 
 #: default workload set: the paper's two + the library zoo
 def default_workloads() -> Dict[str, Callable[[], AndOrGraph]]:
@@ -71,25 +72,39 @@ class SuiteResult:
 
 def run_suite(config: Optional[SuiteConfig] = None,
               workloads: Optional[Dict[str, Callable[[], AndOrGraph]]]
-              = None) -> SuiteResult:
-    """Evaluate every (workload, model, load) cell."""
+              = None, n_jobs: int = 1, context=None) -> SuiteResult:
+    """Evaluate every (workload, model, load) cell.
+
+    ``n_jobs`` fans the cells out over worker processes; ``context``
+    (an :class:`~repro.experiments.engine.ExecutionContext`) shares one
+    persistent pool — and, when one is attached, the on-disk evaluation
+    cache — across all cells.  Cell values are bit-identical for every
+    worker count and cache state.
+    """
     cfg = config or SuiteConfig()
     zoo = workloads if workloads is not None else default_workloads()
     if not zoo:
         raise ConfigError("no workloads to evaluate")
     out = SuiteResult(config=cfg)
+    keys = []
+    apps = []
+    configs = []
     for name, graph_fn in zoo.items():
         graph = graph_fn()
         for model in cfg.models:
             for load in cfg.loads:
-                run_cfg = RunConfig(schemes=cfg.schemes,
-                                    power_model=model,
-                                    n_processors=cfg.n_processors,
-                                    n_runs=cfg.n_runs, seed=cfg.seed)
-                app = application_with_load(graph, load,
-                                            cfg.n_processors)
-                out.cells[(name, model, load)] = \
-                    evaluate_application(app, run_cfg)
+                keys.append((name, model, load))
+                apps.append(application_with_load(graph, load,
+                                                  cfg.n_processors))
+                configs.append(RunConfig(schemes=cfg.schemes,
+                                         power_model=model,
+                                         n_processors=cfg.n_processors,
+                                         n_runs=cfg.n_runs, seed=cfg.seed))
+    labels = [f"workload={wl!r} model={model} load={load!r}"
+              for wl, model, load in keys]
+    results = map_evaluations(apps, configs, n_jobs=n_jobs,
+                              context=context, labels=labels)
+    out.cells.update(zip(keys, results))
     return out
 
 

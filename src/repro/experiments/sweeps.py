@@ -3,6 +3,13 @@
 Each sweep returns a :class:`~repro.types.SeriesResult` — the exact
 rows/series a paper figure plots — plus, where useful, the per-point
 speed-change counts that back the paper's *explanations*.
+
+Every sweep accepts an optional
+:class:`~repro.experiments.engine.ExecutionContext`; pass one to share
+a persistent worker pool (and optionally an on-disk evaluation cache)
+across several sweeps instead of paying pool spin-up per sweep.  When a
+cache is attached, the sweep's hit/miss counts land in
+``series.meta["cache"]``.
 """
 
 from __future__ import annotations
@@ -12,8 +19,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..graph.andor import AndOrGraph
 from ..types import SeriesResult
 from ..workloads.scaling import application_with_load
-from .parallel import map_applications, map_custom, map_load_points
-from .runner import EvaluationResult, RunConfig, evaluate_application
+from .engine import ExecutionContext
+from .parallel import map_applications, map_evaluations, map_load_points
+from .runner import EvaluationResult, RunConfig
 from .stats import summarize
 
 #: the paper's sweep grid (figures plot 0.1 … 1.0)
@@ -33,10 +41,25 @@ def _series_from(name: str, x_label: str, xs: Sequence[float],
     return series
 
 
+def _cache_before(context: Optional[ExecutionContext]):
+    """Snapshot of the context's cache counters, or ``None``."""
+    return context.cache_stats() if context is not None else None
+
+
+def _cache_meta(context: Optional[ExecutionContext], before,
+                meta: Dict[str, object]) -> Dict[str, object]:
+    """Add this sweep's hit/miss delta to the series meta."""
+    after = _cache_before(context)
+    if before is not None and after is not None:
+        meta["cache"] = {k: after[k] - before[k] for k in after}
+    return meta
+
+
 def sweep_load(graph: AndOrGraph, config: RunConfig,
                loads: Sequence[float] = DEFAULT_LOADS,
                n_jobs: int = 1,
-               name: str = "load-sweep") -> SeriesResult:
+               name: str = "load-sweep",
+               context: Optional[ExecutionContext] = None) -> SeriesResult:
     """Normalized energy vs load (the Figure 4/5 x-axis).
 
     ``n_jobs`` fans the sweep *points* out over processes; set
@@ -45,19 +68,23 @@ def sweep_load(graph: AndOrGraph, config: RunConfig,
     point-level pool forces run-level ``n_jobs=1`` in its workers, so
     the two levels never nest.
     """
-    results = map_load_points(graph, list(loads), config, n_jobs=n_jobs)
+    before = _cache_before(context)
+    results = map_load_points(graph, list(loads), config, n_jobs=n_jobs,
+                              context=context)
     return _series_from(name, "load", loads, results,
-                        meta={"app": graph.name,
-                              "power_model": config.power_model,
-                              "n_processors": config.n_processors,
-                              "n_runs": config.n_runs})
+                        meta=_cache_meta(context, before,
+                                         {"app": graph.name,
+                                          "power_model": config.power_model,
+                                          "n_processors": config.n_processors,
+                                          "n_runs": config.n_runs}))
 
 
 def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
                 config: RunConfig, load: float,
                 alphas: Sequence[float] = DEFAULT_ALPHAS,
                 n_jobs: int = 1,
-                name: str = "alpha-sweep") -> SeriesResult:
+                name: str = "alpha-sweep",
+                context: Optional[ExecutionContext] = None) -> SeriesResult:
     """Normalized energy vs α at fixed load (the Figure 6 x-axis).
 
     ``graph_factory(alpha)`` must rebuild the application with every
@@ -67,20 +94,24 @@ def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
     apps = [application_with_load(graph_factory(a), load,
                                   config.n_processors)
             for a in alphas]
-    results = map_applications(apps, config, n_jobs=n_jobs)
+    before = _cache_before(context)
+    results = map_applications(apps, config, n_jobs=n_jobs, context=context)
     return _series_from(name, "alpha", alphas, results,
-                        meta={"app": apps[0].name if apps else "?",
-                              "load": load,
-                              "power_model": config.power_model,
-                              "n_processors": config.n_processors,
-                              "n_runs": config.n_runs})
+                        meta=_cache_meta(context, before,
+                                         {"app": apps[0].name if apps else "?",
+                                          "load": load,
+                                          "power_model": config.power_model,
+                                          "n_processors": config.n_processors,
+                                          "n_runs": config.n_runs}))
 
 
 def sweep_processors(graph_builder: Callable[[], AndOrGraph],
                      config: RunConfig, load: float,
                      processor_counts: Sequence[int] = (2, 4, 6),
                      n_jobs: int = 1,
-                     name: str = "processor-sweep") -> SeriesResult:
+                     name: str = "processor-sweep",
+                     context: Optional[ExecutionContext] = None
+                     ) -> SeriesResult:
     """Normalized energy vs processor count at fixed load.
 
     Backs the paper's observation that "when the number of processors
@@ -90,43 +121,45 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
     apps = []
     configs: List[RunConfig] = []
     for m in processor_counts:
-        cfg = config.with_(n_processors=m)
         apps.append(application_with_load(graph_builder(), load, m))
-        configs.append(cfg)
-    if n_jobs != 1:  # point-level pool active: workers must not nest pools
-        configs = [c.with_(n_jobs=1) for c in configs]
-    results = map_custom(evaluate_application,
-                         list(zip(apps, configs)), n_jobs=n_jobs)
+        configs.append(config.with_(n_processors=m))
+    before = _cache_before(context)
+    results = map_evaluations(apps, configs, n_jobs=n_jobs, context=context,
+                              labels=[f"n_processors={m}"
+                                      for m in processor_counts])
     return _series_from(name, "processors",
                         [float(m) for m in processor_counts], results,
-                        meta={"load": load,
-                              "power_model": config.power_model,
-                              "n_runs": config.n_runs})
+                        meta=_cache_meta(context, before,
+                                         {"load": load,
+                                          "power_model": config.power_model,
+                                          "n_runs": config.n_runs}))
 
 
 def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
                    adjust_times: Sequence[float],
                    n_jobs: int = 1,
-                   name: str = "overhead-sweep") -> SeriesResult:
+                   name: str = "overhead-sweep",
+                   context: Optional[ExecutionContext] = None
+                   ) -> SeriesResult:
     """Normalized energy vs voltage-switch overhead (ablation).
 
     The paper's future-work question: how sensitive are the schemes to
     the speed-adjustment cost?  ``n_jobs`` fans the per-overhead
     evaluations out over processes.
     """
-    points = []
+    apps = []
+    configs = []
     for t_adj in adjust_times:
-        cfg = config.with_(overhead=config.overhead.__class__(
-            comp_cycles=config.overhead.comp_cycles,
-            adjust_time=t_adj,
-            time_unit_us=config.overhead.time_unit_us))
-        if n_jobs != 1:  # point-level pool active: no nested pools
-            cfg = cfg.with_(n_jobs=1)
-        app = application_with_load(graph, load, cfg.n_processors)
-        points.append((app, cfg))
-    results = map_custom(evaluate_application, points, n_jobs=n_jobs)
+        configs.append(config.with_(
+            overhead=config.overhead.with_(adjust_time=t_adj)))
+        apps.append(application_with_load(graph, load, config.n_processors))
+    before = _cache_before(context)
+    results = map_evaluations(apps, configs, n_jobs=n_jobs, context=context,
+                              labels=[f"adjust_time={t!r}"
+                                      for t in adjust_times])
     return _series_from(name, "adjust_time",
                         [float(t) for t in adjust_times], results,
-                        meta={"load": load, "app": graph.name,
-                              "power_model": config.power_model,
-                              "n_runs": config.n_runs})
+                        meta=_cache_meta(context, before,
+                                         {"load": load, "app": graph.name,
+                                          "power_model": config.power_model,
+                                          "n_runs": config.n_runs}))

@@ -82,6 +82,10 @@ class OfflinePlan:
     t_avg: float
     #: per OR node, per successor section id: remaining-time statistics
     branch_stats: Dict[str, Dict[int, PathStats]]
+    #: list-scheduling priority the canonical schedules were built with;
+    #: part of the plan's identity (it reorders sections), recorded so
+    #: content-addressed caches can key compiled programs by it
+    heuristic: str = "ltf"
     #: lazily compiled section program (:mod:`repro.sim.compiled`); the
     #: deadline-shifted finish bounds bake into it, so it lives on the
     #: plan instance rather than in the deadline-independent round-1
@@ -92,6 +96,17 @@ class OfflinePlan:
     @property
     def deadline(self) -> float:
         return self.app.deadline
+
+    def fingerprint(self) -> Tuple[str, float, int, float, str]:
+        """Content identity of the plan (not the instance).
+
+        Two :func:`build_plan` calls with equal inputs produce plans
+        with equal fingerprints, which is what lets long-lived worker
+        processes reuse a compiled section program across plan
+        *instances* (:mod:`repro.sim.compiled`'s program cache).
+        """
+        return (graph_fingerprint(self.app.graph), float(self.deadline),
+                self.n_processors, float(self.reserve), self.heuristic)
 
     @property
     def static_slack(self) -> float:
@@ -260,7 +275,7 @@ def build_plan(app: Application, n_processors: int,
     return OfflinePlan(app=app, structure=structure,
                        n_processors=n_processors, reserve=reserve,
                        sections=sections, t_worst=t_worst, t_avg=t_avg,
-                       branch_stats=branch_stats)
+                       branch_stats=branch_stats, heuristic=heuristic)
 
 
 def _fill_remaining(structure: SectionStructure,

@@ -25,7 +25,7 @@ cycle count of the speed computation to time units needs the
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..errors import PowerModelError
 from .model import PowerModel
@@ -60,6 +60,14 @@ class OverheadModel:
         if self.time_unit_us <= 0:
             raise PowerModelError(
                 f"time_unit_us must be > 0, got {self.time_unit_us}")
+
+    def with_(self, **kwargs) -> "OverheadModel":
+        """A copy with the named fields replaced (validation re-runs).
+
+        Prefer this over re-constructing through ``__class__(...)``:
+        callers stay correct when the model grows a field.
+        """
+        return replace(self, **kwargs)
 
     def computation_time(self, model: PowerModel, speed: float) -> float:
         """Time units spent computing the new speed while at ``speed``."""

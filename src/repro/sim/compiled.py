@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import math
 from bisect import bisect_left
+from collections import OrderedDict
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -220,12 +221,59 @@ class CompiledPlan:
         return groups, keys
 
 
+#: cross-instance program cache keyed by plan *fingerprint* (graph,
+#: deadline, m, reserve, heuristic): long-lived sweep workers rebuild
+#: plan objects per evaluation, but two builds with equal inputs yield
+#: equal plans, so the program compiles once per worker, not once per
+#: point.  Per-process, bounded LRU, like the offline round-1 cache.
+_PROGRAM_CACHE: "OrderedDict[tuple, CompiledPlan]" = OrderedDict()
+_PROGRAM_CACHE_MAX = 32
+_program_cache_hits = 0
+_program_cache_misses = 0
+
+
+def program_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of this process's program cache."""
+    return {"hits": _program_cache_hits, "misses": _program_cache_misses,
+            "size": len(_PROGRAM_CACHE)}
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program and reset the hit/miss counters
+    (tests and memory-pressure escape hatch)."""
+    global _program_cache_hits, _program_cache_misses
+    _PROGRAM_CACHE.clear()
+    _program_cache_hits = 0
+    _program_cache_misses = 0
+
+
 def compile_plan(plan: OfflinePlan) -> CompiledPlan:
-    """The plan's section program, compiled once and cached on the plan."""
+    """The plan's section program, compiled once and cached.
+
+    Two caches compose here: the instance slot (``plan.compiled``)
+    makes repeat calls on one plan free, and the fingerprint-keyed LRU
+    makes repeat compilations of *equal* plans (rebuilt instances in a
+    pool worker) a lookup instead of a compile.  A program only reads
+    the plan it was compiled from, so sharing across equal plans cannot
+    leak state — the scratch-buffer caveat in the module docstring is
+    unchanged (strictly run-to-completion, per process).
+    """
+    global _program_cache_hits, _program_cache_misses
     prog = plan.compiled
-    if prog is None:
+    if prog is not None:
+        return prog
+    key = plan.fingerprint()
+    prog = _PROGRAM_CACHE.get(key)
+    if prog is not None:
+        _program_cache_hits += 1
+        _PROGRAM_CACHE.move_to_end(key)
+    else:
+        _program_cache_misses += 1
         prog = CompiledPlan(plan)
-        plan.compiled = prog
+        _PROGRAM_CACHE[key] = prog
+        while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
+            _PROGRAM_CACHE.popitem(last=False)
+    plan.compiled = prog
     return prog
 
 

@@ -85,15 +85,16 @@ class TestSerialFallback:
     """Below ``parallel_min_runs`` a pooled request must run serially."""
 
     def _spy_pool(self, monkeypatch):
-        import repro.experiments.runner as runner_mod
+        # since PR 4 every pool is created inside ExecutionContext.pool
+        import repro.experiments.engine as engine_mod
         calls = []
-        orig = runner_mod.ProcessPoolExecutor
+        orig = engine_mod.ProcessPoolExecutor
 
         def spy(*args, **kwargs):
             calls.append(kwargs.get("max_workers"))
             return orig(*args, **kwargs)
 
-        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", spy)
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", spy)
         return calls
 
     def test_small_batch_stays_serial(self, app, serial_result,

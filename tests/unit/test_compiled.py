@@ -161,3 +161,43 @@ class TestScalarKernel:
         for a, b in zip(results, rerun):
             assert a.total_energy == b.total_energy
             assert a.finish_time == b.finish_time
+
+
+class TestProgramCache:
+    """Cross-instance compiled-program reuse keyed by plan fingerprint."""
+
+    def _fresh_plan(self):
+        app = application_with_load(build_or_graph(), 0.7, 2)
+        return build_plan(app, 2)
+
+    def test_distinct_instances_share_program(self):
+        from repro.sim.compiled import (clear_program_cache,
+                                        program_cache_stats)
+        clear_program_cache()
+        a, b = self._fresh_plan(), self._fresh_plan()
+        assert a is not b
+        prog = compile_plan(a)
+        assert compile_plan(b) is prog  # same fingerprint, same program
+        stats = program_cache_stats()
+        assert stats["hits"] >= 1
+        assert stats["size"] == 1
+
+    def test_different_fingerprint_recompiles(self):
+        from repro.sim.compiled import (clear_program_cache,
+                                        program_cache_stats)
+        clear_program_cache()
+        first = compile_plan(self._fresh_plan())
+        app = application_with_load(build_or_graph(), 0.5, 2)
+        other = compile_plan(build_plan(app, 2))  # different deadline
+        assert other is not first
+        assert program_cache_stats()["size"] == 2
+
+    def test_clear_forgets_programs(self):
+        from repro.sim.compiled import (clear_program_cache,
+                                        program_cache_stats)
+        clear_program_cache()
+        first = compile_plan(self._fresh_plan())
+        clear_program_cache()
+        assert program_cache_stats() == {"hits": 0, "misses": 0,
+                                         "size": 0}
+        assert compile_plan(self._fresh_plan()) is not first

@@ -1,0 +1,130 @@
+"""Unit tests for the content-addressed evaluation cache.
+
+The contract: ``evaluation_key`` must change when — and only when — a
+field that can change the *result* changes.  Execution knobs (worker
+count, chunking, fallback threshold) shape wall-clock, never bits, so
+they must hash identically; a cached entry loaded back must be
+bit-identical to the result that was stored; a corrupted entry must
+degrade to a miss with a warning, never a crash.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (EvaluationCache, RunConfig,
+                               evaluate_application, evaluation_key)
+from repro.experiments.evalcache import plan_setup_key
+from repro.power import PAPER_OVERHEAD
+from repro.workloads import application_with_load, figure3_graph
+
+
+@pytest.fixture(scope="module")
+def app():
+    return application_with_load(figure3_graph(), 0.6, 2)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RunConfig(n_runs=12, seed=7)
+
+
+class TestEvaluationKey:
+    def test_deterministic(self, app, cfg):
+        assert evaluation_key(app, cfg) == evaluation_key(app, cfg)
+
+    def test_graph_changes_key(self, app, cfg):
+        other = application_with_load(figure3_graph(), 0.7, 2)
+        assert evaluation_key(app, cfg) != evaluation_key(other, cfg)
+
+    @pytest.mark.parametrize("change", [
+        {"seed": 8},
+        {"n_runs": 13},
+        {"sigma_fraction": 0.25},
+        {"idle_fraction": 0.10},
+        {"schemes": ("GSS", "AS")},
+        {"engine": "dict"},
+        {"power_model": "continuous"},
+        {"heuristic": "stf"},
+        {"n_processors": 3},
+        {"overhead": PAPER_OVERHEAD.with_(adjust_time=0.02)},
+    ])
+    def test_result_field_changes_key(self, app, cfg, change):
+        assert evaluation_key(app, cfg) != \
+            evaluation_key(app, cfg.with_(**change))
+
+    @pytest.mark.parametrize("change", [
+        {"n_jobs": 4},
+        {"runs_per_chunk": 3},
+        {"parallel_min_runs": 0},
+    ])
+    def test_execution_knobs_do_not_change_key(self, app, cfg, change):
+        # these shape wall-clock only; results are bit-identical, so a
+        # cache entry computed serially must serve a pooled request
+        assert evaluation_key(app, cfg) == \
+            evaluation_key(app, cfg.with_(**change))
+
+    def test_scheme_aliases_canonicalized(self, app, cfg):
+        lower = cfg.with_(schemes=("gss", "ss1"))
+        canon = cfg.with_(schemes=("GSS", "SS1"))
+        assert evaluation_key(app, lower) == evaluation_key(app, canon)
+
+    def test_setup_key_ignores_draw_fields(self, app, cfg):
+        # the plan/compile setup shipped to workers only depends on the
+        # schedule, not on how many realizations are drawn from it
+        assert plan_setup_key(app, cfg) == \
+            plan_setup_key(app, cfg.with_(n_runs=99, seed=1,
+                                          sigma_fraction=0.2))
+        assert plan_setup_key(app, cfg) != \
+            plan_setup_key(app, cfg.with_(heuristic="stf"))
+
+
+class TestCacheRoundTrip:
+    def test_put_get_bit_identical(self, app, cfg, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        result = evaluate_application(app, cfg)
+        key = evaluation_key(app, cfg)
+        cache.put(key, result)
+        loaded = cache.get(key, app.name, cfg)
+        assert loaded is not None
+        assert np.array_equal(loaded.npm_energy, result.npm_energy)
+        assert loaded.path_keys == result.path_keys
+        assert set(loaded.normalized) == set(result.normalized)
+        for scheme in result.normalized:
+            assert np.array_equal(loaded.normalized[scheme],
+                                  result.normalized[scheme])
+            assert np.array_equal(loaded.absolute[scheme],
+                                  result.absolute[scheme])
+            assert np.array_equal(loaded.speed_changes[scheme],
+                                  result.speed_changes[scheme])
+        assert cache.stats() == {"hits": 1, "misses": 0, "errors": 0}
+
+    def test_absent_key_is_a_miss(self, app, cfg, tmp_path):
+        cache = EvaluationCache(tmp_path)
+        assert cache.get(evaluation_key(app, cfg),
+                         app.name, cfg) is None
+        assert cache.stats() == {"hits": 0, "misses": 1, "errors": 0}
+
+    def test_corrupt_entry_recomputes_with_warning(self, app, cfg,
+                                                   tmp_path):
+        cache = EvaluationCache(tmp_path)
+        key = evaluation_key(app, cfg)
+        result = evaluate_application(app, cfg)
+        cache.put(key, result)
+        path = cache.path_for(key)
+        path.write_bytes(b"this is not a numpy archive")
+        with pytest.warns(RuntimeWarning, match="discarding"):
+            assert cache.get(key, app.name, cfg) is None
+        assert cache.stats()["errors"] == 1
+        assert not path.exists()  # dropped, so the recompute can re-put
+        cache.put(key, result)
+        assert cache.get(key, app.name, cfg) is not None
+
+    def test_entry_for_other_config_rejected(self, app, cfg, tmp_path):
+        # defensive: a payload stored under the wrong key must not be
+        # served for a config whose scheme set does not match
+        cache = EvaluationCache(tmp_path)
+        key = evaluation_key(app, cfg)
+        cache.put(key, evaluate_application(app, cfg))
+        other = cfg.with_(schemes=("GSS",))
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(key, app.name, other) is None

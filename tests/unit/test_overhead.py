@@ -56,3 +56,22 @@ class TestOverheadModel:
     def test_invalid_config_rejected(self, kwargs):
         with pytest.raises(PowerModelError):
             OverheadModel(**kwargs)
+
+
+class TestWith:
+    def test_replaces_named_field_only(self):
+        base = OverheadModel(comp_cycles=300, adjust_time=0.005,
+                             time_unit_us=1000)
+        bumped = base.with_(adjust_time=0.02)
+        assert bumped.adjust_time == 0.02
+        assert bumped.comp_cycles == base.comp_cycles
+        assert bumped.time_unit_us == base.time_unit_us
+        assert base.adjust_time == 0.005  # original untouched
+
+    def test_validation_reruns(self):
+        with pytest.raises(PowerModelError):
+            OverheadModel().with_(adjust_time=-1.0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TypeError):
+            OverheadModel().with_(no_such_field=1)
