@@ -68,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
+        fp.add_argument("--max-retries", type=int, default=2,
+                        dest="max_retries",
+                        help="re-dispatches per chunk/point after a "
+                             "worker crash, hang or transport failure "
+                             "before degrading to serial execution")
+        fp.add_argument("--chunk-timeout", type=float, default=0.0,
+                        dest="chunk_timeout",
+                        help="seconds per dispatched chunk/point before "
+                             "it is considered hung and re-dispatched "
+                             "(0 = no timeout)")
+        fp.add_argument("--no-degrade", action="store_true",
+                        dest="no_degrade",
+                        help="fail with an error once retry budgets are "
+                             "exhausted instead of degrading to serial "
+                             "execution in the parent")
         fp.add_argument("--no-cache", action="store_true",
                         help="recompute every point, bypassing the "
                              "on-disk evaluation cache")
@@ -105,6 +120,17 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--profile", action="store_true",
                     help="run under cProfile and print the top 25 "
                          "functions by cumulative time")
+    rp.add_argument("--max-retries", type=int, default=2,
+                    dest="max_retries",
+                    help="re-dispatches per chunk after a worker crash, "
+                         "hang or transport failure")
+    rp.add_argument("--chunk-timeout", type=float, default=0.0,
+                    dest="chunk_timeout",
+                    help="seconds per dispatched chunk before it is "
+                         "considered hung (0 = no timeout)")
+    rp.add_argument("--no-degrade", action="store_true", dest="no_degrade",
+                    help="error out instead of degrading to serial "
+                         "execution when retries are exhausted")
     rp.add_argument("--schemes", nargs="*", default=list(PAPER_SCHEMES),
                     help=f"subset of {list(ALL_SCHEMES)}")
 
@@ -182,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
     su.add_argument("--cache-dir", type=str, default=None, dest="cache_dir",
                     help="evaluation-cache directory (default: "
                          ".repro-cache)")
+    su.add_argument("--max-retries", type=int, default=2,
+                    dest="max_retries",
+                    help="re-dispatches per suite cell after a worker "
+                         "crash, hang or transport failure")
+    su.add_argument("--chunk-timeout", type=float, default=0.0,
+                    dest="chunk_timeout",
+                    help="seconds per dispatched cell before it is "
+                         "considered hung (0 = no timeout)")
+    su.add_argument("--no-degrade", action="store_true", dest="no_degrade",
+                    help="error out instead of degrading to serial "
+                         "execution when retries are exhausted")
     return p
 
 
@@ -199,9 +236,13 @@ def _print_cache_stats(context) -> None:
     stats = context.cache_stats()
     if stats is not None:
         print(f"(cache: {stats['hits']} hits, {stats['misses']} misses"
-              + (f", {stats['errors']} corrupt entries dropped"
-                 if stats["errors"] else "")
+              + (f", {stats['quarantined']} corrupt entries quarantined"
+                 if stats["quarantined"] else "")
               + f" in {context.cache.root})")
+    res = context.resilience_stats()
+    if any(res.values()):
+        print("(resilience: "
+              + ", ".join(f"{k}={v}" for k, v in res.items() if v) + ")")
 
 
 def _emit_figure(series_by_model: Dict[str, SeriesResult],
@@ -255,6 +296,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
                 seed=args.seed, run_jobs=args.n_jobs,
                 runs_per_chunk=args.runs_per_chunk, engine=args.engine,
+                max_retries=args.max_retries,
+                chunk_timeout=args.chunk_timeout,
+                degrade=not args.no_degrade,
                 context=ctx)
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
@@ -276,7 +320,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         n_processors=args.procs, n_runs=args.runs,
                         seed=args.seed, n_jobs=args.n_jobs,
                         runs_per_chunk=args.runs_per_chunk,
-                        engine=args.engine)
+                        engine=args.engine,
+                        max_retries=args.max_retries,
+                        chunk_timeout=args.chunk_timeout,
+                        degrade=not args.no_degrade)
         if args.profile:
             result = _run_profiled(evaluate_application, app, cfg)
         else:
@@ -380,7 +427,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         cfg = SuiteConfig(loads=tuple(args.loads),
                           models=tuple(args.models),
                           n_processors=args.procs, n_runs=args.runs,
-                          seed=args.seed)
+                          seed=args.seed,
+                          max_retries=args.max_retries,
+                          chunk_timeout=args.chunk_timeout,
+                          degrade=not args.no_degrade)
         with _make_context(args.jobs, args.no_cache, args.cache_dir) as ctx:
             print(render_suite(run_suite(cfg, n_jobs=args.jobs,
                                          context=ctx)))

@@ -97,3 +97,27 @@ class ParallelError(ReproError):
             f"parallel worker failed for {label}: "
             f"{type(cause).__name__}: {cause}"
         )
+
+
+class TransportError(ReproError):
+    """A worker could not receive its chunk over the fast transport.
+
+    Raised worker-side when attaching the shared-memory realization
+    segment fails (segment gone, ``/dev/shm`` trouble, or an injected
+    fault).  The parent treats it as a *transport* problem, not a data
+    problem: the affected chunk is re-dispatched over the pickling
+    fallback transport while the rest of the sweep stays on shared
+    memory.  Deliberately a plain single-message exception so it
+    pickles cleanly across the process boundary.
+    """
+
+
+class FaultInjected(ReproError):
+    """An error raised on purpose by the fault-injection layer.
+
+    Only ever raised when a :class:`repro.experiments.faults.FaultPlan`
+    is installed (chaos tests); production code never constructs it.
+    Classified as *retryable* by the resilient executor, which is
+    exactly what makes it useful: it exercises the per-chunk retry path
+    without killing a worker process.
+    """

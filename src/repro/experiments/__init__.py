@@ -9,7 +9,15 @@
 * :mod:`~repro.experiments.engine` — persistent sweep-scale execution
   (one worker pool + shared-memory transport + evaluation cache),
 * :mod:`~repro.experiments.evalcache` — content-addressed on-disk
-  cache of evaluation points.
+  cache of evaluation points (with corrupt-entry quarantine),
+* :mod:`~repro.experiments.faults` — deterministic fault injection
+  for the chaos test suite (:class:`FaultPlan`/:class:`FaultSpec`).
+
+Resilience: :class:`RetryPolicy` (surfaced as the ``max_retries`` /
+``chunk_timeout`` / ``degrade`` fields of :class:`RunConfig`) governs
+how the execution engine retries crashed, hung or transport-starved
+work before degrading to serial execution in the parent; every
+recovery is counted in ``series.meta["resilience"]``.
 """
 
 from .chart import render_chart, render_charts
@@ -27,8 +35,9 @@ from .distribution import (
     result_distributions,
     summarize_distribution,
 )
-from .engine import ExecutionContext
+from .engine import ExecutionContext, RetryPolicy
 from .evalcache import EvaluationCache, evaluation_key
+from .faults import FaultPlan, FaultSpec
 from .exact import ExactResult, exact_evaluation, render_exact
 from .figures import (
     ALL_FIGURES,
@@ -130,6 +139,9 @@ __all__ = [
     "collect_in_order",
     "resolve_jobs",
     "ExecutionContext",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultSpec",
     "EvaluationCache",
     "evaluation_key",
     "save_series",

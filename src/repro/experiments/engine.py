@@ -35,13 +35,18 @@ parent; workers only partition prebuilt work).
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ConfigError, ParallelError
+from ..errors import ConfigError, FaultInjected, ParallelError, TransportError
+from . import faults
 
 try:  # pragma: no cover - import succeeds on every supported platform
     from multiprocessing import shared_memory as _shared_memory
@@ -68,6 +73,57 @@ def resolve_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
     if n_items is not None:
         jobs = max(1, min(jobs, n_items))
     return jobs
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the resilient executor answers partial failure.
+
+    Retryable failures — a worker crash (``BrokenProcessPool``), a
+    chunk that exceeds ``chunk_timeout``, a shared-memory attach
+    failure, an injected fault — are re-dispatched up to
+    ``max_retries`` times per work item with bounded exponential
+    backoff (``backoff_base * 2**attempt``, capped at ``backoff_max``).
+    A broken pool is rebuilt at most ``max_pool_rebuilds`` times per
+    map call; past that — or past ``max_retries`` for a single item —
+    execution degrades to computing the remaining work serially in the
+    parent, with a warning (``degrade=True``), or raises
+    :class:`~repro.errors.ParallelError` (``degrade=False``).
+
+    Deterministic worker exceptions (a ``ConfigError``, a bug) are
+    never retried: they would fail identically again, so they fail
+    fast exactly as before.  None of this changes results — every
+    recovery path re-executes prebuilt work whose outputs are
+    bit-identical by the engine's core contract.
+    """
+
+    max_retries: int = 2
+    chunk_timeout: float = 0.0  # seconds per attempt; 0 = no timeout
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    degrade: bool = True
+    max_pool_rebuilds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be >= 0")
+        if self.chunk_timeout < 0:
+            raise ConfigError("chunk_timeout must be >= 0 (0 = disabled)")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigError("backoff must be >= 0")
+        if self.max_pool_rebuilds < 0:
+            raise ConfigError("max_pool_rebuilds must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before re-dispatching a work item's Nth retry."""
+        return min(self.backoff_base * (2 ** max(attempt - 1, 0)),
+                   self.backoff_max)
+
+
+#: counters the resilient executor maintains per context — these are
+#: what sweeps surface as ``series.meta["resilience"]``
+RESILIENCE_COUNTERS = ("retries", "rebuilds", "degradations", "timeouts",
+                       "shm_fallbacks")
 
 
 # ---------------------------------------------------------------------------
@@ -102,9 +158,24 @@ class ShmChunk:
         return self.stop - self.start
 
     def resolve(self):
-        """Materialize the chunk as a batch over the shared matrix view."""
+        """Materialize the chunk as a batch over the shared matrix view.
+
+        Attach problems (segment gone, ``/dev/shm`` trouble, injected
+        fault) surface as :class:`~repro.errors.TransportError`; the
+        parent answers by re-dispatching *this chunk* over the pickling
+        fallback transport instead of abandoning the sweep.
+        """
         from ..sim.realization import RealizationBatch
-        seg = _attach_segment(self.shm_name)
+        if faults.fire("shm-attach", key=self.start) == "raise":
+            raise TransportError(
+                f"injected shm attach failure for "
+                f"runs[{self.start}:{self.stop}]")
+        try:
+            seg = _attach_segment(self.shm_name)
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                f"could not attach shared segment {self.shm_name!r} for "
+                f"runs[{self.start}:{self.stop}]: {exc!r}") from exc
         matrix = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
                             buffer=seg.buf)
         return RealizationBatch(self.names, matrix[self.start:self.stop],
@@ -251,6 +322,8 @@ def _eval_chunk_task(setup_key: str, app, config, start: int, chunk):
     cache afterwards.
     """
     from .runner import _simulate_runs, _simulate_runs_compiled
+    if faults.fire("worker-chunk", key=start) == "raise":
+        raise FaultInjected(f"injected worker fault at runs[{start}:...]")
     plan_dyn, plan_static, scheme_names, power, overhead, engine = \
         _prepared_setup(setup_key, app, config)
     if isinstance(chunk, ShmChunk):
@@ -290,24 +363,46 @@ class ExecutionContext:
         Whether run-level chunk tasks ship realization rows through
         shared memory (default) or pickled slices.  Purely transport —
         results are bit-identical.
+    policy:
+        Default :class:`RetryPolicy` for :meth:`map` calls that do not
+        pass their own (``evaluate_application`` derives a per-call
+        policy from its :class:`~repro.experiments.runner.RunConfig`).
+    fault_plan:
+        Optional :class:`~repro.experiments.faults.FaultPlan` for chaos
+        testing: shipped to every pool worker through the pool
+        initializer, and installed (restricted to parent-side sites)
+        in the parent until :meth:`close`.  ``None`` — the default —
+        keeps every fault site a single predicate.
 
     Not thread-safe, and not picklable (workers never see the context;
     they see plain task tuples).
     """
 
     def __init__(self, n_jobs: Optional[int] = None, cache=None,
-                 shared_memory: bool = True):
+                 shared_memory: bool = True,
+                 policy: Optional[RetryPolicy] = None,
+                 fault_plan=None):
         if n_jobs is not None and n_jobs < 0:
             raise ConfigError(f"n_jobs must be >= 0, got {n_jobs}")
         self._n_jobs = n_jobs
         self.cache = cache
         self.shared_memory = bool(shared_memory) and _SHM_AVAILABLE
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.fault_plan = fault_plan
         self._pool: Optional[ProcessPoolExecutor] = None
         self._closed = False
         #: pools created over the context's lifetime (normally 0 or 1;
         #: a failed sweep resets the pool and the next use re-creates
         #: it).  Exposed for tests and the sweep benchmark.
         self.pools_created = 0
+        #: recovery counters (see :data:`RESILIENCE_COUNTERS`); sweeps
+        #: record their per-sweep delta in ``series.meta["resilience"]``
+        self.resilience: Dict[str, int] = {
+            name: 0 for name in RESILIENCE_COUNTERS}
+        if fault_plan is not None:
+            # parent-side sites only: the parent must never crash/hang
+            # itself while recovering (workers get the full plan)
+            faults.install(fault_plan.only("cache-read"))
 
     # -- lifecycle ----------------------------------------------------------
     def __enter__(self) -> "ExecutionContext":
@@ -326,7 +421,12 @@ class ExecutionContext:
             raise ParallelError("closed execution context",
                                 RuntimeError("context already closed"))
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs())
+            init, initargs = None, ()
+            if self.fault_plan is not None:
+                init, initargs = faults.install, (self.fault_plan,)
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs(),
+                                             initializer=init,
+                                             initargs=initargs)
             self.pools_created += 1
         return self._pool
 
@@ -341,31 +441,169 @@ class ExecutionContext:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self.fault_plan is not None:
+            faults.uninstall()
         self._closed = True
 
     # -- execution ----------------------------------------------------------
     def map(self, fn: Callable, args_list: Sequence[Tuple],
-            labels: Optional[Sequence[str]] = None) -> List:
+            labels: Optional[Sequence[str]] = None,
+            policy: Optional[RetryPolicy] = None,
+            fallback_args: Optional[Sequence[Tuple]] = None) -> List:
         """Run ``fn(*args)`` for every args tuple on the pool, in order.
 
-        Fail-fast: the first worker exception cancels the outstanding
-        futures, resets the pool (so the context stays usable) and
-        re-raises as :class:`ParallelError` naming the failing item.
+        Resilient under partial failure (see :class:`RetryPolicy`, or
+        the context's default policy when none is passed):
+
+        * a **worker crash** breaks the pool; completed results are
+          harvested, the pool is rebuilt (at most
+          ``policy.max_pool_rebuilds`` times per call) and the lost
+          items re-dispatched;
+        * a **hung item** — one exceeding ``policy.chunk_timeout``
+          seconds per attempt — is re-dispatched to another worker
+          (the straggler's eventual result is discarded);
+        * a worker-side :class:`~repro.errors.TransportError` switches
+          *that item* to its entry in ``fallback_args`` (the pickled
+          chunk) without burning a retry;
+        * retry budgets exhausted → the item (or, after the rebuild
+          budget, the whole remainder) is computed serially in the
+          parent with a warning, or raises :class:`ParallelError` when
+          ``policy.degrade`` is false.
+
+        Deterministic worker exceptions still fail fast: the pool is
+        reset and :class:`ParallelError` names the failing item.
+        Results keep submission order and are bit-identical to a serial
+        loop under every recovery path.
         """
         if labels is None:
             labels = [f"args={args!r}" for args in args_list]
-        pool = self.pool()
-        futures = [pool.submit(fn, *args) for args in args_list]
-        results = []
-        for future, label in zip(futures, labels):
+        policy = policy if policy is not None else self.policy
+        n = len(args_list)
+        current: List[Tuple] = list(args_list)
+        futures: List = [None] * n
+        results: List = [None] * n
+        done = [False] * n
+        attempts = [0] * n
+        on_fallback = [False] * n
+        timeout = policy.chunk_timeout if policy.chunk_timeout > 0 else None
+        rebuilds_left = policy.max_pool_rebuilds
+        serial = False
+
+        def _inline(j: int, cause: BaseException):
+            """Last resort: compute item ``j`` in the parent."""
+            if not policy.degrade:
+                self.reset()
+                raise ParallelError(labels[j], cause) from cause
+            self.resilience["degradations"] += 1
+            warnings.warn(
+                f"giving up on parallel execution of {labels[j]} after "
+                f"{attempts[j]} failed dispatch(es) "
+                f"({type(cause).__name__}: {cause}); computing it "
+                f"serially in the parent", RuntimeWarning, stacklevel=3)
             try:
-                results.append(future.result())
+                return fn(*current[j])
+            except Exception as exc:
+                raise ParallelError(labels[j], exc) from exc
+
+        def _retry(j: int, cause: BaseException) -> None:
+            """Consume one retry for item ``j`` (or degrade it)."""
+            attempts[j] += 1
+            self.resilience["retries"] += 1
+            if attempts[j] > policy.max_retries:
+                results[j] = _inline(j, cause)
+                done[j] = True
+                return
+            delay = policy.backoff(attempts[j])
+            if delay > 0:
+                time.sleep(delay)
+            futures[j] = None  # re-dispatched by _submit_pending
+
+        def _submit_pending() -> None:
+            pool = self.pool()
+            for j in range(n):
+                if not done[j] and futures[j] is None:
+                    futures[j] = pool.submit(fn, *current[j])
+
+        i = 0
+        while i < n:
+            if done[i]:
+                i += 1
+                continue
+            if serial:
+                try:
+                    results[i] = fn(*current[i])
+                except Exception as exc:
+                    raise ParallelError(labels[i], exc) from exc
+                done[i] = True
+                i += 1
+                continue
+            try:
+                _submit_pending()
+                results[i] = futures[i].result(timeout=timeout)
+                done[i] = True
+                i += 1
+            except TransportError as exc:
+                if fallback_args is not None and not on_fallback[i]:
+                    # shared memory failed this worker: pickle this one
+                    # chunk; the rest of the sweep stays zero-copy
+                    self.resilience["shm_fallbacks"] += 1
+                    on_fallback[i] = True
+                    current[i] = fallback_args[i]
+                    futures[i] = None
+                else:
+                    _retry(i, exc)
+            except FuturesTimeoutError as exc:
+                self.resilience["timeouts"] += 1
+                _retry(i, exc)
+            except FaultInjected as exc:
+                _retry(i, exc)
+            except BrokenExecutor as exc:
+                # the whole pool died: keep what finished, drop the rest
+                self.reset()
+                for j in range(n):
+                    f = futures[j]
+                    if done[j] or f is None:
+                        continue
+                    if f.done() and not f.cancelled() \
+                            and f.exception() is None:
+                        results[j] = f.result()
+                        done[j] = True
+                    else:
+                        futures[j] = None
+                attempts[i] += 1
+                self.resilience["retries"] += 1
+                if rebuilds_left <= 0 or attempts[i] > policy.max_retries:
+                    if not policy.degrade:
+                        raise ParallelError(labels[i], exc) from exc
+                    self.resilience["degradations"] += 1
+                    warnings.warn(
+                        "worker pool broke beyond the rebuild budget; "
+                        "degrading the remaining "
+                        f"{sum(1 for d in done if not d)} item(s) to "
+                        "serial execution in the parent",
+                        RuntimeWarning, stacklevel=2)
+                    serial = True
+                    continue
+                rebuilds_left -= 1
+                self.resilience["rebuilds"] += 1
+                warnings.warn(
+                    f"worker pool broke while running {labels[i]} "
+                    f"({type(exc).__name__}); rebuilding the pool and "
+                    "re-dispatching the unfinished items",
+                    RuntimeWarning, stacklevel=2)
+                delay = policy.backoff(attempts[i])
+                if delay > 0:
+                    time.sleep(delay)
             except Exception as exc:
                 self.reset()
-                raise ParallelError(label, exc) from exc
+                raise ParallelError(labels[i], exc) from exc
         return results
 
-    # -- cache --------------------------------------------------------------
+    # -- bookkeeping --------------------------------------------------------
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """The attached cache's hit/miss counters, or ``None``."""
         return self.cache.stats() if self.cache is not None else None
+
+    def resilience_stats(self) -> Dict[str, int]:
+        """Recovery counters accumulated over the context's lifetime."""
+        return dict(self.resilience)

@@ -16,9 +16,12 @@ model) recompute.  Entries are single ``.npz`` files holding the raw
 per-run arrays (exact float64 bits; ``normalized`` is re-derived by the
 same division the runner performs, so a cache hit is bit-identical to a
 recompute), written atomically (tmp + rename) so concurrent writers
-can share one cache directory.  A corrupted or truncated entry is
-treated as a miss: it is deleted, a warning is emitted, and the point
-is recomputed — the cache can never poison results.
+can share one cache directory.  A corrupted, truncated or
+wrong-schema entry is treated as a miss and **quarantined**: moved
+aside into ``<root>/quarantine/`` (for post-mortem inspection) with a
+single warning, after which the point is recomputed and re-written —
+the cache can never poison results, and the broken bytes are kept as
+evidence rather than destroyed.
 
 ``CACHE_SALT`` is the code-version component of the key: bump it
 whenever a change alters simulation outputs, and every stale entry
@@ -40,6 +43,7 @@ import numpy as np
 from ..core.registry import get_policy
 from ..graph.andor import Application
 from ..offline.plan import graph_fingerprint
+from . import faults
 
 #: bump when a code change alters simulation outputs (invalidates every
 #: existing cache entry without touching the on-disk format)
@@ -126,10 +130,30 @@ class EvaluationCache:
         self.hits = 0
         self.misses = 0
         self.errors = 0
+        self.quarantined = 0
 
     def path_for(self, key: str) -> Path:
         # two-level fan-out keeps directory listings small at scale
         return self.root / key[:2] / f"{key}.npz"
+
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved for post-mortem inspection."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry aside (best-effort; unlink as fallback)."""
+        qpath = self.quarantine_dir() / path.name
+        try:
+            qpath.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qpath)
+            self.quarantined += 1
+            return qpath
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
 
     # -- read ---------------------------------------------------------------
     def get(self, key: str, app_name: str, config):
@@ -142,21 +166,26 @@ class EvaluationCache:
         if not path.is_file():
             self.misses += 1
             return None
+        if faults.fire("cache-read", key=key[:8]) == "corrupt":
+            _truncate_entry(path)
         try:
-            with np.load(path, allow_pickle=False) as data:
+            # open the handle ourselves: np.load leaks it when the
+            # archive is truncated, and the quarantine move below wants
+            # the file closed
+            with open(path, "rb") as fh, \
+                    np.load(fh, allow_pickle=False) as data:
                 result = _payload_to_result(dict(data), app_name, config)
         except (OSError, ValueError, KeyError, zipfile.BadZipFile,
                 EOFError) as exc:
             self.errors += 1
             self.misses += 1
+            qpath = self._quarantine(path)
+            where = (f"quarantined to {qpath}" if qpath is not None
+                     else "deleted (quarantine unavailable)")
             warnings.warn(
-                f"discarding corrupted evaluation-cache entry {path}: "
-                f"{exc!r} (the point will be recomputed)",
+                f"corrupted evaluation-cache entry {path}: {exc!r} — "
+                f"{where}; the point will be recomputed",
                 RuntimeWarning, stacklevel=2)
-            try:
-                path.unlink()
-            except OSError:
-                pass
             return None
         self.hits += 1
         return result
@@ -183,9 +212,19 @@ class EvaluationCache:
 
     # -- bookkeeping --------------------------------------------------------
     def stats(self) -> Dict[str, int]:
-        """``{"hits", "misses", "errors"}`` counters since construction."""
+        """Hit/miss/error/quarantine counters since construction."""
         return {"hits": self.hits, "misses": self.misses,
-                "errors": self.errors}
+                "errors": self.errors, "quarantined": self.quarantined}
+
+
+def _truncate_entry(path: Path) -> None:
+    """Injected 'torn write': chop the entry to half its bytes."""
+    try:
+        size = path.stat().st_size
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 2)
+    except OSError:  # pragma: no cover - injected path, best effort
+        pass
 
 
 def _result_to_payload(result) -> Dict[str, np.ndarray]:

@@ -40,11 +40,14 @@ FIG6_LOAD = 0.9
 def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 schemes: Sequence[str], seed: int,
                 run_jobs: int = 1, runs_per_chunk: int = 0,
-                engine: str = "compiled") -> RunConfig:
+                engine: str = "compiled", max_retries: int = 2,
+                chunk_timeout: float = 0.0,
+                degrade: bool = True) -> RunConfig:
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
                      n_processors=n_processors, n_runs=n_runs, seed=seed,
                      n_jobs=run_jobs, runs_per_chunk=runs_per_chunk,
-                     engine=engine)
+                     engine=engine, max_retries=max_retries,
+                     chunk_timeout=chunk_timeout, degrade=degrade)
 
 
 def figure4(n_runs: int = 1000,
@@ -55,6 +58,9 @@ def figure4(n_runs: int = 1000,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
             engine: str = "compiled",
+            max_retries: int = 2,
+            chunk_timeout: float = 0.0,
+            degrade: bool = True,
             context=None) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
@@ -69,7 +75,8 @@ def figure4(n_runs: int = 1000,
     graph = atr_graph(AtrConfig(alpha=alpha))
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
-                          run_jobs, runs_per_chunk, engine)
+                          run_jobs, runs_per_chunk, engine,
+                          max_retries, chunk_timeout, degrade)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}", context=context)
     return out
@@ -83,6 +90,9 @@ def figure5(n_runs: int = 1000,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
             engine: str = "compiled",
+            max_retries: int = 2,
+            chunk_timeout: float = 0.0,
+            degrade: bool = True,
             context=None) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
@@ -97,7 +107,8 @@ def figure5(n_runs: int = 1000,
     graph = atr_graph(cfg_atr)
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
-                          run_jobs, runs_per_chunk, engine)
+                          run_jobs, runs_per_chunk, engine,
+                          max_retries, chunk_timeout, degrade)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}", context=context)
     return out
@@ -111,6 +122,9 @@ def figure6(n_runs: int = 1000,
             run_jobs: int = 1,
             runs_per_chunk: int = 0,
             engine: str = "compiled",
+            max_retries: int = 2,
+            chunk_timeout: float = 0.0,
+            degrade: bool = True,
             context=None) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
 
@@ -120,7 +134,8 @@ def figure6(n_runs: int = 1000,
     out: Dict[str, SeriesResult] = {}
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
-                          run_jobs, runs_per_chunk, engine)
+                          run_jobs, runs_per_chunk, engine,
+                          max_retries, chunk_timeout, degrade)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}",
                                  context=context)

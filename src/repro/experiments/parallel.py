@@ -18,10 +18,17 @@ evaluation cache) across every map call of a sweep, figure or suite,
 instead of paying pool spin-up per call.  Without a context, each call
 creates and disposes its own — the pre-PR-4 behaviour.
 
-Failure semantics: the pools fail fast.  If any worker raises, the
+Failure semantics: deterministic worker exceptions fail fast — the
 outstanding futures are cancelled and the error is re-raised as
 :class:`~repro.errors.ParallelError` carrying the failing point's
 arguments, with the original exception chained as ``__cause__``.
+*Partial* failures (a crashed worker, a hung point, a transport
+problem) are instead retried/re-dispatched by the execution context
+according to the configs'
+:class:`~repro.experiments.engine.RetryPolicy` knobs
+(``max_retries``/``chunk_timeout``/``degrade``), degrading to serial
+execution in the parent as the last resort — results are bit-identical
+under every recovery path.
 
 There are two layers of parallelism: this module fans out across sweep
 *points*, while :func:`~repro.experiments.runner.evaluate_application`
@@ -65,8 +72,12 @@ def collect_in_order(pool: ProcessPoolExecutor, futures: Sequence,
     return results
 
 
-def _evaluate_app_point(app: Application,
+def _evaluate_app_point(index: int, app: Application,
                         config: RunConfig) -> EvaluationResult:
+    from ..errors import FaultInjected
+    from . import faults
+    if faults.fire("worker-chunk", key=index) == "raise":
+        raise FaultInjected(f"injected worker fault at point {index}")
     return evaluate_application(app, config)
 
 
@@ -128,8 +139,10 @@ def map_evaluations(apps: Sequence[Application],
             # workers must not nest pools: point configs go out serial
             computed = ctx.map(
                 _evaluate_app_point,
-                [(apps[i], configs[i].with_(n_jobs=1)) for i in pending],
-                [labels[i] for i in pending])
+                [(i, apps[i], configs[i].with_(n_jobs=1))
+                 for i in pending],
+                [labels[i] for i in pending],
+                policy=configs[0].retry_policy())
             for i, res in zip(pending, computed):
                 results[i] = res
                 if ctx.cache is not None:

@@ -90,6 +90,16 @@ class RunConfig:
     #: sequential execution — pool startup would cost more than it buys
     #: (0 disables the fallback; see docs/usage.md for the calibration)
     parallel_min_runs: int = DEFAULT_PARALLEL_MIN_RUNS
+    #: re-dispatches per chunk/point after a retryable failure (worker
+    #: crash, hung chunk, transport failure) before degrading that item
+    #: to serial execution in the parent
+    max_retries: int = 2
+    #: seconds one dispatched chunk/point may run per attempt before it
+    #: is considered hung and re-dispatched (0 = no timeout)
+    chunk_timeout: float = 0.0
+    #: whether exhausted retry budgets degrade to serial execution in
+    #: the parent (with a warning) instead of raising ParallelError
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -116,6 +126,22 @@ class RunConfig:
             raise ConfigError(
                 f"parallel_min_runs must be >= 0 (0 = never fall back), "
                 f"got {self.parallel_min_runs}")
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.chunk_timeout < 0:
+            raise ConfigError(
+                f"chunk_timeout must be >= 0 (0 = no timeout), "
+                f"got {self.chunk_timeout}")
+
+    def retry_policy(self):
+        """The :class:`~repro.experiments.engine.RetryPolicy` this
+        config asks dispatchers to apply (execution knob — never part
+        of the evaluation cache key)."""
+        from .engine import RetryPolicy
+        return RetryPolicy(max_retries=self.max_retries,
+                           chunk_timeout=self.chunk_timeout,
+                           degrade=self.degrade)
 
     def with_(self, **kwargs) -> "RunConfig":
         return replace(self, **kwargs)
@@ -454,13 +480,18 @@ def evaluate_application(app: Application,
         ctx = ExecutionContext(n_jobs=jobs) if owned else context
         shared = share_batch(realizations) if ctx.shared_memory else None
         try:
+            # the pickled chunks double as the per-chunk fallback when a
+            # worker cannot attach the shared segment (TransportError)
+            pickled = [(setup_key, app, config, start, block)
+                       for start, block in chunks]
             if shared is not None:
                 args = [(setup_key, app, config, start,
                          shared.chunk(start, start + len(block)))
                         for start, block in chunks]
+                fallback = pickled
             else:
-                args = [(setup_key, app, config, start, block)
-                        for start, block in chunks]
+                args = pickled
+                fallback = None
             labels = [f"runs[{start}:{start + len(block)}]"
                       for start, block in chunks]
             npm_energy = np.empty(n)
@@ -469,7 +500,9 @@ def evaluate_application(app: Application,
                        for name in scheme_names}
             path_keys = [""] * n
             for start, npm, c_abs, c_chg, keys in \
-                    ctx.map(_eval_chunk_task, args, labels):
+                    ctx.map(_eval_chunk_task, args, labels,
+                            policy=config.retry_policy(),
+                            fallback_args=fallback):
                 stop = start + len(keys)
                 npm_energy[start:stop] = npm
                 path_keys[start:stop] = keys

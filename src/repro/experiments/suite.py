@@ -42,6 +42,11 @@ class SuiteConfig:
     n_processors: int = 2
     n_runs: int = 300
     seed: int = 2002
+    #: resilience knobs forwarded into every cell's RunConfig (see
+    #: :class:`~repro.experiments.engine.RetryPolicy`)
+    max_retries: int = 2
+    chunk_timeout: float = 0.0
+    degrade: bool = True
 
     def __post_init__(self) -> None:
         if not self.schemes or not self.models or not self.loads:
@@ -99,7 +104,10 @@ def run_suite(config: Optional[SuiteConfig] = None,
                 configs.append(RunConfig(schemes=cfg.schemes,
                                          power_model=model,
                                          n_processors=cfg.n_processors,
-                                         n_runs=cfg.n_runs, seed=cfg.seed))
+                                         n_runs=cfg.n_runs, seed=cfg.seed,
+                                         max_retries=cfg.max_retries,
+                                         chunk_timeout=cfg.chunk_timeout,
+                                         degrade=cfg.degrade))
     labels = [f"workload={wl!r} model={model} load={load!r}"
               for wl, model, load in keys]
     results = map_evaluations(apps, configs, n_jobs=n_jobs,

@@ -42,16 +42,30 @@ def _series_from(name: str, x_label: str, xs: Sequence[float],
 
 
 def _cache_before(context: Optional[ExecutionContext]):
-    """Snapshot of the context's cache counters, or ``None``."""
-    return context.cache_stats() if context is not None else None
+    """Snapshot of the context's cache + resilience counters, or ``None``."""
+    if context is None:
+        return None
+    return (context.cache_stats(), context.resilience_stats())
 
 
 def _cache_meta(context: Optional[ExecutionContext], before,
                 meta: Dict[str, object]) -> Dict[str, object]:
-    """Add this sweep's hit/miss delta to the series meta."""
-    after = _cache_before(context)
-    if before is not None and after is not None:
-        meta["cache"] = {k: after[k] - before[k] for k in after}
+    """Add this sweep's cache hit/miss and recovery deltas to the meta.
+
+    ``meta["cache"]`` carries the hit/miss/error/quarantine delta of
+    the attached evaluation cache; ``meta["resilience"]`` the
+    retry/rebuild/degradation/timeout/fallback delta of the execution
+    context — so a regenerated figure records every recovery that
+    happened while computing it.
+    """
+    if context is None or before is None:
+        return meta
+    cache_b, res_b = before
+    cache_a = context.cache_stats()
+    if cache_b is not None and cache_a is not None:
+        meta["cache"] = {k: cache_a[k] - cache_b[k] for k in cache_a}
+    res_a = context.resilience_stats()
+    meta["resilience"] = {k: res_a[k] - res_b[k] for k in res_a}
     return meta
 
 

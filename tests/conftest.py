@@ -1,9 +1,29 @@
-"""Shared fixtures: small canonical graphs, power models, plans."""
+"""Shared fixtures: small canonical graphs, power models, plans.
+
+Also registers the hypothesis profiles: ``repro`` (the default) disables
+the per-example deadline — equivalence fuzzing simulates whole
+applications per example, and a deadline would turn slow-but-correct
+examples into flaky failures — while ``ci`` inherits it with a smaller
+example budget for the time-boxed coverage job.  Select with
+``HYPOTHESIS_PROFILE=ci``.
+"""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck
+from hypothesis import settings as hypothesis_settings
+
+hypothesis_settings.register_profile(
+    "repro", deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+hypothesis_settings.register_profile(
+    "ci", parent=hypothesis_settings.get_profile("repro"), max_examples=25)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "repro"))
 
 from repro.graph import GraphBuilder, validate_graph
 from repro.power import (

@@ -8,13 +8,24 @@ operations in the same order.  These tests hold it to that promise with
 multi-OR graphs, multiple seeds, both discrete power tables, the
 worst-case realization and the batch evaluation paths (scalar kernel,
 vectorized fixed-speed batch, vectorized dynamic batch).
+
+The fixed graphs are complemented by hypothesis fuzzing over
+:func:`repro.graph.random_gen.random_graph`: any graph the generator can
+produce, at any feasible load, must agree bit for bit too.  A failing
+example shrinks to (and prints) the small integer seed that rebuilds the
+offending graph exactly.
 """
+
+import random
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import ALL_SCHEMES, get_policy
 from repro.experiments import RunConfig, evaluate_application
+from repro.graph import GraphGenConfig, random_graph
 from repro.power import NO_OVERHEAD, PAPER_OVERHEAD, transmeta_model, xscale_model
 from repro.sim import (
     sample_realization,
@@ -156,6 +167,56 @@ def test_evaluation_equivalence_power_models(model):
     for scheme in ALL_SCHEMES:
         assert np.array_equal(r_dict.absolute[scheme],
                               r_comp.absolute[scheme]), scheme
+
+
+# small graphs keep each fuzz example fast; or_depth still spans
+# AND-only through nested multi-OR shapes
+def _fuzz_graph(seed, or_depth):
+    return random_graph(
+        random.Random(seed),
+        GraphGenConfig(or_depth=or_depth, max_tasks=4, max_width=2))
+
+
+@settings(max_examples=20)
+@given(seed=st.integers(0, 2**32 - 1),
+       or_depth=st.integers(0, 2),
+       load=st.floats(0.3, 0.95),
+       scheme=st.sampled_from(ALL_SCHEMES))
+def test_fuzzed_single_run_equivalence(seed, or_depth, load, scheme):
+    """Random graph, random load, any scheme: traces agree exactly."""
+    app = application_with_load(_fuzz_graph(seed, or_depth), load, 2)
+    power = transmeta_model()
+    overhead = NO_OVERHEAD if scheme == "NPM" else PAPER_OVERHEAD
+    policy = get_policy(scheme)
+    reserve = overhead.per_task_reserve(power) if policy.requires_reserve \
+        else 0.0
+    plan = build_plan(app, 2, reserve=reserve)
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        rl = sample_realization(plan.structure, rng)
+        _assert_bit_identical(*_both(plan, scheme, power, overhead, rl))
+
+
+@settings(max_examples=20)
+@given(seed=st.integers(0, 2**32 - 1),
+       or_depth=st.integers(0, 2),
+       load=st.floats(0.3, 0.95))
+def test_fuzzed_evaluation_equivalence(seed, or_depth, load):
+    """Batch engines agree on random graphs (dynamic + fixed-speed paths)."""
+    app = application_with_load(_fuzz_graph(seed, or_depth), load, 2)
+    base = RunConfig(schemes=("GSS", "SPM"), n_runs=8, n_processors=2,
+                     seed=seed % 100_000)
+    r_dict = evaluate_application(app, base.with_(engine="dict"))
+    r_comp = evaluate_application(app, base.with_(engine="compiled"))
+    assert r_dict.path_keys == r_comp.path_keys
+    assert np.array_equal(r_dict.npm_energy, r_comp.npm_energy)
+    for scheme in base.schemes:
+        assert np.array_equal(r_dict.absolute[scheme],
+                              r_comp.absolute[scheme]), scheme
+        assert np.array_equal(r_dict.normalized[scheme],
+                              r_comp.normalized[scheme]), scheme
+        assert np.array_equal(r_dict.speed_changes[scheme],
+                              r_comp.speed_changes[scheme]), scheme
 
 
 def test_pooled_compiled_equals_serial_dict():

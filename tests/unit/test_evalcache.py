@@ -4,8 +4,10 @@ The contract: ``evaluation_key`` must change when — and only when — a
 field that can change the *result* changes.  Execution knobs (worker
 count, chunking, fallback threshold) shape wall-clock, never bits, so
 they must hash identically; a cached entry loaded back must be
-bit-identical to the result that was stored; a corrupted entry must
-degrade to a miss with a warning, never a crash.
+bit-identical to the result that was stored; a corrupted, truncated
+or wrong-schema entry must degrade to a miss with a single warning —
+never a crash — and the broken bytes must be quarantined (moved into
+``<root>/quarantine/``, not destroyed) before the point is recomputed.
 """
 
 import numpy as np
@@ -96,13 +98,15 @@ class TestCacheRoundTrip:
                                   result.absolute[scheme])
             assert np.array_equal(loaded.speed_changes[scheme],
                                   result.speed_changes[scheme])
-        assert cache.stats() == {"hits": 1, "misses": 0, "errors": 0}
+        assert cache.stats() == {"hits": 1, "misses": 0, "errors": 0,
+                                 "quarantined": 0}
 
     def test_absent_key_is_a_miss(self, app, cfg, tmp_path):
         cache = EvaluationCache(tmp_path)
         assert cache.get(evaluation_key(app, cfg),
                          app.name, cfg) is None
-        assert cache.stats() == {"hits": 0, "misses": 1, "errors": 0}
+        assert cache.stats() == {"hits": 0, "misses": 1, "errors": 0,
+                                 "quarantined": 0}
 
     def test_corrupt_entry_recomputes_with_warning(self, app, cfg,
                                                    tmp_path):
@@ -112,10 +116,10 @@ class TestCacheRoundTrip:
         cache.put(key, result)
         path = cache.path_for(key)
         path.write_bytes(b"this is not a numpy archive")
-        with pytest.warns(RuntimeWarning, match="discarding"):
+        with pytest.warns(RuntimeWarning, match="quarantined"):
             assert cache.get(key, app.name, cfg) is None
         assert cache.stats()["errors"] == 1
-        assert not path.exists()  # dropped, so the recompute can re-put
+        assert not path.exists()  # moved aside, so the recompute can re-put
         cache.put(key, result)
         assert cache.get(key, app.name, cfg) is not None
 
@@ -128,3 +132,69 @@ class TestCacheRoundTrip:
         other = cfg.with_(schemes=("GSS",))
         with pytest.warns(RuntimeWarning):
             assert cache.get(key, app.name, other) is None
+
+
+class TestQuarantine:
+    """Every corruption class: one warning, one quarantined copy, a miss."""
+
+    @pytest.fixture()
+    def stored(self, app, cfg, tmp_path):
+        cache = EvaluationCache(tmp_path / "cache")
+        key = evaluation_key(app, cfg)
+        result = evaluate_application(app, cfg)
+        cache.put(key, result)
+        return cache, key, result
+
+    def _assert_quarantined(self, cache, key, app, cfg, result):
+        path = cache.path_for(key)
+        with pytest.warns(RuntimeWarning, match="quarantined") as caught:
+            assert cache.get(key, app.name, cfg) is None
+        runtime = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)]
+        assert len(runtime) == 1  # exactly one warning per broken entry
+        assert cache.stats()["quarantined"] == 1
+        assert cache.stats()["errors"] == 1
+        assert not path.exists()
+        kept = list(cache.quarantine_dir().iterdir())
+        assert [p.name for p in kept] == [path.name]  # evidence preserved
+        # the slot is free again: recompute and re-put round-trips
+        cache.put(key, result)
+        loaded = cache.get(key, app.name, cfg)
+        assert loaded is not None
+        assert np.array_equal(loaded.npm_energy, result.npm_energy)
+
+    def test_truncated_entry(self, app, cfg, stored):
+        cache, key, result = stored
+        path = cache.path_for(key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])  # torn write
+        self._assert_quarantined(cache, key, app, cfg, result)
+
+    def test_zero_byte_entry(self, app, cfg, stored):
+        cache, key, result = stored
+        cache.path_for(key).write_bytes(b"")
+        self._assert_quarantined(cache, key, app, cfg, result)
+
+    def test_wrong_schema_entry(self, app, cfg, stored):
+        cache, key, result = stored
+        path = cache.path_for(key)
+        # a well-formed archive from some other (future) layout version
+        np.savez(path.open("wb"), format=np.asarray(99))
+        self._assert_quarantined(cache, key, app, cfg, result)
+
+    def test_unwritable_quarantine_falls_back_to_unlink(self, app, cfg,
+                                                        stored,
+                                                        monkeypatch):
+        cache, key, result = stored
+        path = cache.path_for(key)
+        path.write_bytes(b"broken")
+        import repro.experiments.evalcache as mod
+
+        def deny(src, dst):
+            raise OSError("read-only")
+
+        monkeypatch.setattr(mod.os, "replace", deny)
+        with pytest.warns(RuntimeWarning, match="deleted"):
+            assert cache.get(key, app.name, cfg) is None
+        assert cache.stats()["quarantined"] == 0
+        assert not path.exists()
