@@ -22,7 +22,10 @@ def _app():
 
 def test_pooled_evaluation_matches_serial(benchmark):
     app = _app()
-    cfg = RunConfig(power_model="transmeta", n_runs=BENCH_RUNS, seed=2002)
+    # run_level_pool opts into the legacy chunked pool this module times;
+    # the default config would demote the n_jobs=2 request to serial
+    cfg = RunConfig(power_model="transmeta", n_runs=BENCH_RUNS, seed=2002,
+                    run_level_pool=True)
     serial = evaluate_application(app, cfg, n_jobs=1)
     pooled = evaluate_application(app, cfg, n_jobs=2, runs_per_chunk=16)
     for scheme in serial.normalized:

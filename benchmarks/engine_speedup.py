@@ -10,17 +10,20 @@ throughput over time:
 2. **compiled kernel** — ``_simulate_runs_compiled`` (the integer-
    indexed section program) on the same plans and batch, verified
    bit-identical;
-3. **pool (small)** — ``evaluate_application`` sequential vs pooled at
-   ``--runs``, verified bit-identical.  Below
-   :data:`RunConfig.parallel_min_runs` the pooled call intentionally
-   falls back to sequential execution (pool startup would cost more
-   than it buys); ``pool_fell_back`` records whether that happened and
-   ``speedup_small`` records the ratio — expect ~1.0 when it fell back;
+3. **pool (small)** — ``evaluate_application`` sequential vs a
+   default-config multi-worker request at ``--runs``, verified
+   bit-identical.  Since run-level pooling became opt-in
+   (``RunConfig.run_level_pool``), the default request is *demoted to
+   serial* — ``speedup_small`` records the ratio and must sit at ~1.0;
 4. **pool (large)** — the same comparison at ``--large-runs``
-   (default: ``parallel_min_runs``, i.e. the smallest batch that
-   genuinely engages the pool), recorded as ``speedup_large``.  This is
-   the number ``--min-speedup`` gates: the small point used to report a
-   "pool speedup" that never exercised the pool.
+   (default: ``parallel_min_runs``).  ``speedup_large`` is the
+   default-path ratio that ``--min-speedup`` gates: after the run-level
+   pool regression fix it must never drop below 1.0 (the historical bug
+   was a 0.11x *slowdown* here, because compiled kernels at ~15-30 us
+   per run are ~9x faster than the per-chunk pickling they were chunked
+   behind).  ``speedup_large_pooled`` records the same point with the
+   legacy pool explicitly opted in (``run_level_pool=True``) so the
+   chunked path stays measured without gating the default.
 
 The kernel comparison is serial and single-point on purpose: it
 isolates the per-run simulation cost from sampling, plan building and
@@ -35,11 +38,12 @@ Usage::
 ``--budget-seconds`` (> 0) fails the invocation if the *sequential*
 small-point evaluation exceeds the budget — the CI smoke guard against
 perf regressions in the dispatch loop.  ``--min-speedup`` (> 0)
-requires ``speedup_large >= min-speedup`` (only meaningful on
-multi-core runners).  ``--min-kernel-speedup`` (> 0) requires the compiled kernel
-to beat the dict kernel by at least that factor — CI runs it at 1.0 so
-a regression that makes the default engine *slower* than the reference
-engine fails the build.
+requires ``speedup_large >= min-speedup`` up to 5% timing noise (the
+demoted default path is two timings of the same serial work, so the
+ratio hovers around 1.0).  ``--min-kernel-speedup`` (> 0) requires the
+compiled kernel to beat the dict kernel by at least that factor — CI
+runs it at 1.0 so a regression that makes the default engine *slower*
+than the reference engine fails the build.
 """
 
 from __future__ import annotations
@@ -127,7 +131,7 @@ def main(argv=None) -> int:
     t_compiled = _best_of(compiled_kernel, args.reps)
     kernel_speedup = t_dict / t_compiled if t_compiled > 0 else float("inf")
 
-    # -- serial vs pooled evaluation ----------------------------------------
+    # -- serial vs default multi-worker request (demoted to serial) ---------
     t0 = time.perf_counter()
     serial = evaluate_application(app, cfg, n_jobs=1)
     t_serial = time.perf_counter() - t0
@@ -136,7 +140,6 @@ def main(argv=None) -> int:
     pooled = evaluate_application(app, cfg, n_jobs=args.jobs,
                                   runs_per_chunk=args.runs_per_chunk)
     t_pooled = time.perf_counter() - t0
-    fell_back = 0 < args.runs < cfg.parallel_min_runs
 
     for scheme in serial.normalized:
         assert np.array_equal(serial.normalized[scheme],
@@ -146,9 +149,9 @@ def main(argv=None) -> int:
 
     speedup_small = t_serial / t_pooled if t_pooled > 0 else float("inf")
 
-    # -- serial vs pooled at a batch size that engages the pool -------------
+    # -- the gated large batch: default path, pool demoted ------------------
     large_runs = args.large_runs or max(cfg.parallel_min_runs, 1)
-    # clamp the fallback threshold so this point always engages the pool
+    # clamp the fallback threshold so an opted-in pool would engage here
     cfg_large = cfg.with_(
         n_runs=large_runs,
         parallel_min_runs=min(cfg.parallel_min_runs, large_runs))
@@ -169,6 +172,23 @@ def main(argv=None) -> int:
 
     speedup_large = (t_serial_large / t_pooled_large
                      if t_pooled_large > 0 else float("inf"))
+
+    # -- the legacy chunked pool, explicitly opted in -----------------------
+    # kept measured (not gated) so the chunked path's cost stays visible
+    cfg_opted = cfg_large.with_(run_level_pool=True)
+    t0 = time.perf_counter()
+    opted_large = evaluate_application(app, cfg_opted, n_jobs=args.jobs,
+                                       runs_per_chunk=args.runs_per_chunk)
+    t_opted_large = time.perf_counter() - t0
+
+    for scheme in serial_large.normalized:
+        assert np.array_equal(serial_large.normalized[scheme],
+                              opted_large.normalized[scheme]), \
+            f"opted-in pooled result diverged for {scheme}"
+    assert serial_large.path_keys == opted_large.path_keys
+
+    speedup_large_pooled = (t_serial_large / t_opted_large
+                            if t_opted_large > 0 else float("inf"))
     record = {
         "benchmark": "engine_speedup",
         "n_runs": args.runs,
@@ -188,7 +208,9 @@ def main(argv=None) -> int:
         "serial_seconds_large": round(t_serial_large, 4),
         "parallel_seconds_large": round(t_pooled_large, 4),
         "speedup_large": round(speedup_large, 3),
-        "pool_fell_back": fell_back,
+        "pooled_seconds_large": round(t_opted_large, 4),
+        "speedup_large_pooled": round(speedup_large_pooled, 3),
+        "run_level_pool_default": False,
         "parallel_min_runs": cfg.parallel_min_runs,
         "bit_identical": True,
     }
@@ -204,22 +226,26 @@ def main(argv=None) -> int:
           f"({t_compiled / args.runs * 1e6:7.1f} us/run)")
     print(f"  kernel speedup  {kernel_speedup:8.2f} x")
     print(f"  serial eval     {t_serial:8.3f} s  ({args.runs} runs)")
-    print(f"  pooled eval     {t_pooled:8.3f} s  (jobs={args.jobs}, "
-          f"cores={os.cpu_count()}"
-          f"{', fell back to serial' if fell_back else ''})")
-    print(f"  pool speedup    {speedup_small:8.2f} x  (small batch)")
+    print(f"  default eval    {t_pooled:8.3f} s  (jobs={args.jobs}, "
+          f"cores={os.cpu_count()}, pool demoted)")
+    print(f"  default speedup {speedup_small:8.2f} x  (small batch)")
     print(f"  serial eval     {t_serial_large:8.3f} s  ({large_runs} runs)")
-    print(f"  pooled eval     {t_pooled_large:8.3f} s  (pool engaged)")
-    print(f"  pool speedup    {speedup_large:8.2f} x  (large batch)  "
+    print(f"  default eval    {t_pooled_large:8.3f} s  (pool demoted)")
+    print(f"  default speedup {speedup_large:8.2f} x  (large batch)")
+    print(f"  opted-in pool   {t_opted_large:8.3f} s  "
+          f"({speedup_large_pooled:.2f} x, run_level_pool=True)  "
           f"-> {args.out}")
 
     if args.budget_seconds > 0 and t_serial > args.budget_seconds:
         print(f"FAIL: sequential point took {t_serial:.1f}s "
               f"(budget {args.budget_seconds:.1f}s)", file=sys.stderr)
         return 1
-    if args.min_speedup > 0 and speedup_large < args.min_speedup:
+    # 5% tolerance: the demoted path times the same serial work twice,
+    # so the honest ratio sits at 1.0 +/- scheduler noise
+    if args.min_speedup > 0 and speedup_large < args.min_speedup * 0.95:
         print(f"FAIL: large-batch speedup {speedup_large:.2f}x below "
-              f"required {args.min_speedup:.2f}x", file=sys.stderr)
+              f"required {args.min_speedup:.2f}x (with 5% tolerance)",
+              file=sys.stderr)
         return 1
     if args.min_kernel_speedup > 0 and kernel_speedup < args.min_kernel_speedup:
         print(f"FAIL: compiled kernel speedup {kernel_speedup:.2f}x below "

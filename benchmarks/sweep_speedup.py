@@ -1,28 +1,36 @@
-"""Sweep-scale execution-engine benchmark: cold vs warm pool vs cache.
+"""Sweep-scale execution-engine benchmark: fused vs pools vs cache.
 
 Times the same Figure-5-shaped load sweep (widened ATR graph, six
-processors) three ways and emits ``BENCH_sweep.json``:
+processors) four ways and emits ``BENCH_sweep.json``:
 
-1. **cold** — no shared :class:`~repro.experiments.ExecutionContext`:
-   every sweep point spins up (and tears down) its own worker pool,
-   which is what the pre-PR-4 engine always did;
-2. **warm** — one persistent ``ExecutionContext`` shared across all
-   points, so pool spin-up is paid once for the whole sweep.  An
+1. **fused** — the default engine: the whole sweep is stacked into one
+   array program (:mod:`repro.sim.sweepc`) and executed in the parent
+   without a single worker pool;
+2. **cold** — the legacy run-level pool (``run_level_pool=True``,
+   ``fused=False``) with no shared
+   :class:`~repro.experiments.ExecutionContext`: every sweep point
+   spins up (and tears down) its own worker pool, which is what the
+   pre-PR-4 engine always did;
+3. **warm** — the same legacy shape under one persistent
+   ``ExecutionContext`` shared across all points, so pool spin-up is
+   paid once for the whole sweep.  An
    :class:`~repro.experiments.EvaluationCache` in a scratch directory
    is attached, so this pass also populates the on-disk cache (the
    ``put`` cost is charged to the warm timing, as in real use);
-3. **cache** — the identical sweep re-run against the now-populated
+4. **cache** — the identical sweep re-run against the now-populated
    cache: every point is served from disk without touching a pool.
 
-All three passes are asserted bit-identical point by point before any
+All four passes are asserted bit-identical point by point before any
 timing is reported — a speedup that changes results is a bug, not a
-feature.
+feature — and the fused pass is asserted to create **zero** pools.
 
 ``--budget-seconds`` (> 0) fails the invocation if the *cold* sweep
 exceeds the budget.  ``--min-warm-speedup`` / ``--min-cache-speedup``
-(> 0) gate the respective ratios; CI smoke uses a loose
-``--min-warm-speedup 1.0`` (warm must never lose to cold), while the
-defaults on a developer box comfortably clear 1.5x / 5x.
+(> 0) gate the legacy ratios against cold.  ``--min-fused-speedup``
+(> 0) gates ``fused_vs_warm_speedup`` — the headline number: the fused
+array program must beat the best pool configuration (the warm
+persistent context) without engaging a run-level pool at all.  CI
+smoke runs it at 1.0.
 
 Run from the repo root::
 
@@ -71,6 +79,9 @@ def main(argv=None) -> int:
                     dest="min_warm_speedup")
     ap.add_argument("--min-cache-speedup", type=float, default=0.0,
                     dest="min_cache_speedup")
+    ap.add_argument("--min-fused-speedup", type=float, default=0.0,
+                    dest="min_fused_speedup",
+                    help="required fused-vs-warm speedup (0 = no gate)")
     args = ap.parse_args(argv)
     if args.points < 1:
         ap.error("--points must be >= 1")
@@ -78,18 +89,30 @@ def main(argv=None) -> int:
     graph = atr_graph(AtrConfig(alpha=args.alpha, **FIG5_ATR))
     loads = [round(0.1 + 0.9 * i / max(args.points - 1, 1), 4)
              for i in range(args.points)]
-    # run-level pooling per point with the fallback disabled: the cold
-    # pass then pays one pool spin-up per sweep point, which is exactly
-    # the overhead the persistent context amortizes
-    cfg = RunConfig(n_runs=args.runs, seed=args.seed,
-                    n_processors=args.procs, engine="compiled",
-                    n_jobs=args.jobs, parallel_min_runs=0)
+    # the legacy shape: run-level pooling per point with the fallback
+    # disabled, so the cold pass pays one pool spin-up per sweep point
+    # — exactly the overhead the persistent context amortizes
+    cfg_pool = RunConfig(n_runs=args.runs, seed=args.seed,
+                         n_processors=args.procs, engine="compiled",
+                         n_jobs=args.jobs, parallel_min_runs=0,
+                         run_level_pool=True)
+    # the default shape: no pool anywhere, one fused array program
+    cfg_fused = cfg_pool.with_(n_jobs=1, run_level_pool=False)
 
     print(f"sweep_speedup: {args.points} points x {args.runs} runs, "
           f"m={args.procs}, jobs={args.jobs}, cores={os.cpu_count()}")
 
+    with ExecutionContext(n_jobs=1) as ctx:
+        t0 = time.perf_counter()
+        series_fused = sweep_load(graph, cfg_fused, loads, context=ctx)
+        t_fused = time.perf_counter() - t0
+        fused_pools = ctx.pools_created
+    assert fused_pools == 0, \
+        f"fused sweep engaged {fused_pools} pool(s); it must use none"
+    print(f"  fused (one array program){t_fused:8.3f} s  (pools: 0)")
+
     t0 = time.perf_counter()
-    series_cold = sweep_load(graph, cfg, loads)
+    series_cold = sweep_load(graph, cfg_pool, loads, fused=False)
     t_cold = time.perf_counter() - t0
     print(f"  cold  (pool per point)   {t_cold:8.3f} s")
 
@@ -97,7 +120,8 @@ def main(argv=None) -> int:
         cache = EvaluationCache(tmp)
         with ExecutionContext(n_jobs=args.jobs, cache=cache) as ctx:
             t0 = time.perf_counter()
-            series_warm = sweep_load(graph, cfg, loads, context=ctx)
+            series_warm = sweep_load(graph, cfg_pool, loads, context=ctx,
+                                     fused=False)
             t_warm = time.perf_counter() - t0
             pools_created = ctx.pools_created
         print(f"  warm  (persistent pool)  {t_warm:8.3f} s  "
@@ -106,7 +130,8 @@ def main(argv=None) -> int:
         before = cache.stats()
         with ExecutionContext(n_jobs=args.jobs, cache=cache) as ctx:
             t0 = time.perf_counter()
-            series_hit = sweep_load(graph, cfg, loads, context=ctx)
+            series_hit = sweep_load(graph, cfg_pool, loads, context=ctx,
+                                    fused=False)
             t_hit = time.perf_counter() - t0
             stats = {k: ctx.cache_stats()[k] - before[k] for k in before}
         print(f"  cache (hits from disk)   {t_hit:8.3f} s  "
@@ -114,11 +139,14 @@ def main(argv=None) -> int:
         assert stats["hits"] >= args.points, \
             "cache pass did not hit on every sweep point"
 
+    _assert_series_equal(series_cold, series_fused, "fused vs cold")
     _assert_series_equal(series_cold, series_warm, "warm vs cold")
     _assert_series_equal(series_cold, series_hit, "cache vs cold")
 
     warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
     cache_speedup = t_cold / t_hit if t_hit > 0 else float("inf")
+    fused_speedup = t_cold / t_fused if t_fused > 0 else float("inf")
+    fused_vs_warm = t_warm / t_fused if t_fused > 0 else float("inf")
     record = {
         "benchmark": "sweep_speedup",
         "bit_identical": True,
@@ -127,11 +155,15 @@ def main(argv=None) -> int:
         "n_processors": args.procs,
         "jobs": args.jobs,
         "cores": os.cpu_count(),
+        "fused_seconds": round(t_fused, 4),
         "cold_seconds": round(t_cold, 4),
         "warm_seconds": round(t_warm, 4),
         "cache_seconds": round(t_hit, 4),
+        "fused_speedup": round(fused_speedup, 3),
+        "fused_vs_warm_speedup": round(fused_vs_warm, 3),
         "warm_speedup": round(warm_speedup, 3),
         "cache_speedup": round(cache_speedup, 3),
+        "fused_pools_created": fused_pools,
         "warm_pools_created": pools_created,
         "cache_hits": stats["hits"],
         "cache_misses": stats["misses"],
@@ -139,6 +171,8 @@ def main(argv=None) -> int:
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
         fh.write("\n")
+    print(f"  fused speedup {fused_speedup:8.2f} x  (vs cold)")
+    print(f"  fused vs warm {fused_vs_warm:8.2f} x")
     print(f"  warm speedup  {warm_speedup:8.2f} x")
     print(f"  cache speedup {cache_speedup:8.2f} x  -> {args.out}")
 
@@ -153,6 +187,10 @@ def main(argv=None) -> int:
     if args.min_cache_speedup > 0 and cache_speedup < args.min_cache_speedup:
         print(f"FAIL: cache speedup {cache_speedup:.2f}x below required "
               f"{args.min_cache_speedup:.2f}x", file=sys.stderr)
+        return 1
+    if args.min_fused_speedup > 0 and fused_vs_warm < args.min_fused_speedup:
+        print(f"FAIL: fused-vs-warm speedup {fused_vs_warm:.2f}x below "
+              f"required {args.min_fused_speedup:.2f}x", file=sys.stderr)
         return 1
     return 0
 

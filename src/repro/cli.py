@@ -53,8 +53,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "(0 = all cores)")
         fp.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
                         help="worker processes for the Monte-Carlo runs "
-                             "inside each point (0 = all cores); "
+                             "inside each point (0 = all cores); opts "
+                             "into the legacy run-level pool and is "
                              "mutually exclusive with --jobs > 1")
+        fp.add_argument("--no-fused", action="store_true", dest="no_fused",
+                        help="disable the fused sweep compiler and "
+                             "evaluate each point separately")
         fp.add_argument("--runs-per-chunk", type=int, default=0,
                         dest="runs_per_chunk",
                         help="runs per worker task for --n-jobs "
@@ -109,7 +113,8 @@ def build_parser() -> argparse.ArgumentParser:
     rp.add_argument("--seed", type=int, default=2002)
     rp.add_argument("--n-jobs", type=int, default=1, dest="n_jobs",
                     help="worker processes for the Monte-Carlo runs "
-                         "(0 = all cores)")
+                         "(0 = all cores); opts into the legacy "
+                         "run-level pool")
     rp.add_argument("--runs-per-chunk", type=int, default=0,
                     dest="runs_per_chunk",
                     help="runs per worker task (0 = auto)")
@@ -299,7 +304,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_retries=args.max_retries,
                 chunk_timeout=args.chunk_timeout,
                 degrade=not args.no_degrade,
-                context=ctx)
+                context=ctx, fused=not args.no_fused)
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
             else:
@@ -323,7 +328,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         engine=args.engine,
                         max_retries=args.max_retries,
                         chunk_timeout=args.chunk_timeout,
-                        degrade=not args.no_degrade)
+                        degrade=not args.no_degrade,
+                        run_level_pool=(args.n_jobs != 1))
         if args.profile:
             result = _run_profiled(evaluate_application, app, cfg)
         else:

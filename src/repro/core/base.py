@@ -49,6 +49,13 @@ class PolicyRun(abc.ABC):
     #: from the fired branch's remaining-time statistics ("average" for
     #: AS, "worst" for PS); lets the compiled engine vectorize OR firings
     or_respec: Optional[str] = None
+    #: explicit declaration that *no* attribute of the run object is
+    #: mutated during a simulation (per-run configuration set once in
+    #: ``__init__`` is fine) — the compiled evaluation path then reuses
+    #: one run object for every run of a batch instead of calling
+    #: ``start_run`` per run.  Defaults to ``False``: a scheme must opt
+    #: in, never be *inferred* stateless from which hooks it overrides
+    stateless: bool = False
 
     def floor(self, t: float) -> float:
         """Speculative speed floor at time ``t`` (0 = pure greedy)."""
@@ -96,6 +103,8 @@ class SpeedPolicy(abc.ABC):
 
 class _FixedRun(PolicyRun):
     """Trivial run state for fixed-speed schemes."""
+
+    stateless = True  # the speed is set once and never touched again
 
     def __init__(self, name: str, speed: float):
         self.name = name

@@ -32,6 +32,7 @@ from .base import PolicyRun, SpeedPolicy
 class _GreedyRun(PolicyRun):
     name = "GSS"
     fixed_speed = None
+    stateless = True  # pure greedy: the zero floor never changes
 
     def floor(self, t: float) -> float:
         return 0.0

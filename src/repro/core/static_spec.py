@@ -34,6 +34,7 @@ from .base import PolicyRun, SpeedPolicy, speculative_speed
 
 class _ConstantFloorRun(PolicyRun):
     fixed_speed = None
+    stateless = True  # the level is fixed in __init__, never mutated
 
     def __init__(self, name: str, level: float):
         self.name = name
@@ -47,6 +48,7 @@ class _ConstantFloorRun(PolicyRun):
 class _TwoSpeedRun(PolicyRun):
     fixed_speed = None
     floor_const = None  # the floor steps at θ, mid-run
+    stateless = True  # the step triple is fixed in __init__
 
     def __init__(self, name: str, f_lo: float, f_hi: float, theta: float):
         self.name = name

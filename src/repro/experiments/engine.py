@@ -415,6 +415,16 @@ class ExecutionContext:
         """The resolved worker count, optionally clamped to the work."""
         return resolve_jobs(self._n_jobs, n_items=n_items)
 
+    def has_live_pool(self) -> bool:
+        """Whether a worker pool already exists and the context is open.
+
+        ``evaluate_application`` consults this to decide whether the
+        ``parallel_min_runs`` cold-start threshold applies: a live pool
+        has already paid its startup cost, so even a small opted-in
+        batch may as well use it.
+        """
+        return self._pool is not None and not self._closed
+
     def pool(self) -> ProcessPoolExecutor:
         """The persistent worker pool, created on first use."""
         if self._closed:

@@ -43,11 +43,14 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 engine: str = "compiled", max_retries: int = 2,
                 chunk_timeout: float = 0.0,
                 degrade: bool = True) -> RunConfig:
+    # asking for run-level workers is the explicit opt-in to the legacy
+    # chunked pool — the default path fuses the sweep with no pool
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
                      n_processors=n_processors, n_runs=n_runs, seed=seed,
                      n_jobs=run_jobs, runs_per_chunk=runs_per_chunk,
                      engine=engine, max_retries=max_retries,
-                     chunk_timeout=chunk_timeout, degrade=degrade)
+                     chunk_timeout=chunk_timeout, degrade=degrade,
+                     run_level_pool=(run_jobs != 1))
 
 
 def figure4(n_runs: int = 1000,
@@ -61,15 +64,17 @@ def figure4(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
-            context=None) -> Dict[str, SeriesResult]:
+            context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
-    ``n_jobs`` parallelizes across sweep points; ``run_jobs`` (and
-    ``runs_per_chunk``) parallelize the Monte-Carlo runs inside each
-    point instead — prefer the latter when points are few but heavy.
-    ``context`` (an :class:`~repro.experiments.engine.ExecutionContext`)
-    shares one worker pool and evaluation cache across both sub-figures
-    — and across figures, if the caller passes the same context to each.
+    The default execution fuses each sub-figure's whole load sweep into
+    one array program (``fused=True``).  ``n_jobs`` parallelizes across
+    sweep points when fusion is off; ``run_jobs`` (and
+    ``runs_per_chunk``) opt into the legacy run-level pool inside each
+    point instead.  ``context`` (an
+    :class:`~repro.experiments.engine.ExecutionContext`) shares one
+    worker pool and evaluation cache across both sub-figures — and
+    across figures, if the caller passes the same context to each.
     """
     out: Dict[str, SeriesResult] = {}
     graph = atr_graph(AtrConfig(alpha=alpha))
@@ -78,7 +83,8 @@ def figure4(n_runs: int = 1000,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
-                                name=f"figure4-{model}", context=context)
+                                name=f"figure4-{model}", context=context,
+                                fused=fused)
     return out
 
 
@@ -93,7 +99,7 @@ def figure5(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
-            context=None) -> Dict[str, SeriesResult]:
+            context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
     The ATR graph is widened (more simultaneous ROIs) so that six
@@ -110,7 +116,8 @@ def figure5(n_runs: int = 1000,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
-                                name=f"figure5-{model}", context=context)
+                                name=f"figure5-{model}", context=context,
+                                fused=fused)
     return out
 
 
@@ -125,7 +132,7 @@ def figure6(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
-            context=None) -> Dict[str, SeriesResult]:
+            context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
 
     ``context`` (an :class:`~repro.experiments.engine.ExecutionContext`)
@@ -138,7 +145,7 @@ def figure6(n_runs: int = 1000,
                           max_retries, chunk_timeout, degrade)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}",
-                                 context=context)
+                                 context=context, fused=fused)
     return out
 
 

@@ -1,0 +1,348 @@
+"""Fused sweep evaluation: one array program over ``points × runs``.
+
+``BENCH_engine.json`` recorded the motivating regression: with the
+compiled kernels a Monte-Carlo run costs tens of microseconds, so
+process-pool chunking of runs *within* one point is ~9× slower than
+serial — the pool's transport and scheduling dominate.  The profitable
+axis is the opposite one: amortize the *per-point* kernel invocations.
+
+:func:`evaluate_points_fused` takes a whole sweep (several applications,
+one config each), stacks their compiled section programs into one
+:class:`~repro.sim.sweepc.StackedProgram` (when the points are
+structurally homogeneous — load and α sweeps are), samples every
+point's realization batch from its own seed exactly as
+:func:`~repro.experiments.runner.evaluate_application` would, and runs
+the batch kernels once over the fused run axis with a ``point_of``
+gather index.  The result list is sliced back per point, so callers —
+and the per-point evaluation cache — see ordinary
+:class:`~repro.experiments.runner.EvaluationResult`\\ s.
+
+Returns ``None`` whenever fusion does not apply (heterogeneous configs,
+incompatible graph structure, a non-"compiled" engine); the caller
+falls back to per-point evaluation, pooled at the point level.  Every
+fused output is bit-identical to the per-point path — and therefore to
+the serial dict engine — which ``tests/property/test_fused_equivalence``
+pins exactly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..core.registry import get_policy
+from ..graph.andor import Application
+from ..power.overhead import NO_OVERHEAD
+from ..sim.compiled import (CompiledKernel, compile_plan, run_dynamic_batch,
+                            run_fixed_batch, supports_dynamic_batch)
+from ..sim.realization import sample_realization_batch
+from ..sim.sweepc import (StackedProgram, _stack_values,
+                          programs_compatible, stack_programs)
+from .runner import EvaluationResult, RunConfig, build_plans
+
+
+class _FusedRunSpec:
+    """A duck-typed PolicyRun whose protocol attributes are per-point.
+
+    :func:`~repro.sim.compiled.run_dynamic_batch` consults only the
+    declared protocol attributes (``floor_const``/``floor_step``/
+    ``or_respec``) and never mutates the run, so a plain object carrying
+    stacked values replays every point's probe exactly.
+    """
+
+    fixed_speed = None
+
+    def __init__(self, name, floor_const, floor_step, or_respec):
+        self.name = name
+        self.floor_const = floor_const
+        self.floor_step = floor_step
+        self.or_respec = or_respec
+
+
+class _View:
+    """One stacked program plus the per-point data aligned to its rows.
+
+    The static view covers every run of the sweep; the dynamic view may
+    cover a subset (points whose dynamic plan exists), with ``rows``
+    mapping its run axis back into the full sweep's.
+    """
+
+    __slots__ = ("prog", "plans", "progs", "batches", "matrix", "groups",
+                 "keys", "point_of", "offsets", "rows")
+
+    def __init__(self, prog, plans, progs, batches, matrix, groups, keys,
+                 point_of, offsets, rows):
+        self.prog = prog
+        self.plans = plans
+        self.progs = progs
+        self.batches = batches
+        self.matrix = matrix
+        self.groups = groups
+        self.keys = keys
+        self.point_of = point_of
+        self.offsets = offsets
+        self.rows = rows
+
+
+def _configs_fusable(configs: Sequence[RunConfig]) -> bool:
+    """Whether every point shares the knobs a fused kernel hard-codes."""
+    base = configs[0]
+    if base.engine != "compiled":
+        return False
+    base_schemes = tuple(get_policy(n).name for n in base.schemes)
+    for cfg in configs[1:]:
+        if (cfg.engine != base.engine
+                or cfg.power_model != base.power_model
+                or cfg.idle_fraction != base.idle_fraction
+                or cfg.overhead != base.overhead
+                or cfg.n_processors != base.n_processors
+                or cfg.heuristic != base.heuristic):
+            return False
+        if tuple(get_policy(n).name for n in cfg.schemes) != base_schemes:
+            return False
+    return True
+
+
+def _stack_probes(name: str, probes) -> Optional[_FusedRunSpec]:
+    """Stack per-point dynamic probes into one fused run spec, or ``None``.
+
+    The probes must agree on *which* protocol attributes they declare
+    (all-constant floor, all-step floor, same ``or_respec``); the
+    declared float values may differ per point and are stacked.
+    """
+    respec = probes[0].or_respec
+    if any(p.or_respec != respec for p in probes[1:]):
+        return None
+    consts = [p.floor_const for p in probes]
+    steps = [p.floor_step for p in probes]
+    if all(c is not None for c in consts) and all(s is None for s in steps):
+        return _FusedRunSpec(name, _stack_values(consts), None, respec)
+    if all(s is not None for s in steps) and all(c is None for c in consts):
+        f_lo = _stack_values([s[0] for s in steps])
+        f_hi = _stack_values([s[1] for s in steps])
+        theta = _stack_values([s[2] for s in steps])
+        return _FusedRunSpec(name, None, (f_lo, f_hi, theta), respec)
+    return None
+
+
+def _scalar_fallback(policy, view: _View, power, overhead):
+    """Per-point scalar-kernel loop for schemes the batch kernels skip.
+
+    Mirrors the tail of ``_simulate_runs_compiled`` point by point (the
+    oracle's per-realization probing, or a custom scheme outside the
+    declared protocol), so fused sweeps never change *which* code
+    computes a scheme — only how the batchable ones are batched.
+    """
+    needs_rl = policy.needs_realization
+    total = view.matrix.shape[0]
+    abs_arr = np.empty(total)
+    chg_arr = np.empty(total, dtype=float)
+    for p in range(len(view.plans)):
+        lo, hi = int(view.offsets[p]), int(view.offsets[p + 1])
+        plan = view.plans[p]
+        batch = view.batches[p]
+        kernel = CompiledKernel(view.progs[p], power, overhead)
+        rows = view.matrix[lo:hi].tolist()
+        choice_rows = batch.choice_rows()
+        shared_run = None
+        if not needs_rl:
+            probe = policy.start_run(plan, power, overhead)
+            if probe.stateless:
+                shared_run = probe
+        for i in range(hi - lo):
+            if shared_run is not None:
+                run = shared_run
+            else:
+                rl = batch.realization(i) if needs_rl else None
+                run = policy.start_run(plan, power, overhead,
+                                       realization=rl)
+            res = kernel.run(run, rows[i], choice_rows[i])
+            abs_arr[lo + i] = res.total_energy
+            chg_arr[lo + i] = res.n_speed_changes
+    return abs_arr, chg_arr
+
+
+def _eval_scheme(policy, name: str, view: _View, power, overhead):
+    """One scheme's (absolute, changes) over a view's whole run axis.
+
+    The fused mirror of the per-scheme dispatch in
+    ``_simulate_runs_compiled``: batch-constant fixed speeds (stacked to
+    a per-point vector), then the protocol-declared dynamic schemes,
+    then the scalar per-run fallback.
+    """
+    speeds = [policy.batch_fixed_speed(p, power, overhead)
+              for p in view.plans]
+    if all(s is not None for s in speeds):
+        speed = _stack_values(speeds)
+        res = run_fixed_batch(view.prog, power, overhead, view.matrix,
+                              view.groups, view.keys, speed, name,
+                              point_of=view.point_of)
+        per_point = np.asarray(res.n_speed_changes, dtype=float)
+        if per_point.ndim == 0:  # every point stacked to one scalar speed
+            changes = np.full(view.matrix.shape[0], float(per_point))
+        else:
+            changes = per_point[view.point_of]
+        return res.total_energy, changes
+    if any(s is not None for s in speeds):
+        # mixed fixed/dynamic across points: no single kernel shape
+        # covers the view — punt the whole sweep to per-point evaluation
+        return None
+    if not policy.needs_realization:
+        probes = [policy.start_run(plan, power, overhead)
+                  for plan in view.plans]
+        if all(supports_dynamic_batch(pr, power) for pr in probes):
+            spec = _stack_probes(name, probes)
+            if spec is not None:
+                res = run_dynamic_batch(view.prog, power, overhead,
+                                        view.matrix, view.groups,
+                                        view.keys, spec, name,
+                                        point_of=view.point_of)
+                return res.total_energy, res.n_speed_changes.astype(float)
+    return _scalar_fallback(policy, view, power, overhead)
+
+
+def evaluate_points_fused(apps: Sequence[Application],
+                          configs: Sequence[RunConfig]
+                          ) -> Optional[List[EvaluationResult]]:
+    """Evaluate a homogeneous sweep as one fused array program.
+
+    Returns per-point :class:`EvaluationResult`\\ s — bit-identical to
+    calling :func:`~repro.experiments.runner.evaluate_application` per
+    point — or ``None`` when the points cannot fuse (the caller then
+    falls back to per-point evaluation).
+    """
+    n_points = len(apps)
+    if n_points == 0:
+        return []
+    if not _configs_fusable(configs):
+        return None
+    base = configs[0]
+    power = base.make_power()
+    overhead = base.overhead
+    scheme_names = tuple(get_policy(n).name for n in base.schemes)
+
+    # build + compile per point, bailing at the first structural mismatch
+    # (cheap for heterogeneous app sets: only the mismatching prefix is
+    # built, and plan construction is itself cached by fingerprint)
+    plans = []
+    static_progs = []
+    for app, cfg in zip(apps, configs):
+        plan_dyn, plan_static = build_plans(app, cfg, power)
+        prog = compile_plan(plan_static)
+        if static_progs and not programs_compatible(static_progs[0], prog):
+            return None
+        plans.append((plan_dyn, plan_static))
+        static_progs.append(prog)
+    static_plans = [ps for _pd, ps in plans]
+    stacked_static = stack_programs(static_progs)
+    if stacked_static is None:
+        return None
+
+    dyn_points = [i for i, (pd, _ps) in enumerate(plans) if pd is not None]
+    dyn_plans = [plans[i][0] for i in dyn_points]
+    stacked_dyn: Optional[StackedProgram] = None
+    dyn_progs: List = []
+    if dyn_points:
+        dyn_progs = [compile_plan(p) for p in dyn_plans]
+        stacked_dyn = stack_programs(dyn_progs)
+        if stacked_dyn is None:
+            return None
+
+    # per-point sampling from each config's own generator: the exact
+    # stream evaluate_application draws, so fused results (and the cache
+    # entries they fill) are interchangeable with per-point ones
+    batches = []
+    for (pd, ps), cfg in zip(plans, configs):
+        rng = np.random.default_rng(cfg.seed)
+        batches.append(sample_realization_batch(
+            ps.structure, rng, cfg.n_runs,
+            sigma_fraction=cfg.sigma_fraction))
+    counts = [len(b) for b in batches]
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    total = int(offsets[-1])
+    point_of = np.repeat(np.arange(n_points), counts)
+    matrix = np.vstack([prog.realization_matrix(b)
+                        for prog, b in zip(static_progs, batches)])
+    choices = {name: np.concatenate([b.choices[name] for b in batches])
+               for name in batches[0].choices}
+    groups, path_keys = stacked_static.executed_paths(choices, total)
+
+    static_view = _View(stacked_static, static_plans, static_progs,
+                        batches, matrix, groups, path_keys, point_of,
+                        offsets, np.arange(total))
+    dyn_view: Optional[_View] = None
+
+    def _build_dyn_view() -> _View:
+        if len(dyn_points) == n_points:
+            # the common case: every point has a dynamic plan, and the
+            # dynamic program's section topology equals the static one's
+            # (same structure object), so the grouping carries over
+            return _View(stacked_dyn, dyn_plans, dyn_progs, batches,
+                         matrix, groups, path_keys, point_of, offsets,
+                         np.arange(total))
+        sel = np.concatenate([np.arange(offsets[i], offsets[i + 1])
+                              for i in dyn_points])
+        sub_counts = [counts[i] for i in dyn_points]
+        sub_offsets = np.concatenate(([0], np.cumsum(sub_counts)))
+        sub_matrix = matrix[sel]
+        sub_choices = {name: v[sel] for name, v in choices.items()}
+        sub_groups, sub_keys = stacked_dyn.executed_paths(
+            sub_choices, sel.size)
+        sub_point_of = np.repeat(np.arange(len(dyn_points)), sub_counts)
+        sub_batches = [batches[i] for i in dyn_points]
+        return _View(stacked_dyn, dyn_plans, dyn_progs, sub_batches,
+                     sub_matrix, sub_groups, sub_keys, sub_point_of,
+                     sub_offsets, sel)
+
+    base_res = run_fixed_batch(stacked_static, power, NO_OVERHEAD, matrix,
+                               groups, path_keys, power.s_max, "NPM",
+                               point_of=point_of)
+    npm_energy = base_res.total_energy
+    absolute = {}
+    changes = {}
+    for name in scheme_names:
+        policy = get_policy(name)
+        if name == "NPM":
+            absolute[name] = npm_energy.copy()
+            changes[name] = np.full(total, float(base_res.n_speed_changes))
+            continue
+        if policy.requires_reserve and not dyn_points:
+            # DVS disabled at every point: the scheme runs like NPM
+            absolute[name] = npm_energy.copy()
+            changes[name] = np.zeros(total)
+            continue
+        if policy.requires_reserve:
+            if dyn_view is None:
+                dyn_view = _build_dyn_view()
+            view = dyn_view
+        else:
+            view = static_view
+        out = _eval_scheme(policy, name, view, power, overhead)
+        if out is None:
+            return None
+        abs_v, chg_v = out
+        if view.rows.size == total:
+            absolute[name] = abs_v
+            changes[name] = chg_v
+        else:
+            # points without a dynamic plan run like NPM, zero switches
+            a = npm_energy.copy()
+            c = np.zeros(total)
+            a[view.rows] = abs_v
+            c[view.rows] = chg_v
+            absolute[name] = a
+            changes[name] = c
+
+    results = []
+    for i, (app, cfg) in enumerate(zip(apps, configs)):
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        res = EvaluationResult(app_name=app.name, config=cfg,
+                               npm_energy=npm_energy[lo:hi].copy(),
+                               path_keys=list(path_keys[lo:hi]))
+        for name in scheme_names:
+            res.absolute[name] = absolute[name][lo:hi].copy()
+            res.normalized[name] = res.absolute[name] / res.npm_energy
+            res.speed_changes[name] = changes[name][lo:hi].copy()
+        results.append(res)
+    return results

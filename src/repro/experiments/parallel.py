@@ -84,17 +84,26 @@ def _evaluate_app_point(index: int, app: Application,
 def map_evaluations(apps: Sequence[Application],
                     config, n_jobs: int = 1,
                     context: Optional[ExecutionContext] = None,
-                    labels: Optional[Sequence[str]] = None
-                    ) -> List[EvaluationResult]:
+                    labels: Optional[Sequence[str]] = None,
+                    fused: bool = True) -> List[EvaluationResult]:
     """Evaluate several applications on one shared execution context.
 
-    The engine-aware core of every point mapper: resolves the worker
-    count (the context's, if one is given, else ``n_jobs``), consults
-    the context's evaluation cache point by point (only misses are
-    computed), fans misses out over the persistent pool with per-point
-    configs forced to ``n_jobs=1`` (pools never nest), and stores fresh
-    results back.  Results keep submission order and are bit-identical
-    to a serial loop.
+    The engine-aware core of every point mapper: consults the context's
+    evaluation cache point by point (only misses are computed), then
+    evaluates the misses by the cheapest applicable strategy —
+
+    1. **fused** (the default): structurally homogeneous points are
+       stacked into one array program and executed in a single batch-
+       kernel pass in the parent, no pool at all
+       (:func:`~repro.experiments.fused.evaluate_points_fused`);
+    2. **point-level pool**: heterogeneous points (or ``fused=False``)
+       fan out one point per worker over the persistent pool, with
+       per-point configs forced to ``n_jobs=1`` (pools never nest);
+    3. **serial loop**: when the resolved worker count is 1.
+
+    Fresh results are stored back into the cache per point regardless
+    of strategy, results keep submission order, and every strategy is
+    bit-identical to a serial loop.
 
     ``config`` is one :class:`RunConfig` shared by every point, or a
     sequence of per-point configs (same length as ``apps``) for sweeps
@@ -114,11 +123,6 @@ def map_evaluations(apps: Sequence[Application],
     ctx = context if context is not None else ExecutionContext(
         n_jobs=resolve_jobs(n_jobs, n_items=len(apps)))
     try:
-        if ctx.jobs(n_items=len(apps)) == 1:
-            # serial point loop; the context still supplies the cache
-            # and the run-level pool (config.n_jobs) to each point
-            return [evaluate_application(app, cfg, context=ctx)
-                    for app, cfg in zip(apps, configs)]
         results: List[Optional[EvaluationResult]] = [None] * len(apps)
         pending = list(range(len(apps)))
         keys: List[str] = []
@@ -135,37 +139,65 @@ def map_evaluations(apps: Sequence[Application],
                     results[i] = hit
                 else:
                     pending.append(i)
-        if pending:
-            # workers must not nest pools: point configs go out serial
-            computed = ctx.map(
-                _evaluate_app_point,
-                [(i, apps[i], configs[i].with_(n_jobs=1))
-                 for i in pending],
-                [labels[i] for i in pending],
-                policy=configs[0].retry_policy())
-            for i, res in zip(pending, computed):
-                results[i] = res
-                if ctx.cache is not None:
-                    ctx.cache.put(keys[i], res)
+        if not pending:
+            return results
+
+        if fused and len(pending) > 1:
+            from .fused import evaluate_points_fused
+            try:
+                computed = evaluate_points_fused(
+                    [apps[i] for i in pending],
+                    [configs[i] for i in pending])
+            except Exception as exc:
+                raise ParallelError(
+                    f"fused sweep over {len(pending)} point(s)",
+                    exc) from exc
+            if computed is not None:
+                for i, res in zip(pending, computed):
+                    results[i] = res
+                    if ctx.cache is not None:
+                        ctx.cache.put(keys[i], res)
+                return results
+            # not fusable: fall through to per-point evaluation
+
+        if ctx.jobs(n_items=len(pending)) == 1:
+            # serial point loop; a caller-supplied context provides the
+            # cache (each point stores itself) and the opt-in run-level
+            # pool — an owned one carries neither, so points keep
+            # managing their own pools as before
+            point_ctx = None if owned else ctx
+            for i in pending:
+                results[i] = evaluate_application(apps[i], configs[i],
+                                                  context=point_ctx)
+            return results
+        # workers must not nest pools: point configs go out serial
+        computed = ctx.map(
+            _evaluate_app_point,
+            [(i, apps[i], configs[i].with_(n_jobs=1))
+             for i in pending],
+            [labels[i] for i in pending],
+            policy=configs[0].retry_policy())
+        for i, res in zip(pending, computed):
+            results[i] = res
+            if ctx.cache is not None:
+                ctx.cache.put(keys[i], res)
         return results
     finally:
         if owned:
             ctx.close()
 
 
-def _evaluate_load_point(graph: AndOrGraph, load: float,
-                         config: RunConfig) -> EvaluationResult:
-    app = application_with_load(graph, load, config.n_processors)
-    return evaluate_application(app, config)
-
-
 def map_load_points(graph: AndOrGraph, loads: Sequence[float],
                     config: RunConfig, n_jobs: int = 1,
-                    context: Optional[ExecutionContext] = None
-                    ) -> List[EvaluationResult]:
-    """Evaluate one application at several loads, optionally in parallel."""
-    if context is None and resolve_jobs(n_jobs, n_items=len(loads)) == 1:
-        return [_evaluate_load_point(graph, ld, config) for ld in loads]
+                    context: Optional[ExecutionContext] = None,
+                    fused: bool = True) -> List[EvaluationResult]:
+    """Evaluate one application at several loads.
+
+    Load points share the graph shape, so by default the whole sweep
+    fuses into one array program — even the plain serial call with no
+    context goes through the fused path now, which is what makes
+    ``sweep_load`` fast without any pool at all.
+    """
     apps = []
     for ld in loads:
         try:
@@ -173,15 +205,17 @@ def map_load_points(graph: AndOrGraph, loads: Sequence[float],
         except Exception as exc:
             raise ParallelError(f"load={ld!r}", exc) from exc
     return map_evaluations(apps, config, n_jobs=n_jobs, context=context,
-                           labels=[f"load={ld!r}" for ld in loads])
+                           labels=[f"load={ld!r}" for ld in loads],
+                           fused=fused)
 
 
 def map_applications(apps: Sequence[Application], config: RunConfig,
                      n_jobs: int = 1,
-                     context: Optional[ExecutionContext] = None
-                     ) -> List[EvaluationResult]:
+                     context: Optional[ExecutionContext] = None,
+                     fused: bool = True) -> List[EvaluationResult]:
     """Evaluate several pre-built applications (e.g. an α sweep)."""
-    return map_evaluations(apps, config, n_jobs=n_jobs, context=context)
+    return map_evaluations(apps, config, n_jobs=n_jobs, context=context,
+                           fused=fused)
 
 
 def map_custom(fn: Callable, args_list: Sequence[Tuple],

@@ -23,7 +23,7 @@ from typing import Dict, List, Union
 import numpy as np
 
 from ..errors import ConfigError
-from ..types import ExperimentPoint, SeriesResult
+from ..types import ExperimentPoint, SeriesResult, speed_change_items
 
 FORMAT_VERSION = 1
 
@@ -33,8 +33,9 @@ def series_to_jsonable(series: SeriesResult) -> Dict:
     meta = {}
     for k, v in series.meta.items():
         if k == "speed_changes" and isinstance(v, dict):
-            # float keys are not valid JSON: stringify deterministically
-            meta[k] = {repr(float(x)): per_x for x, per_x in v.items()}
+            # legacy in-memory dict keyed by raw float x: float keys are
+            # not valid JSON, so persist in the aligned-list format
+            meta[k] = [[x, per_x] for x, per_x in speed_change_items(v)]
         else:
             meta[k] = v
     return {
@@ -59,11 +60,12 @@ def series_from_jsonable(data: Dict) -> SeriesResult:
                 f"unsupported series format version {version} "
                 f"(expected {FORMAT_VERSION})")
         meta = dict(data.get("meta", {}))
-        if "speed_changes" in meta and isinstance(meta["speed_changes"],
-                                                  dict):
-            meta["speed_changes"] = {
-                float(x): per_x
-                for x, per_x in meta["speed_changes"].items()}
+        if "speed_changes" in meta:
+            # old files stored a dict with stringified float keys;
+            # normalize everything to the aligned-list format on read
+            meta["speed_changes"] = [
+                [x, per_x]
+                for x, per_x in speed_change_items(meta["speed_changes"])]
         series = SeriesResult(name=str(data["name"]),
                               x_label=str(data["x_label"]), meta=meta)
         for p in data["points"]:
@@ -146,9 +148,10 @@ def merge_series(a: SeriesResult, b: SeriesResult) -> SeriesResult:
         raise ConfigError(f"series overlap at x = {sorted(overlap)}")
     merged = SeriesResult(name=a.name, x_label=a.x_label,
                           meta={**a.meta, **b.meta})
-    sc_a = a.meta.get("speed_changes", {})
-    sc_b = b.meta.get("speed_changes", {})
-    if isinstance(sc_a, dict) and isinstance(sc_b, dict):
-        merged.meta["speed_changes"] = {**sc_a, **sc_b}
+    sc = (speed_change_items(a.meta.get("speed_changes"))
+          + speed_change_items(b.meta.get("speed_changes")))
+    if sc:
+        merged.meta["speed_changes"] = [
+            [x, per_x] for x, per_x in sorted(sc, key=lambda it: it[0])]
     merged.points = sorted(a.points + b.points, key=lambda p: p.x)
     return merged

@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 from typing import Iterable, List, Optional, Sequence
 
-from ..types import SeriesResult
+from ..types import SeriesResult, speed_change_items
 
 
 def render_series(series: SeriesResult, precision: int = 3,
@@ -48,18 +48,16 @@ def render_series(series: SeriesResult, precision: int = 3,
 
 def render_speed_changes(series: SeriesResult, precision: int = 1) -> str:
     """Mean voltage/speed switches per run (the overhead explanation)."""
-    changes = series.meta.get("speed_changes")
-    if not isinstance(changes, dict) or not changes:
+    items = speed_change_items(series.meta.get("speed_changes"))
+    if not items:
         return "(no speed-change data recorded)\n"
-    xs = sorted(changes)
-    cols = sorted({c for per_x in changes.values() for c in per_x})
+    cols = sorted({c for _, per_x in items for c in per_x})
     width = max(8, precision + 6)
     out = io.StringIO()
     out.write(f"# {series.name}: mean speed changes per run\n")
     out.write(f"{series.x_label:>10} " +
               " ".join(f"{c:>{width}}" for c in cols) + "\n")
-    for x in xs:
-        row = changes[x]
+    for x, row in items:
         out.write(f"{x:>10g} " +
                   " ".join(f"{row.get(c, float('nan')):>{width}.{precision}f}"
                            for c in cols) + "\n")

@@ -11,15 +11,20 @@ Determinism: one ``seed`` fixes the whole evaluation — realizations are
 drawn from ``numpy.random.default_rng(seed)`` in run order, and the
 schemes see identical realizations.
 
-Run-level parallelism (``n_jobs``): the full realization batch is
-sampled once in the parent process (so the fixed-seed random streams
-are untouched), split into contiguous chunks, and farmed to the worker
-pool of an :class:`~repro.experiments.engine.ExecutionContext` — a
-caller-supplied persistent one (shared across a whole sweep), or an
-ephemeral per-evaluation context when none is given.  Chunks travel as
-zero-copy shared-memory row ranges where available (pickled slices
-otherwise), and per-chunk arrays are merged back at their run offsets,
-so ``n_jobs=1`` and ``n_jobs=N`` produce bit-identical
+Run-level parallelism (``n_jobs``) is **opt-in** since the sweep
+compiler (:mod:`repro.experiments.fused`) landed: compiled runs cost
+tens of microseconds, so pool-chunking the runs inside one point is a
+measured net loss, and an ``n_jobs > 1`` request is demoted to
+sequential execution unless ``RunConfig.run_level_pool`` is set.  When
+opted in, the full realization batch is sampled once in the parent
+process (so the fixed-seed random streams are untouched), split into
+contiguous chunks, and farmed to the worker pool of an
+:class:`~repro.experiments.engine.ExecutionContext` — a caller-supplied
+persistent one (shared across a whole sweep), or an ephemeral
+per-evaluation context when none is given.  Chunks travel as zero-copy
+shared-memory row ranges where available (pickled slices otherwise),
+and per-chunk arrays are merged back at their run offsets, so
+``n_jobs=1`` and ``n_jobs=N`` produce bit-identical
 :class:`EvaluationResult`\\ s for every transport.
 """
 
@@ -30,7 +35,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.base import PolicyRun, SpeedPolicy
+from ..core.base import SpeedPolicy
 from ..core.registry import PAPER_SCHEMES, get_policy
 from ..errors import ConfigError, InfeasibleError
 from ..graph.andor import Application
@@ -78,7 +83,9 @@ class RunConfig:
     idle_fraction: float = 0.05
     heuristic: str = "ltf"  # list-scheduling priority (paper: LTF)
     #: worker processes for the runs *inside* one evaluation
-    #: (1 = sequential, 0 = all cores; clamped to the number of chunks)
+    #: (1 = sequential, 0 = all cores; clamped to the number of chunks).
+    #: Ignored unless ``run_level_pool`` is set — run-level chunking is
+    #: a demoted, opt-in path since the sweep compiler landed
     n_jobs: int = 1
     #: Monte-Carlo runs per worker task (0 = auto: ~4 chunks per worker)
     runs_per_chunk: int = 0
@@ -87,8 +94,10 @@ class RunConfig:
     #: results are bit-identical either way
     engine: str = "compiled"
     #: below this many runs a multi-worker request falls back to
-    #: sequential execution — pool startup would cost more than it buys
-    #: (0 disables the fallback; see docs/usage.md for the calibration)
+    #: sequential execution — pool *startup* would cost more than it
+    #: buys (0 disables the fallback; see docs/usage.md for the
+    #: calibration).  A persistent context whose pool is already live
+    #: skips this threshold: startup is paid, so small batches use it
     parallel_min_runs: int = DEFAULT_PARALLEL_MIN_RUNS
     #: re-dispatches per chunk/point after a retryable failure (worker
     #: crash, hung chunk, transport failure) before degrading that item
@@ -100,6 +109,17 @@ class RunConfig:
     #: whether exhausted retry budgets degrade to serial execution in
     #: the parent (with a warning) instead of raising ParallelError
     degrade: bool = True
+    #: opt-in for run-level pool chunking.  With the compiled kernels a
+    #: run costs tens of microseconds, so chunking runs over a process
+    #: pool is a net *loss* (the BENCH_engine.json ``speedup_large``
+    #: regression measured it ~9× slower); since the sweep compiler
+    #: landed, whole sweeps fuse into one array program instead and the
+    #: pool is reserved for the point level.  When ``False`` (the
+    #: default) an ``n_jobs > 1`` request for the runs inside one point
+    #: is demoted to sequential execution; set ``True`` to re-enable
+    #: the legacy chunked path (results are bit-identical either way).
+    #: Execution knob — never part of the evaluation cache key.
+    run_level_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -378,11 +398,12 @@ def _simulate_runs_compiled(plan_dyn: Optional[OfflinePlan],
         abs_arr = np.empty(n)
         chg_arr = np.empty(n, dtype=float)
         shared_run = None
-        if probe is not None:
-            # a run that never re-speculates (no on_or_fired override)
-            # carries no mutable state, so one object serves every run
-            if type(probe).on_or_fired is PolicyRun.on_or_fired:
-                shared_run = probe
+        if probe is not None and probe.stateless:
+            # the run *declares* it mutates nothing during a simulation,
+            # so one object serves every run.  (This used to be inferred
+            # from "does not override on_or_fired", which silently
+            # shared runs whose state is touched by any other hook.)
+            shared_run = probe
         for i in range(n):
             if shared_run is not None:
                 run = shared_run
@@ -417,7 +438,9 @@ def evaluate_application(app: Application,
 
     ``n_jobs``/``runs_per_chunk`` override the corresponding
     :class:`RunConfig` fields when given (``None`` defers to the
-    config).  Results are bit-identical for every worker count: the
+    config); multi-worker requests take effect only when
+    ``config.run_level_pool`` opts into the (demoted) run-level chunked
+    path.  Results are bit-identical for every worker count: the
     realization batch is sampled once here, in the parent, from the
     config's seed, and chunk boundaries only partition prebuilt work.
 
@@ -459,10 +482,18 @@ def evaluate_application(app: Application,
         raise ConfigError(
             f"runs_per_chunk must be >= 0 (0 = auto), got {eff_chunk}")
     jobs = resolve_jobs(eff_jobs, n_items=n)
-    if jobs > 1 and 0 < n < config.parallel_min_runs:
-        # too little work to amortize pool startup: run sequentially
-        # (results are bit-identical either way; this is purely timing)
+    if jobs > 1 and not config.run_level_pool:
+        # run-level chunking is opt-in since the sweep compiler landed:
+        # at ~tens of µs per compiled run the chunk round-trip costs
+        # more than it buys, so an un-opted n_jobs request runs
+        # sequentially (results are bit-identical either way)
         jobs = 1
+    if jobs > 1 and 0 < n < config.parallel_min_runs:
+        # too little work to amortize pool *startup* — unless a warm
+        # pool is already attached, in which case startup is paid and
+        # the threshold would just idle it (results identical either way)
+        if context is None or not context.has_live_pool():
+            jobs = 1
     chunk_size = min(eff_chunk, n) if eff_chunk else _auto_chunk_size(n, jobs)
     chunks = list(batch_in_chunks(realizations, chunk_size))
     jobs = min(jobs, len(chunks))

@@ -36,8 +36,12 @@ def _series_from(name: str, x_label: str, xs: Sequence[float],
     for x, res in zip(xs, results):
         for scheme, arr in res.normalized.items():
             series.points.append(summarize(x, scheme, arr))
-        series.meta.setdefault("speed_changes", {})
-        series.meta["speed_changes"][x] = res.mean_speed_changes()  # type: ignore[index]
+        # aligned [x, per-scheme-mean] pairs: duplicate x values stay
+        # distinct and the floats round-trip JSON (read both formats
+        # back with repro.types.speed_change_items)
+        series.meta.setdefault("speed_changes", [])
+        series.meta["speed_changes"].append(  # type: ignore[union-attr]
+            [float(x), res.mean_speed_changes()])
     return series
 
 
@@ -73,18 +77,23 @@ def sweep_load(graph: AndOrGraph, config: RunConfig,
                loads: Sequence[float] = DEFAULT_LOADS,
                n_jobs: int = 1,
                name: str = "load-sweep",
-               context: Optional[ExecutionContext] = None) -> SeriesResult:
+               context: Optional[ExecutionContext] = None,
+               fused: bool = True) -> SeriesResult:
     """Normalized energy vs load (the Figure 4/5 x-axis).
 
-    ``n_jobs`` fans the sweep *points* out over processes; set
-    ``config.n_jobs`` instead to parallelize the Monte-Carlo *runs*
-    inside each point (useful when points are few but expensive).  The
-    point-level pool forces run-level ``n_jobs=1`` in its workers, so
-    the two levels never nest.
+    Load points share the graph shape, so by default the whole sweep
+    compiles into one fused array program and runs in the parent with
+    no pool at all (``fused=True``; see
+    :mod:`repro.experiments.fused`).  ``n_jobs`` fans the sweep
+    *points* out over processes when fusion does not apply (or is
+    turned off); ``config.n_jobs`` parallelizes the Monte-Carlo *runs*
+    inside each point only when ``config.run_level_pool`` opts into the
+    legacy chunked path.  The point-level pool forces run-level
+    ``n_jobs=1`` in its workers, so the two levels never nest.
     """
     before = _cache_before(context)
     results = map_load_points(graph, list(loads), config, n_jobs=n_jobs,
-                              context=context)
+                              context=context, fused=fused)
     return _series_from(name, "load", loads, results,
                         meta=_cache_meta(context, before,
                                          {"app": graph.name,
@@ -98,18 +107,22 @@ def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
                 alphas: Sequence[float] = DEFAULT_ALPHAS,
                 n_jobs: int = 1,
                 name: str = "alpha-sweep",
-                context: Optional[ExecutionContext] = None) -> SeriesResult:
+                context: Optional[ExecutionContext] = None,
+                fused: bool = True) -> SeriesResult:
     """Normalized energy vs α at fixed load (the Figure 6 x-axis).
 
     ``graph_factory(alpha)`` must rebuild the application with every
     task's ACET set to ``α · WCET`` (WCETs unchanged, so the deadline —
-    hence the load — is identical at every α).
+    hence the load — is identical at every α).  α only rescales ACETs,
+    so the points share section-program structure and the sweep fuses
+    end-to-end by default.
     """
     apps = [application_with_load(graph_factory(a), load,
                                   config.n_processors)
             for a in alphas]
     before = _cache_before(context)
-    results = map_applications(apps, config, n_jobs=n_jobs, context=context)
+    results = map_applications(apps, config, n_jobs=n_jobs, context=context,
+                               fused=fused)
     return _series_from(name, "alpha", alphas, results,
                         meta=_cache_meta(context, before,
                                          {"app": apps[0].name if apps else "?",
@@ -124,13 +137,14 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
                      processor_counts: Sequence[int] = (2, 4, 6),
                      n_jobs: int = 1,
                      name: str = "processor-sweep",
-                     context: Optional[ExecutionContext] = None
-                     ) -> SeriesResult:
+                     context: Optional[ExecutionContext] = None,
+                     fused: bool = True) -> SeriesResult:
     """Normalized energy vs processor count at fixed load.
 
     Backs the paper's observation that "when the number of processors
     increases, the performance of the dynamic schemes decreases".
-    ``n_jobs`` fans the per-count evaluations out over processes.
+    Points differ in ``n_processors`` so they cannot fuse; ``n_jobs``
+    fans the per-count evaluations out over processes.
     """
     apps = []
     configs: List[RunConfig] = []
@@ -140,7 +154,8 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
     before = _cache_before(context)
     results = map_evaluations(apps, configs, n_jobs=n_jobs, context=context,
                               labels=[f"n_processors={m}"
-                                      for m in processor_counts])
+                                      for m in processor_counts],
+                              fused=fused)
     return _series_from(name, "processors",
                         [float(m) for m in processor_counts], results,
                         meta=_cache_meta(context, before,
@@ -153,13 +168,14 @@ def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
                    adjust_times: Sequence[float],
                    n_jobs: int = 1,
                    name: str = "overhead-sweep",
-                   context: Optional[ExecutionContext] = None
-                   ) -> SeriesResult:
+                   context: Optional[ExecutionContext] = None,
+                   fused: bool = True) -> SeriesResult:
     """Normalized energy vs voltage-switch overhead (ablation).
 
     The paper's future-work question: how sensitive are the schemes to
-    the speed-adjustment cost?  ``n_jobs`` fans the per-overhead
-    evaluations out over processes.
+    the speed-adjustment cost?  Points differ in their overhead model so
+    they cannot fuse; ``n_jobs`` fans the per-overhead evaluations out
+    over processes.
     """
     apps = []
     configs = []
@@ -170,7 +186,8 @@ def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
     before = _cache_before(context)
     results = map_evaluations(apps, configs, n_jobs=n_jobs, context=context,
                               labels=[f"adjust_time={t!r}"
-                                      for t in adjust_times])
+                                      for t in adjust_times],
+                              fused=fused)
     return _series_from(name, "adjust_time",
                         [float(t) for t in adjust_times], results,
                         meta=_cache_meta(context, before,

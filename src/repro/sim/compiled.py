@@ -22,6 +22,13 @@ interchangeable kernels:
   loop disappears.  NPM is the denominator of every normalized energy,
   so this path touches every run of every scheme.
 
+Both batch kernels also accept a :class:`~repro.sim.sweepc.
+StackedProgram` plus a ``point_of`` run→point index, executing a whole
+*sweep* of structurally identical points as one fused
+``(points × runs)`` batch (see :mod:`repro.sim.sweepc` and
+:mod:`repro.experiments.fused`); per-point constants are gathered per
+path group, so fused outputs stay bit-identical to per-point runs.
+
 **Bit-identity contract.**  Both kernels perform float operations in
 exactly the order of :func:`repro.sim.engine.simulate` — the same
 reductions, the same left-associated sums, the same tie-breaks
@@ -540,21 +547,45 @@ class FixedBatchResult:
                  "path_keys")
 
     def __init__(self, scheme: str, total_energy: np.ndarray,
-                 finish_time: np.ndarray, n_speed_changes: int,
+                 finish_time: np.ndarray, n_speed_changes,
                  path_keys: List[str]):
         self.scheme = scheme
         self.total_energy = total_energy
         self.finish_time = finish_time
-        #: switches per run (identical across runs for a fixed speed)
+        #: switches per run (identical across runs for a fixed speed):
+        #: an int, or an ``(n_points,)`` int array when the batch was a
+        #: fused sweep with one fixed speed per point
         self.n_speed_changes = n_speed_changes
         self.path_keys = path_keys
 
 
-def run_fixed_batch(prog: CompiledPlan, power: PowerModel,
+def _gather(value, pt):
+    """One group's values of a possibly per-point constant.
+
+    Scalars pass through unchanged (the non-fused path, and stacked
+    constants that every point agrees on — broadcasting then performs
+    the exact scalar operation); a stacked ``(n_points,)`` vector is
+    fancy-indexed by the group's per-run point indices ``pt``.
+    """
+    if isinstance(value, np.ndarray):
+        return value[pt]
+    return value
+
+
+def _at(value, k):
+    """Row ``k``'s value of a gathered constant, for error messages."""
+    if isinstance(value, np.ndarray):
+        return value[k]
+    return value
+
+
+def run_fixed_batch(prog, power: PowerModel,
                     overhead: OverheadModel, matrix: np.ndarray,
-                    groups, path_keys: List[str], speed: float,
+                    groups, path_keys: List[str], speed,
                     scheme: str,
-                    check_deadline: bool = True) -> FixedBatchResult:
+                    check_deadline: bool = True,
+                    point_of: Optional[np.ndarray] = None
+                    ) -> FixedBatchResult:
     """Vectorized fixed-speed simulation of a whole realization batch.
 
     ``matrix`` is the ``(n_runs, n_tasks)`` actual-time matrix in
@@ -563,18 +594,39 @@ def run_fixed_batch(prog: CompiledPlan, power: PowerModel,
     are simulated together: each dispatch step is one NumPy operation
     over the group, in exactly the dict engine's float-operation order,
     so every per-run output is bit-identical to a scalar simulation.
+
+    **Fused sweeps.**  ``prog`` may be a
+    :class:`~repro.sim.sweepc.StackedProgram` covering several sweep
+    points at once; ``point_of`` is then the ``(n_runs,)`` point index
+    of every row of ``matrix``, and ``speed`` may be an ``(n_points,)``
+    vector of per-point fixed speeds.  Per-point constants are gathered
+    into each path group, so every run still sees exactly its own
+    point's floats — fused outputs are bit-identical to evaluating the
+    points one program at a time.
     """
     n = matrix.shape[0]
     m = prog.m
     deadline = prog.deadline
     s_max = power.s_max
 
-    switched = abs(speed - s_max) > _EPS
-    t0 = overhead.adjust_time if switched else 0.0
-    overhead_time = m * overhead.adjust_time if switched else 0.0
-    e_over = m * overhead.adjustment_energy(power) if switched else 0.0
-    n_changes = m if switched else 0
-    p_busy = power.power(speed)
+    if isinstance(speed, np.ndarray):
+        # fused: one fixed speed per point; every derived preamble
+        # constant is computed with the same scalar formulas, selected
+        # per point — bit-identical to the scalar preamble per point
+        switched = np.abs(speed - s_max) > _EPS
+        t0 = np.where(switched, overhead.adjust_time, 0.0)
+        overhead_time = np.where(switched, m * overhead.adjust_time, 0.0)
+        e_over = np.where(switched, m * overhead.adjustment_energy(power),
+                          0.0)
+        n_changes = np.where(switched, m, 0)
+        p_busy = np.array([power.power(float(s)) for s in speed])
+    else:
+        switched = abs(speed - s_max) > _EPS
+        t0 = overhead.adjust_time if switched else 0.0
+        overhead_time = m * overhead.adjust_time if switched else 0.0
+        e_over = m * overhead.adjustment_energy(power) if switched else 0.0
+        n_changes = m if switched else 0
+        p_busy = power.power(speed)
     idle_power = power.idle_power
 
     total_energy = np.empty(n)
@@ -584,13 +636,26 @@ def run_fixed_batch(prog: CompiledPlan, power: PowerModel,
         block = matrix[idx]
         ng = idx.size
         rows = np.arange(ng)
+        pt = point_of[idx] if point_of is not None else None
+        speed_g = _gather(speed, pt)
+        p_busy_g = _gather(p_busy, pt)
+        t0_g = _gather(t0, pt)
+        dl_g = _gather(deadline, pt)
+        ot_g = _gather(overhead_time, pt)
+        eo_g = _gather(e_over, pt)
         fin = np.empty((ng, prog.n_slots))
-        proc_free = np.full((ng, m), t0)
-        last_dispatch = np.full(ng, t0)
-        t_section = np.full(ng, t0)
+        if isinstance(t0_g, np.ndarray):
+            proc_free = np.repeat(t0_g[:, None], m, axis=1)
+            last_dispatch = t0_g.copy()
+            t_section = t0_g.copy()
+            t_end = t0_g.copy()
+        else:
+            proc_free = np.full((ng, m), t0_g)
+            last_dispatch = np.full(ng, t0_g)
+            t_section = np.full(ng, t0_g)
+            t_end = np.full(ng, t0_g)
         busy_time = np.zeros(ng)
         e_busy = np.zeros(ng)
-        t_end = np.full(ng, t0)
 
         for sid in path:
             sec = prog.sections[sid]
@@ -612,16 +677,17 @@ def run_fixed_batch(prog: CompiledPlan, power: PowerModel,
                                proc_free[rows, j])
                 last_dispatch = t
                 actual = block[:, col]
-                over = actual > c * (1 + 1e-9)
+                c_g = _gather(c, pt)
+                over = actual > c_g * (1 + 1e-9)
                 if over.any():
                     k = int(np.argmax(over))
                     raise SimulationError(
                         f"actual time {actual[k]} of {name!r} exceeds "
-                        f"WCET {c}")
-                wall = actual / speed
+                        f"WCET {_at(c_g, k)}")
+                wall = actual / speed_g
                 finish = t + wall
                 busy_time += wall
-                e_busy += p_busy * wall
+                e_busy += p_busy_g * wall
                 proc_free[rows, j] = finish
                 fin[:, gid] = finish
                 if sec_max is None:
@@ -639,21 +705,26 @@ def run_fixed_batch(prog: CompiledPlan, power: PowerModel,
             proc_free = np.broadcast_to(t_end[:, None], (ng, m)).copy()
 
         if check_deadline:
-            late = t_end > deadline * (1 + 1e-9) + _EPS
+            late = t_end > dl_g * (1 + 1e-9) + _EPS
             if late.any():
                 k = int(np.argmax(late))
-                raise DeadlineMissError(float(t_end[k]), deadline,
+                raise DeadlineMissError(float(t_end[k]),
+                                        float(_at(dl_g, k)),
                                         scheme=scheme)
-        window = m * np.maximum(deadline, t_end)
-        idle_time = window - busy_time - overhead_time
-        bad = idle_time < -1e-6 * (deadline if deadline > 1.0 else 1.0)
+        window = m * np.maximum(dl_g, t_end)
+        idle_time = window - busy_time - ot_g
+        if isinstance(dl_g, np.ndarray):
+            thresh = -1e-6 * np.where(dl_g > 1.0, dl_g, 1.0)
+        else:
+            thresh = -1e-6 * (dl_g if dl_g > 1.0 else 1.0)
+        bad = idle_time < thresh
         if bad.any():
             k = int(np.argmax(bad))
             raise SimulationError(
                 f"negative idle time {idle_time[k]}: busy={busy_time[k]}, "
-                f"overhead={overhead_time}, window={window[k]}")
+                f"overhead={_at(ot_g, k)}, window={window[k]}")
         e_idle = idle_power * np.maximum(idle_time, 0.0)
-        total_energy[idx] = e_busy + e_idle + e_over
+        total_energy[idx] = e_busy + e_idle + eo_g
         finish_time[idx] = t_end
 
     return FixedBatchResult(scheme, total_energy, finish_time, n_changes,
@@ -702,11 +773,13 @@ def supports_dynamic_batch(policy_run, power: PowerModel) -> bool:
     return True
 
 
-def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
+def run_dynamic_batch(prog, power: PowerModel,
                       overhead: OverheadModel, matrix: np.ndarray,
                       groups, path_keys: List[str], policy_run,
                       scheme: str,
-                      check_deadline: bool = True) -> DynamicBatchResult:
+                      check_deadline: bool = True,
+                      point_of: Optional[np.ndarray] = None
+                      ) -> DynamicBatchResult:
     """Vectorized dynamic-scheme simulation of a whole realization batch.
 
     The dynamic counterpart of :func:`run_fixed_batch` for the schemes
@@ -726,6 +799,14 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
     The only observable difference from running the scalar kernel n
     times is *which* run raises first when a plan is infeasible — errors
     surface in path-group order rather than run order.
+
+    **Fused sweeps.**  ``prog`` may be a
+    :class:`~repro.sim.sweepc.StackedProgram` with ``point_of`` the
+    per-run point index; the run's protocol attributes
+    (``floor_const``, the ``floor_step`` triple) may then hold
+    ``(n_points,)`` vectors, and the program's per-entry constants and
+    branch statistics are gathered per group — every run computes with
+    exactly its own point's floats.
     """
     n = matrix.shape[0]
     m = prog.m
@@ -756,6 +837,13 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
         block = matrix[idx]
         ng = idx.size
         rows = np.arange(ng)
+        pt = point_of[idx] if point_of is not None else None
+        fc_g = _gather(fc, pt)
+        if step is not None:
+            f_lo_g = _gather(step[0], pt)
+            f_hi_g = _gather(step[1], pt)
+            theta_g = _gather(step[2], pt)
+        dl_g = _gather(deadline, pt)
         fin = np.empty((ng, prog.n_slots))
         proc_free = np.zeros((ng, m))
         # every processor starts at S_max = the top level
@@ -790,26 +878,27 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
                                proc_free[rows, j])
                 last_dispatch = t
                 actual = block[:, col]
-                over = actual > c * (1 + 1e-9)
+                c_g = _gather(c, pt)
+                fb_g = _gather(fb, pt)
+                over = actual > c_g * (1 + 1e-9)
                 if over.any():
                     k = int(np.argmax(over))
                     raise SimulationError(
                         f"actual time {actual[k]} of {name!r} exceeds "
-                        f"WCET {c}")
+                        f"WCET {_at(c_g, k)}")
 
                 si = proc_idx[rows, j]
                 t_comp = tc_arr[si]
-                avail = fb - t - t_comp
+                avail = fb_g - t - t_comp
                 denom = avail - adjust_time
                 with np.errstate(divide="ignore"):
-                    s_req = np.where(denom > 0, c / denom, math.inf)
+                    s_req = np.where(denom > 0, c_g / denom, math.inf)
                 if step is not None:
-                    f_lo, f_hi, theta = step
-                    fl = np.where(t < theta, f_lo, f_hi)
+                    fl = np.where(t < theta_g, f_lo_g, f_hi_g)
                 elif fl_vec is not None:
                     fl = fl_vec
                 else:
-                    fl = fc
+                    fl = fc_g
                 target = np.maximum(s_req, fl)
                 viol = target > s_max_guard
                 if viol.any():
@@ -817,7 +906,7 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
                     raise SimulationError(
                         f"guarantee violated for {name!r}: required "
                         f"speed {target[k]:.6g} exceeds maximum "
-                        f"(t={t[k]:.6g}, bound={fb:.6g})")
+                        f"(t={t[k]:.6g}, bound={_at(fb_g, k):.6g})")
                 want = np.minimum(target, s_max)
                 new_idx = np.searchsorted(speeds_arr, want - 1e-12,
                                           side="left")
@@ -858,8 +947,9 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
                 # fired branch's remaining-time statistics, exactly like
                 # speculative_speed() but across the group
                 worst, average = sec.branch_stats[path[pos + 1]]
-                work = average if respec == "average" else worst
-                horizon = deadline - t_end
+                work = _gather(average if respec == "average" else worst,
+                               pt)
+                horizon = dl_g - t_end
                 with np.errstate(divide="ignore", invalid="ignore"):
                     raw = work / horizon
                 want = np.minimum(raw, s_max)
@@ -869,14 +959,19 @@ def run_dynamic_batch(prog: CompiledPlan, power: PowerModel,
                 fl_vec = np.where(horizon > 0, speeds_arr[snap_idx], s_max)
 
         if check_deadline:
-            late = t_end > deadline * (1 + 1e-9) + _EPS
+            late = t_end > dl_g * (1 + 1e-9) + _EPS
             if late.any():
                 k = int(np.argmax(late))
-                raise DeadlineMissError(float(t_end[k]), deadline,
+                raise DeadlineMissError(float(t_end[k]),
+                                        float(_at(dl_g, k)),
                                         scheme=scheme)
-        window = m * np.maximum(deadline, t_end)
+        window = m * np.maximum(dl_g, t_end)
         idle_time = window - busy_time - overhead_time
-        bad = idle_time < -1e-6 * (deadline if deadline > 1.0 else 1.0)
+        if isinstance(dl_g, np.ndarray):
+            thresh = -1e-6 * np.where(dl_g > 1.0, dl_g, 1.0)
+        else:
+            thresh = -1e-6 * (dl_g if dl_g > 1.0 else 1.0)
+        bad = idle_time < thresh
         if bad.any():
             k = int(np.argmax(bad))
             raise SimulationError(

@@ -194,3 +194,20 @@ class SeriesResult:
             if p.scheme == scheme and abs(p.x - x) < 1e-12:
                 return p
         return None
+
+
+def speed_change_items(value) -> List[Tuple[float, Dict[str, float]]]:
+    """A series' ``speed_changes`` meta as aligned ``(x, per_scheme)`` pairs.
+
+    The recorded format is a list of ``[x, {scheme: mean}]`` pairs — it
+    keeps duplicate x values distinct and round-trips JSON, unlike the
+    older dict keyed by raw float x.  This helper normalizes both: lists
+    come back in recorded order, legacy dicts (possibly with stringified
+    float keys from old JSON files) sorted by x.  ``None`` or an empty
+    value yields ``[]``.
+    """
+    if not value:
+        return []
+    if isinstance(value, dict):
+        return [(float(x), value[x]) for x in sorted(value, key=float)]
+    return [(float(x), per_x) for x, per_x in value]

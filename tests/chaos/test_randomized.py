@@ -74,10 +74,13 @@ def test_replayed_plan_injects_identically(tmp_path, graph, cfg, reference):
         # dispatch — a fault that actually fires at point level
         plan = FaultPlan.random(1, scratch=str(scratch), n_faults=2,
                                 hang_seconds=0.3)
+        # fused=False keeps the points on the pool dispatch path the
+        # plan targets (a fused sweep never dispatches to workers)
         with ExecutionContext(n_jobs=2, fault_plan=plan) as ctx:
             with warnings.catch_warnings():
                 warnings.simplefilter("ignore", RuntimeWarning)
-                series = sweep_load(graph, cfg, LOADS, context=ctx)
+                series = sweep_load(graph, cfg, LOADS, context=ctx,
+                                    fused=False)
         assert series.points == reference.points, plan.describe()
         metas.append(series.meta["resilience"])
     assert metas[0] == metas[1]

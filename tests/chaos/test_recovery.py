@@ -157,7 +157,8 @@ class TestChaosAcceptance:
         graph = figure3_graph()
         cfg = RunConfig(schemes=("GSS", "SPM"), n_runs=50, seed=5,
                         n_jobs=2, runs_per_chunk=10, parallel_min_runs=0,
-                        max_retries=6, chunk_timeout=1.0)
+                        max_retries=6, chunk_timeout=1.0,
+                        run_level_pool=True)
         reference = sweep_load(graph, cfg.with_(n_jobs=1), LOADS)
 
         scratch = tmp_path / "scratch"
@@ -176,7 +177,8 @@ class TestChaosAcceptance:
 
         with ExecutionContext(n_jobs=1, cache=cache, fault_plan=plan) as ctx:
             with pytest.warns(RuntimeWarning) as caught:
-                series = sweep_load(graph, cfg, LOADS, context=ctx)
+                series = sweep_load(graph, cfg, LOADS, context=ctx,
+                                    fused=False)
 
         # --- bit-identical to the fault-free serial reference -----------
         assert series.points == reference.points
@@ -201,12 +203,42 @@ class TestChaosAcceptance:
         assert any("quarantined" in m for m in messages)
         assert any("rebuilding the pool" in m for m in messages)
 
+    def test_fused_sweep_still_exercises_cache_faults(self, tmp_path):
+        """Parent-side fault sites keep firing under the fused shape.
+
+        A fused sweep never dispatches to workers, but the cache-read
+        path still runs in the parent — a corrupt entry must be
+        quarantined and recomputed (by the fused kernel) bit-identically
+        to the fault-free reference.
+        """
+        graph = figure3_graph()
+        cfg = RunConfig(schemes=("GSS", "SPM"), n_runs=50, seed=5)
+        reference = sweep_load(graph, cfg, LOADS)
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        cache = EvaluationCache(tmp_path / "cache")
+        app0 = application_with_load(graph, LOADS[0], cfg.n_processors)
+        cache.put(evaluation_key(app0, cfg),
+                  evaluate_application(app0, cfg))
+        plan = FaultPlan(specs=(
+            FaultSpec(site="cache-read", action="corrupt", occurrence=1),
+        ), scratch=str(scratch))
+        with ExecutionContext(n_jobs=1, cache=cache, fault_plan=plan) as ctx:
+            with pytest.warns(RuntimeWarning, match="quarantined"):
+                series = sweep_load(graph, cfg, LOADS, context=ctx)
+            assert ctx.pools_created == 0  # everything ran fused
+        assert series.points == reference.points
+        assert series.meta["speed_changes"] == \
+            reference.meta["speed_changes"]
+        assert series.meta["cache"]["quarantined"] == 1
+        assert len(list(cache.quarantine_dir().iterdir())) == 1
+
     def test_rerun_after_chaos_hits_clean_cache(self, tmp_path):
         """Entries written during a chaotic sweep are trustworthy."""
         graph = figure3_graph()
         cfg = RunConfig(schemes=("GSS",), n_runs=40, seed=9, n_jobs=2,
                         runs_per_chunk=10, parallel_min_runs=0,
-                        max_retries=6)
+                        max_retries=6, run_level_pool=True)
         loads = LOADS[:4]
         reference = sweep_load(graph, cfg.with_(n_jobs=1), loads)
         scratch = tmp_path / "scratch"
@@ -217,7 +249,8 @@ class TestChaosAcceptance:
         cache = EvaluationCache(tmp_path / "cache")
         with ExecutionContext(n_jobs=1, cache=cache, fault_plan=plan) as ctx:
             with pytest.warns(RuntimeWarning, match="rebuilding the pool"):
-                chaotic = sweep_load(graph, cfg, loads, context=ctx)
+                chaotic = sweep_load(graph, cfg, loads, context=ctx,
+                                     fused=False)
         with ExecutionContext(n_jobs=1, cache=cache) as ctx:
             replay = sweep_load(graph, cfg, loads, context=ctx)
         assert chaotic.points == reference.points

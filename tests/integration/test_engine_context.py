@@ -67,12 +67,27 @@ class TestPoolReuse:
         sweep_load(graph, cfg, LOADS)
         assert calls == []
 
-    def test_shared_context_creates_exactly_one_pool(self, graph, cfg,
-                                                     serial_series,
-                                                     monkeypatch):
+    def test_fused_sweep_creates_no_pool_even_with_context(self, graph,
+                                                           cfg,
+                                                           serial_series,
+                                                           monkeypatch):
+        # the sweep compiler's contract: a homogeneous sweep fuses in
+        # the parent and never touches the context's pool
         calls = _spy_pool(monkeypatch)
         with ExecutionContext(n_jobs=4) as ctx:
             series = sweep_load(graph, cfg, LOADS, context=ctx)
+            assert ctx.pools_created == 0
+        assert calls == []
+        _assert_series_equal(serial_series, series)
+
+    def test_shared_context_creates_exactly_one_pool(self, graph, cfg,
+                                                     serial_series,
+                                                     monkeypatch):
+        # fused=False falls back to point-level fan-out over one pool
+        calls = _spy_pool(monkeypatch)
+        with ExecutionContext(n_jobs=4) as ctx:
+            series = sweep_load(graph, cfg, LOADS, context=ctx,
+                                fused=False)
             assert ctx.pools_created == 1
         assert calls == [4]
         _assert_series_equal(serial_series, series)
@@ -82,16 +97,19 @@ class TestPoolReuse:
         # the pre-PR-4 shape: run-level pooling without a context spins
         # one pool per sweep point — same bits, just slower
         calls = _spy_pool(monkeypatch)
-        cfg_pool = cfg.with_(n_jobs=2, parallel_min_runs=0)
-        series = sweep_load(graph, cfg_pool, LOADS)
+        cfg_pool = cfg.with_(n_jobs=2, parallel_min_runs=0,
+                             run_level_pool=True)
+        series = sweep_load(graph, cfg_pool, LOADS, fused=False)
         assert len(calls) == len(LOADS)
         _assert_series_equal(serial_series, series)
 
     def test_pool_survives_repeated_sweeps(self, graph, cfg,
                                            serial_series):
         with ExecutionContext(n_jobs=4) as ctx:
-            first = sweep_load(graph, cfg, LOADS, context=ctx)
-            second = sweep_load(graph, cfg, LOADS, context=ctx)
+            first = sweep_load(graph, cfg, LOADS, context=ctx,
+                               fused=False)
+            second = sweep_load(graph, cfg, LOADS, context=ctx,
+                                fused=False)
             assert ctx.pools_created == 1
         _assert_series_equal(serial_series, first)
         _assert_series_equal(serial_series, second)
@@ -111,7 +129,8 @@ class TestSharedMemoryTransport:
 
     @pytest.fixture(scope="class")
     def run_cfg(self):
-        return RunConfig(n_runs=30, seed=11, parallel_min_runs=0)
+        return RunConfig(n_runs=30, seed=11, parallel_min_runs=0,
+                         run_level_pool=True)
 
     @pytest.fixture(scope="class")
     def serial_result(self, app, run_cfg):

@@ -39,29 +39,33 @@ def _assert_identical(a, b):
 
 
 class TestRunLevelDeterminism:
-    # parallel_min_runs=0 disables the small-batch serial fallback so
-    # these bench-sized batches genuinely exercise the worker pool
+    # parallel_min_runs=0 disables the small-batch serial fallback and
+    # run_level_pool=True opts into the legacy chunked pool, so these
+    # bench-sized batches genuinely exercise the worker pool
 
     def test_pooled_identical_to_serial(self, app, serial_result):
         pooled = evaluate_application(
-            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0,
+                           run_level_pool=True),
             n_jobs=4)
         _assert_identical(serial_result, pooled)
 
     def test_chunk_size_irrelevant(self, app, serial_result):
         for chunk in (1, 7, 30):
             pooled = evaluate_application(
-                app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+                app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0,
+                               run_level_pool=True),
                 n_jobs=2, runs_per_chunk=chunk)
             _assert_identical(serial_result, pooled)
 
     def test_config_carried_jobs(self, app, serial_result):
         cfg = RunConfig(n_runs=30, seed=11, n_jobs=3, runs_per_chunk=8,
-                        parallel_min_runs=0)
+                        parallel_min_runs=0, run_level_pool=True)
         _assert_identical(serial_result, evaluate_application(app, cfg))
 
     def test_explicit_argument_overrides_config(self, app, serial_result):
-        cfg = RunConfig(n_runs=30, seed=11, n_jobs=4, parallel_min_runs=0)
+        cfg = RunConfig(n_runs=30, seed=11, n_jobs=4, parallel_min_runs=0,
+                        run_level_pool=True)
         # n_jobs=1 override must take the sequential path and still match
         _assert_identical(serial_result,
                           evaluate_application(app, cfg, n_jobs=1))
@@ -69,13 +73,15 @@ class TestRunLevelDeterminism:
     def test_dict_engine_pool_identical(self, app, serial_result):
         pooled = evaluate_application(
             app, RunConfig(n_runs=30, seed=11, engine="dict",
-                           parallel_min_runs=0), n_jobs=2)
+                           parallel_min_runs=0, run_level_pool=True),
+            n_jobs=2)
         _assert_identical(serial_result, pooled)
 
     def test_jobs_clamped_to_work(self, app):
         # 3 runs, 16 workers requested: must not crash or pad results
         res = evaluate_application(
-            app, RunConfig(n_runs=3, seed=2, parallel_min_runs=0),
+            app, RunConfig(n_runs=3, seed=2, parallel_min_runs=0,
+                           run_level_pool=True),
             n_jobs=16, runs_per_chunk=1)
         assert res.npm_energy.shape == (3,)
         assert len(res.path_keys) == 3
@@ -101,7 +107,8 @@ class TestSerialFallback:
                                       monkeypatch):
         # 30 runs < DEFAULT_PARALLEL_MIN_RUNS: no pool despite n_jobs=4
         calls = self._spy_pool(monkeypatch)
-        res = evaluate_application(app, RunConfig(n_runs=30, seed=11),
+        res = evaluate_application(app, RunConfig(n_runs=30, seed=11,
+                                                  run_level_pool=True),
                                    n_jobs=4)
         assert calls == []
         _assert_identical(serial_result, res)
@@ -110,7 +117,8 @@ class TestSerialFallback:
                                         monkeypatch):
         calls = self._spy_pool(monkeypatch)
         res = evaluate_application(
-            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0,
+                           run_level_pool=True),
             n_jobs=2)
         assert calls == [2]
         _assert_identical(serial_result, res)
@@ -119,20 +127,69 @@ class TestSerialFallback:
         # n_runs == parallel_min_runs is big enough: the pool runs
         calls = self._spy_pool(monkeypatch)
         evaluate_application(
-            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=30),
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=30,
+                           run_level_pool=True),
             n_jobs=2)
         assert calls == [2]
 
     def test_below_threshold_by_one_stays_serial(self, app, monkeypatch):
         calls = self._spy_pool(monkeypatch)
         evaluate_application(
-            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=31),
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=31,
+                           run_level_pool=True),
             n_jobs=2)
         assert calls == []
+
+    def test_without_opt_in_no_pool_is_ever_created(self, app,
+                                                    serial_result,
+                                                    monkeypatch):
+        # the PR's headline fix: every threshold open, pool still absent
+        calls = self._spy_pool(monkeypatch)
+        res = evaluate_application(
+            app, RunConfig(n_runs=30, seed=11, parallel_min_runs=0),
+            n_jobs=4)
+        assert calls == []
+        _assert_identical(serial_result, res)
 
     def test_negative_threshold_rejected(self):
         with pytest.raises(ConfigError):
             RunConfig(parallel_min_runs=-1)
+
+    def test_warm_pool_overrides_min_runs_threshold(self, app,
+                                                    serial_result,
+                                                    monkeypatch):
+        # pool startup is the cost the threshold amortizes; once a live
+        # pool is attached there is nothing left to amortize, so a
+        # below-threshold batch uses it rather than idling it
+        from repro.experiments import ExecutionContext
+        calls = self._spy_pool(monkeypatch)
+        with ExecutionContext(n_jobs=2) as ctx:
+            ctx.pool()  # pre-warmed before the evaluation arrives
+            assert calls == [2]
+            res = evaluate_application(
+                app, RunConfig(n_runs=30, seed=11,
+                               parallel_min_runs=1000,
+                               run_level_pool=True),
+                n_jobs=2, context=ctx)
+            assert ctx.pools_created == 1  # reused, never respun
+        assert calls == [2]
+        _assert_identical(serial_result, res)
+
+    def test_cold_attached_context_still_respects_threshold(
+            self, app, serial_result, monkeypatch):
+        # a context whose pool has not started yet would still pay the
+        # startup cost — the threshold keeps applying
+        from repro.experiments import ExecutionContext
+        calls = self._spy_pool(monkeypatch)
+        with ExecutionContext(n_jobs=2) as ctx:
+            res = evaluate_application(
+                app, RunConfig(n_runs=30, seed=11,
+                               parallel_min_runs=1000,
+                               run_level_pool=True),
+                n_jobs=2, context=ctx)
+            assert ctx.pools_created == 0
+        assert calls == []
+        _assert_identical(serial_result, res)
 
 
 class TestChunkKnobValidation:

@@ -85,7 +85,7 @@ class TestSweeps:
         assert set(series.schemes()) == set(small_config.schemes)
         for p in series.points:
             assert 0 < p.mean <= 1 + 1e-9
-        assert 0.3 in series.meta["speed_changes"]
+        assert [x for x, _ in series.meta["speed_changes"]] == [0.3, 0.6]
 
     def test_sweep_alpha_series(self, small_config):
         series = sweep_alpha(figure3_graph, small_config, load=0.7,

@@ -83,7 +83,7 @@ class TestSerialFallbacks:
 
     def test_single_run_with_many_jobs_is_serial(self, app):
         cfg = RunConfig(schemes=("GSS",), n_runs=1, seed=3,
-                        parallel_min_runs=0)
+                        parallel_min_runs=0, run_level_pool=True)
         result = evaluate_application(app, cfg, n_jobs=8)
         assert result.npm_energy.shape == (1,)
 
@@ -92,12 +92,22 @@ class TestSerialFallbacks:
         # resilience knobs riding along) must not start a pool — and the
         # result must be bit-identical to the plain serial evaluation
         cfg = RunConfig(schemes=("GSS",), n_runs=20, seed=3, n_jobs=2,
-                        max_retries=5, chunk_timeout=1.0)
+                        max_retries=5, chunk_timeout=1.0,
+                        run_level_pool=True)
         assert cfg.n_runs < cfg.parallel_min_runs
         result = evaluate_application(app, cfg)
         assert np.array_equal(result.npm_energy, serial_result.npm_energy)
         assert np.array_equal(result.normalized["GSS"],
                               serial_result.normalized["GSS"])
+
+    def test_pool_request_without_opt_in_is_demoted(self, app,
+                                                    serial_result):
+        # the regression fix itself: n_jobs=2 with every threshold open
+        # but no run_level_pool opt-in must stay serial (and identical)
+        cfg = RunConfig(schemes=("GSS",), n_runs=20, seed=3, n_jobs=2,
+                        parallel_min_runs=0)
+        result = evaluate_application(app, cfg)
+        assert np.array_equal(result.npm_energy, serial_result.npm_energy)
 
 
 class TestParallelBoundary:
@@ -105,7 +115,7 @@ class TestParallelBoundary:
                                                          serial_result):
         cfg = RunConfig(schemes=("GSS",), n_runs=20, seed=3, n_jobs=2,
                         runs_per_chunk=3, parallel_min_runs=0,
-                        max_retries=5)
+                        max_retries=5, run_level_pool=True)
         with ExecutionContext(n_jobs=2) as ctx:
             result = evaluate_application(app, cfg, context=ctx)
             assert ctx.pools_created == 1  # the threshold really crossed
@@ -121,7 +131,7 @@ class TestParallelBoundary:
             RunConfig(schemes=("GSS",), n_runs=20, runs_per_chunk=500)
         # ...while the call-site override clamps it to the batch size
         cfg = RunConfig(schemes=("GSS",), n_runs=20, seed=3, n_jobs=2,
-                        parallel_min_runs=0)
+                        parallel_min_runs=0, run_level_pool=True)
         with ExecutionContext(n_jobs=2) as ctx:
             result = evaluate_application(app, cfg, runs_per_chunk=500,
                                           context=ctx)
@@ -138,6 +148,7 @@ class TestKeyInsulation:
         {"max_retries": 9},
         {"chunk_timeout": 2.5},
         {"degrade": False},
+        {"run_level_pool": True},
     ])
     def test_resilience_knobs_do_not_change_evaluation_key(self, app,
                                                            change):

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigError
 from repro.experiments import load_series, merge_series, save_series
 from repro.experiments.persist import series_from_jsonable, series_to_jsonable
-from repro.types import ExperimentPoint, SeriesResult
+from repro.types import ExperimentPoint, SeriesResult, speed_change_items
 
 
 def make_series(name="s", xs=(0.1, 0.2), schemes=("GSS", "SPM")):
@@ -16,8 +16,8 @@ def make_series(name="s", xs=(0.1, 0.2), schemes=("GSS", "SPM")):
             s.points.append(ExperimentPoint(
                 x=x, scheme=scheme, mean=0.5 + x, std=0.01,
                 n_runs=10, ci95=0.002))
-    s.meta["speed_changes"] = {x: {sc: 2.0 for sc in schemes}
-                               for x in xs}
+    s.meta["speed_changes"] = [[x, {sc: 2.0 for sc in schemes}]
+                               for x in xs]
     return s
 
 
@@ -28,7 +28,34 @@ class TestJsonable:
         assert s2.name == s.name and s2.x_label == s.x_label
         assert len(s2.points) == len(s.points)
         assert s2.get(0.2, "GSS").mean == pytest.approx(0.7)
-        assert s2.meta["speed_changes"][0.1]["GSS"] == 2.0
+        changes = dict(speed_change_items(s2.meta["speed_changes"]))
+        assert changes[0.1]["GSS"] == 2.0
+
+    def test_duplicate_x_survives_round_trip(self):
+        # the old dict-keyed format silently overwrote duplicate x
+        s = make_series(xs=(0.1,))
+        s.meta["speed_changes"] = [[0.5, {"GSS": 1.0}], [0.5, {"GSS": 3.0}]]
+        s2 = series_from_jsonable(series_to_jsonable(s))
+        assert s2.meta["speed_changes"] == [[0.5, {"GSS": 1.0}],
+                                            [0.5, {"GSS": 3.0}]]
+
+    def test_legacy_dict_meta_still_serializes(self):
+        # an old in-memory series (dict keyed by raw float) must persist
+        # and read back as the aligned-list format
+        s = make_series()
+        s.meta["speed_changes"] = {0.2: {"GSS": 4.0}, 0.1: {"GSS": 2.0}}
+        s2 = series_from_jsonable(series_to_jsonable(s))
+        assert s2.meta["speed_changes"] == [[0.1, {"GSS": 2.0}],
+                                            [0.2, {"GSS": 4.0}]]
+
+    def test_legacy_stringified_dict_reads_back(self):
+        # JSON files written before the list format stringified the keys
+        d = series_to_jsonable(make_series(xs=(0.1,)))
+        d["meta"]["speed_changes"] = {"0.2": {"GSS": 4.0},
+                                      "0.1": {"GSS": 2.0}}
+        s2 = series_from_jsonable(d)
+        assert s2.meta["speed_changes"] == [[0.1, {"GSS": 2.0}],
+                                            [0.2, {"GSS": 4.0}]]
 
     def test_version_check(self):
         d = series_to_jsonable(make_series())
@@ -74,7 +101,8 @@ class TestMerge:
         b = make_series(xs=(0.3,))
         merged = merge_series(a, b)
         assert merged.xs() == [0.1, 0.2, 0.3]
-        assert 0.3 in merged.meta["speed_changes"]
+        assert [x for x, _ in merged.meta["speed_changes"]] == [0.1, 0.2,
+                                                               0.3]
 
     def test_merge_overlap_rejected(self):
         with pytest.raises(ConfigError, match="overlap"):
