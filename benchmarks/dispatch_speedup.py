@@ -1,0 +1,150 @@
+"""Distributed-dispatch benchmark: executor fleet vs local execution.
+
+Times the same Figure-5-shaped load sweep (widened ATR graph, six
+processors) three ways and emits ``BENCH_dispatch.json``:
+
+1. **fused** — the local default: the whole sweep stacked into one
+   array program in the driver, no pool, no fleet;
+2. **serial** — one point at a time in the driver (``fused=False``,
+   no pool): the naive baseline a distributed backend must beat once
+   work outgrows one machine;
+3. **dispatch** — the sweep sharded over a work-stealing executor
+   fleet (``--executors`` local worker processes speaking the socket
+   protocol), the multi-host execution shape measured on one host.
+
+All three passes are asserted bit-identical point by point before any
+timing is reported, and the dispatch pass must have computed every
+point on the fleet (no degradations).  There is **no speedup floor**:
+on shared CI runners (often one or two cores) dispatch-vs-serial is
+reported, not gated — the number exists to track the protocol's
+overhead trend, and single-host fleets cannot beat the fused array
+program anyway (that is what multi-host capacity is for).
+
+``--budget-seconds`` (> 0) fails the invocation if the *dispatch* pass
+exceeds the budget — the CI smoke gate.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/dispatch_speedup.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.experiments import ExecutionContext, RunConfig, sweep_load
+from repro.workloads import AtrConfig, atr_graph
+
+#: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
+FIG5_ATR = dict(max_rois=6,
+                roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
+
+
+def _assert_series_equal(a, b, label: str) -> None:
+    assert a.points == b.points, f"{label}: sweep points diverged"
+    assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
+        f"{label}: speed-change counts diverged"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--points", type=int, default=10,
+                    help="number of load-sweep points (grid 0.1..1.0)")
+    ap.add_argument("--runs", type=int, default=120,
+                    help="Monte-Carlo runs per point")
+    ap.add_argument("--executors", type=int, default=4,
+                    help="executor processes in the dispatch fleet")
+    ap.add_argument("--procs", type=int, default=6)
+    ap.add_argument("--seed", type=int, default=2002)
+    ap.add_argument("--alpha", type=float, default=0.9)
+    ap.add_argument("--out", default="BENCH_dispatch.json")
+    ap.add_argument("--budget-seconds", type=float, default=0.0,
+                    dest="budget_seconds",
+                    help="fail if the dispatch pass exceeds this "
+                         "(0 = no gate)")
+    args = ap.parse_args(argv)
+    if args.points < 1:
+        ap.error("--points must be >= 1")
+    if args.executors < 1:
+        ap.error("--executors must be >= 1")
+
+    graph = atr_graph(AtrConfig(alpha=args.alpha, **FIG5_ATR))
+    loads = [round(0.1 + 0.9 * i / max(args.points - 1, 1), 4)
+             for i in range(args.points)]
+    cfg = RunConfig(n_runs=args.runs, seed=args.seed,
+                    n_processors=args.procs, engine="compiled")
+
+    print(f"dispatch_speedup: {args.points} points x {args.runs} runs, "
+          f"m={args.procs}, executors={args.executors}, "
+          f"cores={os.cpu_count()}")
+
+    t0 = time.perf_counter()
+    series_fused = sweep_load(graph, cfg, loads)
+    t_fused = time.perf_counter() - t0
+    print(f"  fused    (one array program) {t_fused:8.3f} s")
+
+    t0 = time.perf_counter()
+    series_serial = sweep_load(graph, cfg, loads, fused=False)
+    t_serial = time.perf_counter() - t0
+    print(f"  serial   (point by point)    {t_serial:8.3f} s")
+
+    with ExecutionContext(backend="dispatch",
+                          executors=args.executors) as ctx:
+        t0 = time.perf_counter()
+        series_dispatch = sweep_load(graph, cfg, loads, context=ctx)
+        t_dispatch = time.perf_counter() - t0
+        stats = ctx.dispatch_stats()
+    per_executor = stats.pop("per_executor")
+    assert stats["completed"] == args.points, \
+        f"fleet completed {stats['completed']}/{args.points} points"
+    assert stats["degraded_points"] == 0, \
+        "dispatch pass degraded points to the driver"
+    print(f"  dispatch ({args.executors} executors)        "
+          f"{t_dispatch:8.3f} s  "
+          f"({', '.join(f'{n}:{c}' for n, c in sorted(per_executor.items()))})")
+
+    _assert_series_equal(series_serial, series_fused, "fused vs serial")
+    _assert_series_equal(series_serial, series_dispatch,
+                         "dispatch vs serial")
+
+    vs_serial = t_serial / t_dispatch if t_dispatch > 0 else float("inf")
+    vs_fused = t_fused / t_dispatch if t_dispatch > 0 else float("inf")
+    record = {
+        "benchmark": "dispatch_speedup",
+        "bit_identical": True,
+        "points": args.points,
+        "n_runs": args.runs,
+        "n_processors": args.procs,
+        "executors": args.executors,
+        "cores": os.cpu_count(),
+        "fused_seconds": round(t_fused, 4),
+        "serial_seconds": round(t_serial, 4),
+        "dispatch_seconds": round(t_dispatch, 4),
+        "dispatch_vs_serial_speedup": round(vs_serial, 3),
+        "dispatch_vs_fused_speedup": round(vs_fused, 3),
+        "dispatched": stats["dispatched"],
+        "completed": stats["completed"],
+        "stolen": stats["stolen"],
+        "duplicates": stats["duplicates"],
+        "worker_deaths": stats["worker_deaths"],
+        "per_executor": dict(sorted(per_executor.items())),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"  dispatch vs serial {vs_serial:8.2f} x")
+    print(f"  dispatch vs fused  {vs_fused:8.2f} x  -> {args.out}")
+
+    if args.budget_seconds > 0 and t_dispatch > args.budget_seconds:
+        print(f"FAIL: dispatch sweep took {t_dispatch:.2f} s, budget "
+              f"{args.budget_seconds:.2f} s", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

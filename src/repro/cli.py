@@ -4,10 +4,11 @@ Usage::
 
     python -m repro tables
     python -m repro fig4 [--runs 1000] [--jobs 4 | --n-jobs 4] [--csv out.csv]
-    python -m repro fig5 ...
+    python -m repro fig5 --backend dispatch --executors 8
     python -m repro fig6 ...
     python -m repro run --app atr --load 0.5 --model xscale --procs 2
     python -m repro gantt --app fig3 --scheme GSS --load 0.5
+    python -m repro worker --connect host:7070   # join a remote fleet
 
 Figures print the same series the paper plots (normalized energy per
 scheme) as aligned tables plus the mean speed-change counts.
@@ -59,6 +60,21 @@ def build_parser() -> argparse.ArgumentParser:
         fp.add_argument("--no-fused", action="store_true", dest="no_fused",
                         help="disable the fused sweep compiler and "
                              "evaluate each point separately")
+        fp.add_argument("--backend", choices=("local", "dispatch"),
+                        default=None,
+                        help="sweep-point execution backend: 'local' "
+                             "(fused/pooled, the default) or 'dispatch' "
+                             "(work-stealing executor fleet; results "
+                             "are bit-identical)")
+        fp.add_argument("--executors", type=int, default=None,
+                        help="executor processes for --backend dispatch "
+                             "(0 = all cores; clamped to the number of "
+                             "sweep points; default: --jobs)")
+        fp.add_argument("--connect", type=str, default=None,
+                        help="dispatch rendezvous endpoint host:port "
+                             "the driver binds; remote 'repro worker' "
+                             "processes join the fleet there (default: "
+                             "loopback, ephemeral port)")
         fp.add_argument("--runs-per-chunk", type=int, default=0,
                         dest="runs_per_chunk",
                         help="runs per worker task for --n-jobs "
@@ -224,17 +240,30 @@ def build_parser() -> argparse.ArgumentParser:
     su.add_argument("--no-degrade", action="store_true", dest="no_degrade",
                     help="error out instead of degrading to serial "
                          "execution when retries are exhausted")
+
+    wk = sub.add_parser("worker",
+                        help="join a dispatch driver's executor fleet "
+                             "(see --backend dispatch / --connect)")
+    wk.add_argument("--connect", type=str, required=True,
+                    help="the driver's rendezvous endpoint host:port")
+    wk.add_argument("--name", type=str, default=None,
+                    help="executor name reported to the driver "
+                         "(default: worker-<pid>)")
     return p
 
 
-def _make_context(n_jobs: int, no_cache: bool, cache_dir: Optional[str]):
+def _make_context(n_jobs: int, no_cache: bool, cache_dir: Optional[str],
+                  backend: Optional[str] = None,
+                  executors: Optional[int] = None,
+                  connect: Optional[str] = None):
     """One ExecutionContext per CLI command: shared pool + optional cache."""
     from .experiments.engine import ExecutionContext
     cache = None
     if not no_cache:
         from .experiments.evalcache import DEFAULT_CACHE_DIR, EvaluationCache
         cache = EvaluationCache(cache_dir or DEFAULT_CACHE_DIR)
-    return ExecutionContext(n_jobs=n_jobs, cache=cache)
+    return ExecutionContext(n_jobs=n_jobs, cache=cache, backend=backend,
+                            executors=executors, connect=connect)
 
 
 def _print_cache_stats(context) -> None:
@@ -248,6 +277,13 @@ def _print_cache_stats(context) -> None:
     if any(res.values()):
         print("(resilience: "
               + ", ".join(f"{k}={v}" for k, v in res.items() if v) + ")")
+    disp = context.dispatch_stats()
+    per = disp.pop("per_executor")
+    if any(disp.values()):
+        print("(dispatch: "
+              + ", ".join(f"{k}={v}" for k, v in disp.items() if v)
+              + "; " + ", ".join(f"{n}:{c}" for n, c in sorted(per.items()))
+              + ")")
 
 
 def _emit_figure(series_by_model: Dict[str, SeriesResult],
@@ -296,7 +332,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         # the pool serves whichever level is parallel (the two are
         # mutually exclusive: point-level --jobs or run-level --n-jobs)
         ctx_jobs = args.jobs if args.jobs != 1 else args.n_jobs
-        with _make_context(ctx_jobs, args.no_cache, args.cache_dir) as ctx:
+        # asking for the dispatch backend without --executors means
+        # "use the fleet anyway": default the request to all cores
+        executors = args.executors
+        if args.backend == "dispatch" and executors is None \
+                and args.jobs == 1:
+            executors = 0
+        with _make_context(ctx_jobs, args.no_cache, args.cache_dir,
+                           backend=args.backend, executors=executors,
+                           connect=args.connect) as ctx:
             fig_kwargs = dict(
                 n_runs=args.runs, schemes=schemes, n_jobs=args.jobs,
                 seed=args.seed, run_jobs=args.n_jobs,
@@ -304,6 +348,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_retries=args.max_retries,
                 chunk_timeout=args.chunk_timeout,
                 degrade=not args.no_degrade,
+                backend=args.backend, executors=executors,
+                connect=args.connect,
                 context=ctx, fused=not args.no_fused)
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
@@ -427,6 +473,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                      n_jobs=args.jobs, figures=args.figures)
         print(f"report written to {args.output}")
         return 0
+
+    if args.command == "worker":
+        import os
+        from .experiments.dispatch import DispatchWorker, parse_endpoint
+        host, port = parse_endpoint(args.connect)
+        name = args.name or f"worker-{os.getpid()}"
+        print(f"joining dispatch fleet at {host}:{port} as {name}")
+        return DispatchWorker(host, port, name=name).run()
 
     if args.command == "suite":
         from .experiments.suite import SuiteConfig, render_suite, run_suite

@@ -11,7 +11,10 @@
 * :mod:`~repro.experiments.evalcache` — content-addressed on-disk
   cache of evaluation points (with corrupt-entry quarantine),
 * :mod:`~repro.experiments.faults` — deterministic fault injection
-  for the chaos test suite (:class:`FaultPlan`/:class:`FaultSpec`).
+  for the chaos test suite (:class:`FaultPlan`/:class:`FaultSpec`),
+* :mod:`~repro.experiments.dispatch` — the work-stealing distributed
+  sweep backend (:class:`DispatchServer`/:class:`DispatchWorker`),
+  selected per sweep via ``backend="dispatch"``.
 
 Resilience: :class:`RetryPolicy` (surfaced as the ``max_retries`` /
 ``chunk_timeout`` / ``degrade`` fields of :class:`RunConfig`) governs
@@ -35,7 +38,8 @@ from .distribution import (
     result_distributions,
     summarize_distribution,
 )
-from .engine import ExecutionContext, RetryPolicy
+from .dispatch import DispatchServer, DispatchWorker, dispatch_points
+from .engine import BACKENDS, ExecutionContext, RetryPolicy, resolve_backend
 from .evalcache import EvaluationCache, evaluation_key
 from .faults import FaultPlan, FaultSpec
 from .exact import ExactResult, exact_evaluation, render_exact
@@ -140,6 +144,11 @@ __all__ = [
     "resolve_jobs",
     "ExecutionContext",
     "RetryPolicy",
+    "BACKENDS",
+    "resolve_backend",
+    "DispatchServer",
+    "DispatchWorker",
+    "dispatch_points",
     "FaultPlan",
     "FaultSpec",
     "EvaluationCache",

@@ -24,6 +24,19 @@ sites**:
     Evaluation-cache lookup in the parent.  Action: ``corrupt``
     (truncates the on-disk entry before it is read, simulating a torn
     write; the cache must quarantine and recompute).
+``dispatch-send``
+    Driver-side task-frame send in the distributed dispatcher
+    (:mod:`repro.experiments.dispatch`).  Action: ``raise`` (the
+    connection counts as lost: the executor is dropped and its
+    in-flight points re-dispatched).
+``dispatch-recv``
+    Driver-side result-frame receipt.  Action: ``raise`` (the frame is
+    treated as torn on the wire: the result is discarded and the point
+    re-dispatched, burning one retry).
+``worker-dead``
+    Start of a task inside a :class:`~repro.experiments.dispatch.
+    DispatchWorker` process.  Action: ``crash`` (``os._exit`` — the
+    driver sees EOF and must re-dispatch the worker's points).
 
 Determinism and replay: a spec fires on the Nth occurrence of its site
 in a process (``occurrence``), or whenever the call site's ``key``
@@ -50,11 +63,28 @@ from typing import Dict, Optional, Sequence, Tuple
 
 from ..errors import ConfigError
 
-#: the fault-site registry: every dispatch backend must fire these
-SITES = ("worker-chunk", "shm-attach", "cache-read")
+#: the original (PR 5) fault sites — every execution backend must fire
+#: these.  :meth:`FaultPlan.random` draws from this set by default so
+#: existing chaos seeds replay byte-identical fault schedules.
+CORE_SITES = ("worker-chunk", "shm-attach", "cache-read")
+
+#: the full fault-site registry, including the distributed-dispatch
+#: sites added with :mod:`repro.experiments.dispatch`
+SITES = CORE_SITES + ("dispatch-send", "dispatch-recv", "worker-dead")
 
 #: actions a spec may request (interpreted by the firing site)
 ACTIONS = ("crash", "hang", "raise", "corrupt")
+
+#: which actions each site supports (used by :meth:`FaultPlan.random`
+#: and documented in docs/testing.md's site registry)
+SITE_ACTIONS = {
+    "worker-chunk": ("crash", "hang", "raise"),
+    "shm-attach": ("raise",),
+    "cache-read": ("corrupt",),
+    "dispatch-send": ("raise",),
+    "dispatch-recv": ("raise",),
+    "worker-dead": ("crash", "hang"),
+}
 
 #: exit code of an injected worker crash (recognizable in pool logs)
 CRASH_EXIT_CODE = 73
@@ -114,23 +144,23 @@ class FaultPlan:
     @classmethod
     def random(cls, seed: int, scratch: Optional[str] = None,
                n_faults: int = 2, hang_seconds: float = 1.5,
-               sites: Sequence[str] = SITES) -> "FaultPlan":
+               sites: Sequence[str] = CORE_SITES) -> "FaultPlan":
         """A seed-derived plan: same seed + same scratch state = same faults.
 
-        Actions are drawn per site from what that site supports, and
-        occurrences from 1..4 so small sweeps still reach them.
+        Actions are drawn per site from what that site supports
+        (:data:`SITE_ACTIONS`), and occurrences from 1..4 so small
+        sweeps still reach them.  ``sites`` defaults to
+        :data:`CORE_SITES` — not the full registry — so plans built
+        from historical seeds replay identically after new sites are
+        registered; pass ``sites=SITES`` (or an explicit subset) to
+        draw dispatch-layer faults too.
         """
         rng = random.Random(seed)
-        menu = {
-            "worker-chunk": ("crash", "hang", "raise"),
-            "shm-attach": ("raise",),
-            "cache-read": ("corrupt",),
-        }
         specs = []
         for _ in range(n_faults):
             site = rng.choice(list(sites))
             specs.append(FaultSpec(site=site,
-                                   action=rng.choice(menu[site]),
+                                   action=rng.choice(SITE_ACTIONS[site]),
                                    occurrence=rng.randint(1, 4)))
         return cls(specs=tuple(specs), scratch=scratch,
                    hang_seconds=hang_seconds, seed=seed)

@@ -17,7 +17,7 @@ clairvoyant oracle can be appended for the extension benches.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..core.registry import PAPER_SCHEMES
 from ..types import SeriesResult
@@ -42,7 +42,10 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 run_jobs: int = 1, runs_per_chunk: int = 0,
                 engine: str = "compiled", max_retries: int = 2,
                 chunk_timeout: float = 0.0,
-                degrade: bool = True) -> RunConfig:
+                degrade: bool = True,
+                backend: Optional[str] = None,
+                executors: Optional[int] = None,
+                connect: Optional[str] = None) -> RunConfig:
     # asking for run-level workers is the explicit opt-in to the legacy
     # chunked pool — the default path fuses the sweep with no pool
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
@@ -50,7 +53,8 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                      n_jobs=run_jobs, runs_per_chunk=runs_per_chunk,
                      engine=engine, max_retries=max_retries,
                      chunk_timeout=chunk_timeout, degrade=degrade,
-                     run_level_pool=(run_jobs != 1))
+                     run_level_pool=(run_jobs != 1),
+                     backend=backend, executors=executors, connect=connect)
 
 
 def figure4(n_runs: int = 1000,
@@ -64,6 +68,9 @@ def figure4(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
+            backend: Optional[str] = None,
+            executors: Optional[int] = None,
+            connect: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
@@ -81,7 +88,8 @@ def figure4(n_runs: int = 1000,
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
-                          max_retries, chunk_timeout, degrade)
+                          max_retries, chunk_timeout, degrade,
+                          backend, executors, connect)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}", context=context,
                                 fused=fused)
@@ -99,6 +107,9 @@ def figure5(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
+            backend: Optional[str] = None,
+            executors: Optional[int] = None,
+            connect: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
@@ -114,7 +125,8 @@ def figure5(n_runs: int = 1000,
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
-                          max_retries, chunk_timeout, degrade)
+                          max_retries, chunk_timeout, degrade,
+                          backend, executors, connect)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}", context=context,
                                 fused=fused)
@@ -132,6 +144,9 @@ def figure6(n_runs: int = 1000,
             max_retries: int = 2,
             chunk_timeout: float = 0.0,
             degrade: bool = True,
+            backend: Optional[str] = None,
+            executors: Optional[int] = None,
+            connect: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
 
@@ -142,7 +157,8 @@ def figure6(n_runs: int = 1000,
     for model in PAPER_POWER_MODELS:
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
-                          max_retries, chunk_timeout, degrade)
+                          max_retries, chunk_timeout, degrade,
+                          backend, executors, connect)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}",
                                  context=context, fused=fused)

@@ -92,6 +92,11 @@ def map_evaluations(apps: Sequence[Application],
     evaluation cache point by point (only misses are computed), then
     evaluates the misses by the cheapest applicable strategy —
 
+    0. **dispatch**: when the context's backend is ``"dispatch"`` (and
+       at least two executors resolve), misses ship to the
+       work-stealing executor fleet
+       (:func:`~repro.experiments.dispatch.dispatch_points`); an
+       unreachable fleet falls through to the local strategies below;
     1. **fused** (the default): structurally homogeneous points are
        stacked into one array program and executed in a single batch-
        kernel pass in the parent, no pool at all
@@ -120,8 +125,20 @@ def map_evaluations(apps: Sequence[Application],
     if labels is None:
         labels = [f"app={app.name!r}" for app in apps]
     owned = context is None
-    ctx = context if context is not None else ExecutionContext(
-        n_jobs=resolve_jobs(n_jobs, n_items=len(apps)))
+    if context is not None:
+        ctx = context
+    else:
+        # an owned context honors the configs' execution knobs (the CLI
+        # ships backend/executors/connect through the RunConfig) and the
+        # session defaults (REPRO_BACKEND / REPRO_EXECUTORS)
+        from .engine import default_executors
+        cfg0 = configs[0]
+        ctx = ExecutionContext(
+            n_jobs=resolve_jobs(n_jobs, n_items=len(apps)),
+            backend=cfg0.backend,
+            executors=(cfg0.executors if cfg0.executors is not None
+                       else default_executors()),
+            connect=cfg0.connect)
     try:
         results: List[Optional[EvaluationResult]] = [None] * len(apps)
         pending = list(range(len(apps)))
@@ -141,6 +158,24 @@ def map_evaluations(apps: Sequence[Application],
                     pending.append(i)
         if not pending:
             return results
+
+        if ctx.backend == "dispatch" and ctx.dispatch_jobs() >= 2:
+            # distributed fan-out: pending points go to the executor
+            # fleet; cache misses only, exactly like the local paths
+            from .dispatch import dispatch_points
+            computed = dispatch_points(
+                ctx, [apps[i] for i in pending],
+                [configs[i] for i in pending],
+                labels=[labels[i] for i in pending],
+                policy=configs[0].retry_policy(),
+                keys=[keys[i] for i in pending] if keys else None)
+            if computed is not None:
+                for i, res in zip(pending, computed):
+                    results[i] = res
+                    if ctx.cache is not None:
+                        ctx.cache.put(keys[i], res)
+                return results
+            # no executors reachable: degrade to the local paths below
 
         if fused and len(pending) > 1:
             from .fused import evaluate_points_fused

@@ -120,6 +120,20 @@ class RunConfig:
     #: the legacy chunked path (results are bit-identical either way).
     #: Execution knob — never part of the evaluation cache key.
     run_level_pool: bool = False
+    #: execution backend for the *sweep-point* fan-out: ``"local"``
+    #: (fused/pooled, the default) or ``"dispatch"`` (the work-stealing
+    #: executor fleet of :mod:`repro.experiments.dispatch`).  ``None``
+    #: resolves to the session default (``REPRO_BACKEND``).  Execution
+    #: knob — never part of the evaluation cache key.
+    backend: Optional[str] = None
+    #: executor-count request for the dispatch backend (clamped to the
+    #: number of sweep points like ``n_jobs``); ``None`` falls back to
+    #: the sweep's job request.  Execution knob — never cached on.
+    executors: Optional[int] = None
+    #: dispatch rendezvous endpoint ``"host:port"`` the driver binds
+    #: (``None`` = loopback, ephemeral port).  Execution knob — never
+    #: part of the evaluation cache key.
+    connect: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -153,6 +167,20 @@ class RunConfig:
             raise ConfigError(
                 f"chunk_timeout must be >= 0 (0 = no timeout), "
                 f"got {self.chunk_timeout}")
+        # hardcoded (not engine.BACKENDS) to keep runner import-light;
+        # the registry test pins the two in sync
+        if self.backend is not None and self.backend not in ("local",
+                                                             "dispatch"):
+            raise ConfigError(
+                f"backend must be 'local' or 'dispatch', "
+                f"got {self.backend!r}")
+        if self.executors is not None and self.executors < 0:
+            raise ConfigError(
+                f"executors must be >= 0 (0 = all cores), "
+                f"got {self.executors}")
+        if self.connect is not None:
+            from .dispatch import parse_endpoint
+            parse_endpoint(self.connect)  # raises ConfigError when bad
 
     def retry_policy(self):
         """The :class:`~repro.experiments.engine.RetryPolicy` this

@@ -1,0 +1,19 @@
+"""Chaos-tier conftest: run every scenario against every backend.
+
+The ``backend`` fixture (tests/conftest.py) parametrizes the session
+defaults over ``local`` and ``dispatch``; making it autouse here is the
+whole refactor — every existing chaos test runs under both backends
+with no per-test edits, which mechanically enforces the ROADMAP's
+acceptance bar ("the chaos tier must pass unchanged against the new
+backend").  Dispatch-only scenarios live in ``test_dispatch.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _backend_matrix(backend):
+    """Apply the backend parametrization to every chaos test."""
+    return backend

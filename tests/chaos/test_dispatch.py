@@ -1,0 +1,223 @@
+"""Dispatch-only chaos: fleet failure modes the local backend cannot hit.
+
+Scenarios beyond the backend-parametrized matrix (which re-runs every
+existing chaos test against the dispatcher): an executor killed
+mid-sweep with its points re-dispatched, a hung point stolen past its
+``chunk_timeout`` and the straggler's late delivery deduplicated, two
+drivers racing on one shared cache store, injected send/recv transport
+faults, and a fleet that never comes up degrading to the local path.
+
+Every scenario asserts the same invariant as the rest of the tier: the
+recovered sweep equals the fault-free serial reference bit for bit.
+"""
+
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.experiments import EvaluationCache, ExecutionContext, RunConfig
+from repro.experiments import dispatch as dispatch_mod
+from repro.experiments.faults import FaultPlan, FaultSpec
+from repro.experiments.sweeps import sweep_load
+from tests.conftest import build_nested_or_graph
+
+LOADS = (0.2, 0.4, 0.6, 0.8)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_nested_or_graph()
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return RunConfig(schemes=("GSS", "NPM"), n_runs=30, seed=11,
+                     max_retries=3)
+
+
+@pytest.fixture(scope="module")
+def reference(graph, cfg):
+    # pinned to the local backend regardless of the session default the
+    # autouse backend fixture installs: the reference stays serial
+    return sweep_load(graph, cfg.with_(backend="local"), LOADS)
+
+
+def _dispatch_ctx(fault_plan=None, cache=None, executors=2, **kwargs):
+    return ExecutionContext(n_jobs=1, cache=cache, backend="dispatch",
+                            executors=executors, fault_plan=fault_plan,
+                            **kwargs)
+
+
+class TestWorkerDeath:
+    def test_worker_killed_mid_sweep_points_redispatched(
+            self, tmp_path, graph, cfg, reference):
+        """The PR 5 acceptance scenario on the fleet: one executor is
+        crashed while evaluating point 1; the driver sees EOF and the
+        point lands on a surviving executor, bit-identically."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="worker-dead", action="crash", key=1),),
+            scratch=str(scratch))
+        with _dispatch_ctx(fault_plan=plan) as ctx:
+            series = sweep_load(graph, cfg, LOADS, context=ctx)
+            stats = ctx.dispatch_stats()
+        assert series.points == reference.points
+        assert series.meta["speed_changes"] == \
+            reference.meta["speed_changes"]
+        assert stats["worker_deaths"] >= 1
+        assert series.meta["resilience"]["retries"] >= 1
+        assert series.meta["resilience"]["degradations"] == 0
+        assert stats["completed"] == len(LOADS)
+        assert sum(stats["per_executor"].values()) == len(LOADS)
+
+    def test_worker_chunk_crash_fires_in_executors_too(
+            self, tmp_path, graph, cfg, reference):
+        """The original worker-chunk site is honored by the dispatch
+        backend with the same keys: a crash at point 2 kills the
+        executor process mid-task."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="worker-chunk", action="crash", key=2),),
+            scratch=str(scratch))
+        with _dispatch_ctx(fault_plan=plan) as ctx:
+            series = sweep_load(graph, cfg, LOADS, context=ctx)
+            stats = ctx.dispatch_stats()
+        assert series.points == reference.points
+        assert stats["worker_deaths"] >= 1
+        assert series.meta["dispatch"]["completed"] == len(LOADS)
+
+
+class TestStealAfterHang:
+    def test_hung_point_is_stolen_and_straggler_deduped(
+            self, tmp_path, graph, cfg, reference):
+        """A point hung past ``chunk_timeout`` is re-dispatched to the
+        other executor; when the straggler finally delivers the same
+        cache key, the duplicate is dropped, not double-counted."""
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="worker-chunk", action="hang", key=1),),
+            scratch=str(scratch), hang_seconds=1.5)
+        hung_cfg = cfg.with_(chunk_timeout=0.3)
+        with _dispatch_ctx(fault_plan=plan) as ctx:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                series = sweep_load(graph, hung_cfg, LOADS, context=ctx)
+                # wait out the hang so the straggler's frame is on the
+                # wire, then run a second sweep on the same fleet: its
+                # first pump reads the stale-generation result and must
+                # dedup it, not bind it to the new sweep
+                time.sleep(plan.hang_seconds + 0.5)
+                again = sweep_load(graph, hung_cfg, LOADS, context=ctx)
+            stats = ctx.dispatch_stats()
+        assert series.points == reference.points
+        assert again.points == reference.points
+        assert stats["stolen"] >= 1
+        assert series.meta["resilience"]["timeouts"] >= 1
+        # the straggler's delivery arrived after the steal completed —
+        # either within the first sweep or drained by the second
+        assert stats["duplicates"] >= 1
+
+
+class TestCacheStoreRace:
+    def test_two_drivers_race_on_one_cache_store(self, tmp_path, graph,
+                                                 cfg, reference):
+        """Two dispatch drivers sweeping the same points into one
+        ``.repro-cache`` store concurrently: both sweeps bit-identical,
+        and a fresh context replays everything from cache."""
+        root = tmp_path / "cache"
+        out = {}
+        errors = []
+
+        def _drive(tag):
+            try:
+                cache = EvaluationCache(root)
+                with _dispatch_ctx(cache=cache) as ctx:
+                    out[tag] = sweep_load(graph, cfg, LOADS, context=ctx)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append((tag, exc))
+
+        threads = [threading.Thread(target=_drive, args=(tag,))
+                   for tag in ("a", "b")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert not errors, errors
+        assert out["a"].points == reference.points
+        assert out["b"].points == reference.points
+        replay_cache = EvaluationCache(root)
+        with ExecutionContext(cache=replay_cache) as ctx:
+            replay = sweep_load(graph, cfg, LOADS, context=ctx)
+        assert replay.points == reference.points
+        assert replay.meta["cache"]["hits"] == len(LOADS)
+
+
+class TestTransportFaults:
+    def test_send_fault_drops_executor_and_recovers(
+            self, tmp_path, graph, cfg, reference):
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="dispatch-send", action="raise", key=0),),
+            scratch=str(scratch))
+        with _dispatch_ctx(fault_plan=plan) as ctx:
+            series = sweep_load(graph, cfg, LOADS, context=ctx)
+            stats = ctx.dispatch_stats()
+        assert series.points == reference.points
+        # the send failure costs a connection, never a retry budget
+        assert series.meta["resilience"]["degradations"] == 0
+        assert stats["completed"] == len(LOADS)
+
+    def test_recv_fault_burns_a_retry_and_recovers(
+            self, tmp_path, graph, cfg, reference):
+        scratch = tmp_path / "scratch"
+        scratch.mkdir()
+        plan = FaultPlan(specs=(
+            FaultSpec(site="dispatch-recv", action="raise", key=3),),
+            scratch=str(scratch))
+        with _dispatch_ctx(fault_plan=plan) as ctx:
+            series = sweep_load(graph, cfg, LOADS, context=ctx)
+        assert series.points == reference.points
+        assert series.meta["resilience"]["retries"] >= 1
+        assert series.meta["resilience"]["degradations"] == 0
+
+    def test_randomized_dispatch_sites_are_invisible(
+            self, tmp_path, graph, cfg, reference):
+        """Seed-derived plans over the *full* registry (dispatch sites
+        included) never change results."""
+        from repro.experiments.faults import SITES
+        for seed in (0, 1, 2):
+            scratch = tmp_path / f"scratch-{seed}"
+            scratch.mkdir()
+            plan = FaultPlan.random(seed, scratch=str(scratch),
+                                    n_faults=2, hang_seconds=0.3,
+                                    sites=SITES)
+            with _dispatch_ctx(fault_plan=plan) as ctx:
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", RuntimeWarning)
+                    series = sweep_load(graph, cfg, LOADS, context=ctx)
+            assert series.points == reference.points, plan.describe()
+
+
+class TestNoExecutors:
+    def test_unreachable_fleet_degrades_to_local_path(
+            self, monkeypatch, graph, cfg, reference):
+        """No executor ever connects: one warning, then the sweep runs
+        on the local fused path with identical results."""
+        monkeypatch.setattr(dispatch_mod, "CONNECT_TIMEOUT", 0.4)
+        monkeypatch.setattr(dispatch_mod, "worker_main",
+                            lambda *a, **k: 0)  # executors exit at birth
+        with _dispatch_ctx() as ctx:
+            with pytest.warns(RuntimeWarning,
+                              match="dispatch backend unreachable"):
+                series = sweep_load(graph, cfg, LOADS, context=ctx)
+            # the failure is remembered: no second connect timeout
+            assert ctx.dispatch_fleet() is None
+            stats = ctx.dispatch_stats()
+        assert series.points == reference.points
+        assert stats["dispatched"] == 0

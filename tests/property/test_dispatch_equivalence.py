@@ -1,0 +1,64 @@
+"""Property: a dispatched sweep equals the serial dict-engine reference.
+
+For random graphs, loads and configurations, routing the sweep through
+a real executor fleet (``backend="dispatch"``, two worker processes
+over the socket protocol) must produce exactly the series the slowest,
+simplest path produces: a serial sweep on the reference dict engine.
+Bit-identical energies and speed-change meta — the execution knobs may
+differ, the science must not.
+
+The fleet is module-scoped (one pair of executors serves every
+example, like a real driver serving many sweeps), which also keeps the
+suite inside the ``repro``/``ci`` hypothesis profile budgets.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.experiments import ExecutionContext, RunConfig
+from repro.experiments.sweeps import sweep_load
+from tests.conftest import (
+    build_chain_graph,
+    build_fork_graph,
+    build_nested_or_graph,
+    build_or_graph,
+)
+
+GRAPHS = {
+    "chain": build_chain_graph,
+    "fork": build_fork_graph,
+    "or": build_or_graph,
+    "nested": build_nested_or_graph,
+}
+
+SCHEME_SETS = (("GSS",), ("GSS", "NPM"), ("SPM", "SS1"), ("AS", "SS2"))
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    with ExecutionContext(backend="dispatch", executors=2) as ctx:
+        yield ctx
+
+
+@given(
+    graph_name=st.sampled_from(sorted(GRAPHS)),
+    loads=st.lists(st.sampled_from((0.2, 0.4, 0.5, 0.7, 0.9, 1.0)),
+                   min_size=2, max_size=4),
+    schemes=st.sampled_from(SCHEME_SETS),
+    n_runs=st.integers(min_value=5, max_value=20),
+    seed=st.integers(min_value=0, max_value=2 ** 16),
+)
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_dispatched_sweep_equals_serial_dict_reference(
+        fleet, graph_name, loads, schemes, n_runs, seed):
+    graph = GRAPHS[graph_name]()
+    cfg = RunConfig(schemes=schemes, n_runs=n_runs, seed=seed)
+    reference = sweep_load(graph, cfg.with_(engine="dict",
+                                            backend="local"), loads)
+    dispatched = sweep_load(graph, cfg, loads, context=fleet)
+    assert dispatched.points == reference.points
+    assert dispatched.meta["speed_changes"] == \
+        reference.meta["speed_changes"]
+    assert fleet.dispatch_stats()["degraded_points"] == 0

@@ -26,6 +26,11 @@ from repro.experiments.fused import evaluate_points_fused
 from repro.workloads import application_with_load, atr_graph, figure3_graph
 from tests.conftest import build_fork_graph, build_nested_or_graph
 
+# the whole golden-equivalence suite runs once per execution backend
+# (local + dispatch): a sweep routed through the executor fleet must be
+# byte-for-byte the sweep the fused/compiled/dict references produce
+pytestmark = pytest.mark.usefixtures("backend")
+
 LOADS = (0.2, 0.4, 0.5, 0.7, 0.9)
 
 
