@@ -32,11 +32,11 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import time
 
 from repro.experiments import ExecutionContext, RunConfig, sweep_load
+from repro.experiments.engine import effective_cores
 from repro.workloads import AtrConfig, atr_graph
 
 #: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
@@ -80,7 +80,7 @@ def main(argv=None) -> int:
 
     print(f"dispatch_speedup: {args.points} points x {args.runs} runs, "
           f"m={args.procs}, executors={args.executors}, "
-          f"cores={os.cpu_count()}")
+          f"cores={effective_cores()}")
 
     t0 = time.perf_counter()
     series_fused = sweep_load(graph, cfg, loads)
@@ -120,7 +120,7 @@ def main(argv=None) -> int:
         "n_runs": args.runs,
         "n_processors": args.procs,
         "executors": args.executors,
-        "cores": os.cpu_count(),
+        "cores": effective_cores(),
         "fused_seconds": round(t_fused, 4),
         "serial_seconds": round(t_serial, 4),
         "dispatch_seconds": round(t_dispatch, 4),

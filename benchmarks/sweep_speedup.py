@@ -20,6 +20,12 @@ processors) four ways and emits ``BENCH_sweep.json``:
 4. **cache** — the identical sweep re-run against the now-populated
    cache: every point is served from disk without touching a pool.
 
+The fused pass is additionally re-timed once per kernel tier (legacy
+entry loop, numpy tape interpreter, numba jit when installed) on warm
+compile caches, so ``BENCH_sweep.json`` records ``tape_speedup`` (and
+``jit_speedup``) at sweep scale alongside the per-point numbers in
+``BENCH_engine.json``.
+
 All four passes are asserted bit-identical point by point before any
 timing is reported — a speedup that changes results is a bug, not a
 feature — and the fused pass is asserted to create **zero** pools.
@@ -41,13 +47,14 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 import tempfile
 import time
 
 from repro.experiments import (EvaluationCache, ExecutionContext, RunConfig,
                                sweep_load)
+from repro.experiments.engine import effective_cores
+from repro.sim.kernels import jit_available
 from repro.workloads import AtrConfig, atr_graph
 
 #: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
@@ -100,7 +107,7 @@ def main(argv=None) -> int:
     cfg_fused = cfg_pool.with_(n_jobs=1, run_level_pool=False)
 
     print(f"sweep_speedup: {args.points} points x {args.runs} runs, "
-          f"m={args.procs}, jobs={args.jobs}, cores={os.cpu_count()}")
+          f"m={args.procs}, jobs={args.jobs}, cores={effective_cores()}")
 
     with ExecutionContext(n_jobs=1) as ctx:
         t0 = time.perf_counter()
@@ -110,6 +117,30 @@ def main(argv=None) -> int:
     assert fused_pools == 0, \
         f"fused sweep engaged {fused_pools} pool(s); it must use none"
     print(f"  fused (one array program){t_fused:8.3f} s  (pools: 0)")
+
+    # per-tier fused passes on the now-warm compile caches (the pass
+    # above already stacked the sweep and lowered its tape), so each
+    # tier pays only kernel execution — the fair tier-vs-tier number
+    tier_list = ["legacy", "numpy"]
+    if jit_available():
+        tier_list.append("jit")
+    fused_tier_seconds = {}
+    for tier in tier_list:
+        with ExecutionContext(n_jobs=1) as ctx:
+            t0 = time.perf_counter()
+            series_tier = sweep_load(
+                graph, cfg_fused.with_(kernel_tier=tier), loads, context=ctx)
+            fused_tier_seconds[tier] = time.perf_counter() - t0
+        _assert_series_equal(series_fused, series_tier, f"fused[{tier}]")
+        print(f"  fused [{tier:>6}] tier    "
+              f"{fused_tier_seconds[tier]:8.3f} s")
+    tape_speedup = (fused_tier_seconds["legacy"]
+                    / fused_tier_seconds["numpy"]
+                    if fused_tier_seconds["numpy"] > 0 else float("inf"))
+    jit_speedup = None
+    if "jit" in fused_tier_seconds and fused_tier_seconds["jit"] > 0:
+        jit_speedup = (fused_tier_seconds["legacy"]
+                       / fused_tier_seconds["jit"])
 
     t0 = time.perf_counter()
     series_cold = sweep_load(graph, cfg_pool, loads, fused=False)
@@ -154,8 +185,16 @@ def main(argv=None) -> int:
         "n_runs": args.runs,
         "n_processors": args.procs,
         "jobs": args.jobs,
-        "cores": os.cpu_count(),
+        "cores": effective_cores(),
         "fused_seconds": round(t_fused, 4),
+        "fused_legacy_seconds": round(fused_tier_seconds["legacy"], 4),
+        "fused_numpy_seconds": round(fused_tier_seconds["numpy"], 4),
+        "fused_jit_seconds": (round(fused_tier_seconds["jit"], 4)
+                              if "jit" in fused_tier_seconds else None),
+        "tape_speedup": round(tape_speedup, 3),
+        "jit_speedup": (round(jit_speedup, 3)
+                        if jit_speedup is not None else None),
+        "kernel_tiers_timed": tier_list,
         "cold_seconds": round(t_cold, 4),
         "warm_seconds": round(t_warm, 4),
         "cache_seconds": round(t_hit, 4),
@@ -173,6 +212,7 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"  fused speedup {fused_speedup:8.2f} x  (vs cold)")
     print(f"  fused vs warm {fused_vs_warm:8.2f} x")
+    print(f"  tape speedup  {tape_speedup:8.2f} x  (legacy -> numpy, fused)")
     print(f"  warm speedup  {warm_speedup:8.2f} x")
     print(f"  cache speedup {cache_speedup:8.2f} x  -> {args.out}")
 

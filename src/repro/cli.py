@@ -85,6 +85,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simulation kernel (results are "
                              "bit-identical; 'dict' is the reference "
                              "engine, ~4x slower)")
+        fp.add_argument("--kernel-tier", dest="kernel_tier",
+                        choices=("auto", "legacy", "numpy", "jit"),
+                        default=None,
+                        help="batch-kernel tier for the compiled engine "
+                             "(results are bit-identical; default: the "
+                             "numpy tape interpreter, or "
+                             "$REPRO_KERNEL_TIER; 'auto' prefers the "
+                             "numba JIT when the [jit] extra is "
+                             "installed)")
+        fp.add_argument("--cache-stats", action="store_true",
+                        dest="cache_stats",
+                        help="print the kernel-side cache counters "
+                             "(compiled-program / tape / stacked-program "
+                             "caches) after the figure")
         fp.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
@@ -138,6 +152,17 @@ def build_parser() -> argparse.ArgumentParser:
                     default="compiled",
                     help="simulation kernel (results are bit-identical; "
                          "'dict' is the reference engine, ~4x slower)")
+    rp.add_argument("--kernel-tier", dest="kernel_tier",
+                    choices=("auto", "legacy", "numpy", "jit"),
+                    default=None,
+                    help="batch-kernel tier for the compiled engine "
+                         "(results are bit-identical; default: the numpy "
+                         "tape interpreter, or $REPRO_KERNEL_TIER)")
+    rp.add_argument("--cache-stats", action="store_true",
+                    dest="cache_stats",
+                    help="print the kernel-side cache counters "
+                         "(compiled-program / tape / stacked-program "
+                         "caches) after the evaluation")
     rp.add_argument("--profile", action="store_true",
                     help="run under cProfile and print the top 25 "
                          "functions by cumulative time")
@@ -286,6 +311,21 @@ def _print_cache_stats(context) -> None:
               + ")")
 
 
+def _print_kernel_stats(kernel_tier: Optional[str]) -> None:
+    """--cache-stats: the resolved tier plus compile-side cache counters."""
+    from .sim.kernels import kernel_meta
+    meta = kernel_meta(kernel_tier)
+    parts = []
+    for label in ("program_cache", "tape_cache", "stacked_cache"):
+        stats = meta[label]
+        part = (f"{label.replace('_cache', '')} "
+                f"{stats['hits']}h/{stats['misses']}m")
+        if "size" in stats:  # tapes live on their programs: no store
+            part += f" size={stats['size']}"
+        parts.append(part)
+    print(f"(kernel: tier={meta['tier']}; " + ", ".join(parts) + ")")
+
+
 def _emit_figure(series_by_model: Dict[str, SeriesResult],
                  csv_path: Optional[str], chart: bool = False) -> None:
     chunks = []
@@ -349,7 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 chunk_timeout=args.chunk_timeout,
                 degrade=not args.no_degrade,
                 backend=args.backend, executors=executors,
-                connect=args.connect,
+                connect=args.connect, kernel_tier=args.kernel_tier,
                 context=ctx, fused=not args.no_fused)
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
@@ -357,6 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 series = fig_fn(**fig_kwargs)
             _emit_figure(series, args.csv, chart=args.chart)
             _print_cache_stats(ctx)
+            if args.cache_stats:
+                _print_kernel_stats(args.kernel_tier)
         if args.save:
             from .experiments.persist import save_series
             save_series(series, args.save)
@@ -375,7 +417,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         max_retries=args.max_retries,
                         chunk_timeout=args.chunk_timeout,
                         degrade=not args.no_degrade,
-                        run_level_pool=(args.n_jobs != 1))
+                        run_level_pool=(args.n_jobs != 1),
+                        kernel_tier=args.kernel_tier)
         if args.profile:
             result = _run_profiled(evaluate_application, app, cfg)
         else:
@@ -388,6 +431,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for scheme in result.normalized:
             print(f"{scheme:>8} {means[scheme]:>10.4f} "
                   f"{switches[scheme]:>10.1f}")
+        if args.cache_stats:
+            _print_kernel_stats(args.kernel_tier)
         return 0
 
     if args.command == "gantt":

@@ -94,6 +94,22 @@ def resolve_backend(backend: Optional[str]) -> str:
     return resolved
 
 
+def effective_cores() -> int:
+    """CPU cores actually available to this process.
+
+    Under a CPU affinity mask (taskset, cgroup-limited CI runners) the
+    schedulable set is smaller than the machine's core count;
+    ``os.cpu_count()`` reports the machine and would overstate it — and
+    on runners where it degrades to 1 it *understates* a wider mask.
+    Benchmarks record this so committed numbers name the parallelism
+    that actually produced them.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity (macOS, Windows)
+        return os.cpu_count() or 1
+
+
 def resolve_jobs(n_jobs: Optional[int], n_items: Optional[int] = None) -> int:
     """Normalize an ``n_jobs`` request.
 
@@ -374,7 +390,8 @@ def _eval_chunk_task(setup_key: str, app, config, start: int, chunk):
         chunk = chunk.resolve()
     if engine == "compiled":
         npm, absolute, changes, keys = _simulate_runs_compiled(
-            plan_dyn, plan_static, scheme_names, power, overhead, chunk)
+            plan_dyn, plan_static, scheme_names, power, overhead, chunk,
+            kernel_tier=config.kernel_tier)
     else:
         npm, absolute, changes, keys = _simulate_runs(
             plan_dyn, plan_static, scheme_names, power, overhead, chunk)

@@ -45,7 +45,8 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 degrade: bool = True,
                 backend: Optional[str] = None,
                 executors: Optional[int] = None,
-                connect: Optional[str] = None) -> RunConfig:
+                connect: Optional[str] = None,
+                kernel_tier: Optional[str] = None) -> RunConfig:
     # asking for run-level workers is the explicit opt-in to the legacy
     # chunked pool — the default path fuses the sweep with no pool
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
@@ -54,7 +55,8 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                      engine=engine, max_retries=max_retries,
                      chunk_timeout=chunk_timeout, degrade=degrade,
                      run_level_pool=(run_jobs != 1),
-                     backend=backend, executors=executors, connect=connect)
+                     backend=backend, executors=executors, connect=connect,
+                     kernel_tier=kernel_tier)
 
 
 def figure4(n_runs: int = 1000,
@@ -71,6 +73,7 @@ def figure4(n_runs: int = 1000,
             backend: Optional[str] = None,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
+            kernel_tier: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
@@ -89,7 +92,7 @@ def figure4(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect)
+                          backend, executors, connect, kernel_tier)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}", context=context,
                                 fused=fused)
@@ -110,6 +113,7 @@ def figure5(n_runs: int = 1000,
             backend: Optional[str] = None,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
+            kernel_tier: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
@@ -126,7 +130,7 @@ def figure5(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect)
+                          backend, executors, connect, kernel_tier)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}", context=context,
                                 fused=fused)
@@ -147,6 +151,7 @@ def figure6(n_runs: int = 1000,
             backend: Optional[str] = None,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
+            kernel_tier: Optional[str] = None,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
 
@@ -158,7 +163,7 @@ def figure6(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect)
+                          backend, executors, connect, kernel_tier)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}",
                                  context=context, fused=fused)

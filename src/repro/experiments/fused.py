@@ -163,7 +163,8 @@ def _scalar_fallback(policy, view: _View, power, overhead):
     return abs_arr, chg_arr
 
 
-def _eval_scheme(policy, name: str, view: _View, power, overhead):
+def _eval_scheme(policy, name: str, view: _View, power, overhead,
+                 kernel_tier=None):
     """One scheme's (absolute, changes) over a view's whole run axis.
 
     The fused mirror of the per-scheme dispatch in
@@ -177,7 +178,8 @@ def _eval_scheme(policy, name: str, view: _View, power, overhead):
         speed = _stack_values(speeds)
         res = run_fixed_batch(view.prog, power, overhead, view.matrix,
                               view.groups, view.keys, speed, name,
-                              point_of=view.point_of)
+                              point_of=view.point_of,
+                              kernel_tier=kernel_tier)
         per_point = np.asarray(res.n_speed_changes, dtype=float)
         if per_point.ndim == 0:  # every point stacked to one scalar speed
             changes = np.full(view.matrix.shape[0], float(per_point))
@@ -197,7 +199,8 @@ def _eval_scheme(policy, name: str, view: _View, power, overhead):
                 res = run_dynamic_batch(view.prog, power, overhead,
                                         view.matrix, view.groups,
                                         view.keys, spec, name,
-                                        point_of=view.point_of)
+                                        point_of=view.point_of,
+                                        kernel_tier=kernel_tier)
                 return res.total_energy, res.n_speed_changes.astype(float)
     return _scalar_fallback(policy, view, power, overhead)
 
@@ -221,6 +224,11 @@ def evaluate_points_fused(apps: Sequence[Application],
     power = base.make_power()
     overhead = base.overhead
     scheme_names = tuple(get_policy(n).name for n in base.schemes)
+    # resolved once so every kernel call of the sweep uses one tier
+    # (kernel_tier is an execution knob: not fusability-gated, not part
+    # of the evaluation-cache key)
+    from ..sim.kernels import resolve_kernel_tier
+    tier = resolve_kernel_tier(base.kernel_tier)
 
     # build + compile per point, bailing at the first structural mismatch
     # (cheap for heterogeneous app sets: only the mismatching prefix is
@@ -297,7 +305,7 @@ def evaluate_points_fused(apps: Sequence[Application],
 
     base_res = run_fixed_batch(stacked_static, power, NO_OVERHEAD, matrix,
                                groups, path_keys, power.s_max, "NPM",
-                               point_of=point_of)
+                               point_of=point_of, kernel_tier=tier)
     npm_energy = base_res.total_energy
     absolute = {}
     changes = {}
@@ -318,7 +326,8 @@ def evaluate_points_fused(apps: Sequence[Application],
             view = dyn_view
         else:
             view = static_view
-        out = _eval_scheme(policy, name, view, power, overhead)
+        out = _eval_scheme(policy, name, view, power, overhead,
+                           kernel_tier=tier)
         if out is None:
             return None
         abs_v, chg_v = out

@@ -10,6 +10,11 @@ a persistent worker pool (and optionally an on-disk evaluation cache)
 across several sweeps instead of paying pool spin-up per sweep.  When a
 cache is attached, the sweep's hit/miss counts land in
 ``series.meta["cache"]``.
+
+Every sweep also records the resolved kernel tier and the compile-side
+cache counters (program / tape / stacked caches) in
+``series.meta["kernel"]`` so a regenerated figure states how it was
+computed.
 """
 
 from __future__ import annotations
@@ -17,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..graph.andor import AndOrGraph
+from ..sim.kernels import kernel_meta
 from ..types import SeriesResult
 from ..workloads.scaling import application_with_load
 from .engine import ExecutionContext
@@ -113,7 +119,9 @@ def sweep_load(graph: AndOrGraph, config: RunConfig,
                                          {"app": graph.name,
                                           "power_model": config.power_model,
                                           "n_processors": config.n_processors,
-                                          "n_runs": config.n_runs}))
+                                          "n_runs": config.n_runs,
+                                          "kernel": kernel_meta(
+                                              config.kernel_tier)}))
 
 
 def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
@@ -143,7 +151,9 @@ def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
                                           "load": load,
                                           "power_model": config.power_model,
                                           "n_processors": config.n_processors,
-                                          "n_runs": config.n_runs}))
+                                          "n_runs": config.n_runs,
+                                          "kernel": kernel_meta(
+                                              config.kernel_tier)}))
 
 
 def sweep_processors(graph_builder: Callable[[], AndOrGraph],
@@ -175,7 +185,9 @@ def sweep_processors(graph_builder: Callable[[], AndOrGraph],
                         meta=_cache_meta(context, before,
                                          {"load": load,
                                           "power_model": config.power_model,
-                                          "n_runs": config.n_runs}))
+                                          "n_runs": config.n_runs,
+                                          "kernel": kernel_meta(
+                                              config.kernel_tier)}))
 
 
 def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
@@ -207,4 +219,6 @@ def sweep_overhead(graph: AndOrGraph, config: RunConfig, load: float,
                         meta=_cache_meta(context, before,
                                          {"load": load, "app": graph.name,
                                           "power_model": config.power_model,
-                                          "n_runs": config.n_runs}))
+                                          "n_runs": config.n_runs,
+                                          "kernel": kernel_meta(
+                                              config.kernel_tier)}))

@@ -25,6 +25,8 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import PowerModelError
 from .tables import INTEL_XSCALE, TRANSMETA_TM5400, FreqVolt, normalized_levels
 
@@ -105,6 +107,27 @@ class PowerModel:
         if speed <= 0:
             raise PowerModelError(f"non-positive speed {speed}")
         return cycles / self.f_max_mhz / speed
+
+    # -- vectorized tables --------------------------------------------------
+    def power_table(self, speeds) -> np.ndarray:
+        """Power at each of ``speeds`` as a read-only float array.
+
+        The batch kernels used to rebuild this with a per-call list
+        comprehension; it is now cached on the model instance, keyed by
+        the speed vector's bytes (a sweep reuses a handful of distinct
+        vectors, so the cache stays small).  Entries go through the
+        scalar :meth:`power`, so every value is the exact float the
+        scalar engine uses.
+        """
+        cache = self.__dict__.setdefault("_power_tables", {})
+        arr_speeds = np.asarray(speeds, dtype=np.float64)
+        key = arr_speeds.tobytes()
+        table = cache.get(key)
+        if table is None:
+            table = np.array([self.power(float(s)) for s in arr_speeds])
+            table.setflags(write=False)
+            cache[key] = table
+        return table
 
 
 class ContinuousPowerModel(PowerModel):
@@ -227,6 +250,20 @@ class DiscretePowerModel(PowerModel):
         if p is not None:
             return p
         return self._power_by_speed[self.snap_up(speed)]
+
+    def level_speed_table(self) -> np.ndarray:
+        """The level speeds as a read-only ascending float array (the
+        vector counterpart of :meth:`levels`, cached on the instance)."""
+        table = self.__dict__.get("_level_speed_table")
+        if table is None:
+            table = np.asarray(self._speeds, dtype=np.float64)
+            table.setflags(write=False)
+            self._level_speed_table = table
+        return table
+
+    def level_power_table(self) -> np.ndarray:
+        """Power draw at each level, cached (see :meth:`power_table`)."""
+        return self.power_table(self._speeds)
 
 
 def transmeta_model(idle_fraction: float = DEFAULT_IDLE_FRACTION) -> DiscretePowerModel:

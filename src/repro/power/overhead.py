@@ -78,6 +78,33 @@ class OverheadModel:
     def computation_energy(self, model: PowerModel, speed: float) -> float:
         return model.busy_energy(speed, self.computation_time(model, speed))
 
+    def computation_time_table(self, model: PowerModel) -> "np.ndarray":
+        """Speed-computation time at each of a discrete model's levels,
+        as a read-only float array.
+
+        The batch kernels used to rebuild this per call; it is cached on
+        the *model* instance (this dataclass is frozen), keyed by the
+        overhead parameters that enter the formula.  Values go through
+        the scalar :meth:`computation_time`, so they are the exact
+        floats the scalar engine uses.
+        """
+        import numpy as np
+
+        speeds = getattr(model, "_speeds", None)
+        if speeds is None:
+            raise PowerModelError(
+                "computation_time_table needs a discrete power model "
+                f"with voltage/frequency levels, got {model.name!r}")
+        cache = model.__dict__.setdefault("_tc_tables", {})
+        key = (self.comp_cycles, self.time_unit_us)
+        table = cache.get(key)
+        if table is None:
+            table = np.array([self.computation_time(model, s)
+                              for s in speeds])
+            table.setflags(write=False)
+            cache[key] = table
+        return table
+
     def adjustment_energy(self, model: PowerModel) -> float:
         """Energy of one voltage/speed switch (at max power, conservative)."""
         return model.power(model.s_max) * self.adjust_time

@@ -149,6 +149,11 @@ class CompiledPlan:
                 sid, tuple(entries), exit_or, branch_ids, branch_stats)
 
         self.n_slots = len(gid_of)
+        #: the plan fingerprint this program was compiled from, stamped
+        #: by :func:`compile_plan`; lets downstream caches (the stacked-
+        #: program LRU in ``repro.sim.sweepc``) key on program identity
+        #: without holding the plan
+        self.fingerprint: Optional[tuple] = None
         # per-run scratch, reused across runs (single-threaded use only)
         self._fin: List[float] = [0.0] * self.n_slots
         self._proc_free: List[float] = [0.0] * self.m
@@ -277,6 +282,7 @@ def compile_plan(plan: OfflinePlan) -> CompiledPlan:
     else:
         _program_cache_misses += 1
         prog = CompiledPlan(plan)
+        prog.fingerprint = key
         _PROGRAM_CACHE[key] = prog
         while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_MAX:
             _PROGRAM_CACHE.popitem(last=False)
@@ -584,9 +590,41 @@ def run_fixed_batch(prog, power: PowerModel,
                     groups, path_keys: List[str], speed,
                     scheme: str,
                     check_deadline: bool = True,
-                    point_of: Optional[np.ndarray] = None
+                    point_of: Optional[np.ndarray] = None,
+                    kernel_tier: Optional[str] = None
                     ) -> FixedBatchResult:
     """Vectorized fixed-speed simulation of a whole realization batch.
+
+    Dispatches to the kernel tier selected by ``kernel_tier`` (None for
+    the session default — see
+    :func:`repro.sim.kernels.resolve_kernel_tier`): ``legacy`` runs
+    :func:`_run_fixed_legacy` below, ``numpy`` the tape interpreter,
+    ``jit`` the numba-compiled tape cores.  All tiers are bit-identical;
+    the contract is documented on :func:`_run_fixed_legacy`.
+    """
+    from . import kernels  # local import breaks the cycle
+    tier = kernels.resolve_kernel_tier(kernel_tier)
+    if tier == "legacy":
+        return _run_fixed_legacy(prog, power, overhead, matrix, groups,
+                                 path_keys, speed, scheme,
+                                 check_deadline=check_deadline,
+                                 point_of=point_of)
+    fixed, _dynamic = kernels.get_kernels(tier)
+    return fixed(prog, power, overhead, matrix, groups, path_keys, speed,
+                 scheme, check_deadline=check_deadline, point_of=point_of)
+
+
+def _run_fixed_legacy(prog, power: PowerModel,
+                      overhead: OverheadModel, matrix: np.ndarray,
+                      groups, path_keys: List[str], speed,
+                      scheme: str,
+                      check_deadline: bool = True,
+                      point_of: Optional[np.ndarray] = None
+                      ) -> FixedBatchResult:
+    """Vectorized fixed-speed simulation of a whole realization batch
+    (the ``legacy`` kernel tier: the original entry-tuple loop, kept as
+    the differential-testing reference the tape tiers are pinned
+    bit-identical against).
 
     ``matrix`` is the ``(n_runs, n_tasks)`` actual-time matrix in
     program column order and ``groups``/``path_keys`` the output of
@@ -619,7 +657,7 @@ def run_fixed_batch(prog, power: PowerModel,
         e_over = np.where(switched, m * overhead.adjustment_energy(power),
                           0.0)
         n_changes = np.where(switched, m, 0)
-        p_busy = np.array([power.power(float(s)) for s in speed])
+        p_busy = power.power_table(speed)
     else:
         switched = abs(speed - s_max) > _EPS
         t0 = overhead.adjust_time if switched else 0.0
@@ -778,9 +816,39 @@ def run_dynamic_batch(prog, power: PowerModel,
                       groups, path_keys: List[str], policy_run,
                       scheme: str,
                       check_deadline: bool = True,
-                      point_of: Optional[np.ndarray] = None
+                      point_of: Optional[np.ndarray] = None,
+                      kernel_tier: Optional[str] = None
                       ) -> DynamicBatchResult:
     """Vectorized dynamic-scheme simulation of a whole realization batch.
+
+    Dispatches to the kernel tier selected by ``kernel_tier`` (None for
+    the session default — see
+    :func:`repro.sim.kernels.resolve_kernel_tier`); all tiers are
+    bit-identical, and the contract is documented on
+    :func:`_run_dynamic_legacy`.
+    """
+    from . import kernels  # local import breaks the cycle
+    tier = kernels.resolve_kernel_tier(kernel_tier)
+    if tier == "legacy":
+        return _run_dynamic_legacy(prog, power, overhead, matrix, groups,
+                                   path_keys, policy_run, scheme,
+                                   check_deadline=check_deadline,
+                                   point_of=point_of)
+    _fixed, dynamic = kernels.get_kernels(tier)
+    return dynamic(prog, power, overhead, matrix, groups, path_keys,
+                   policy_run, scheme, check_deadline=check_deadline,
+                   point_of=point_of)
+
+
+def _run_dynamic_legacy(prog, power: PowerModel,
+                        overhead: OverheadModel, matrix: np.ndarray,
+                        groups, path_keys: List[str], policy_run,
+                        scheme: str,
+                        check_deadline: bool = True,
+                        point_of: Optional[np.ndarray] = None
+                        ) -> DynamicBatchResult:
+    """Vectorized dynamic-scheme simulation of a whole realization batch
+    (the ``legacy`` kernel tier — the differential-testing reference).
 
     The dynamic counterpart of :func:`run_fixed_batch` for the schemes
     that :func:`supports_dynamic_batch` accepts.  Each processor's
@@ -814,13 +882,13 @@ def run_dynamic_batch(prog, power: PowerModel,
     s_max = power.s_max
     s_max_guard = s_max * (1 + 1e-6)
 
-    speeds_arr = np.asarray(power._speeds)
+    # per-level constants, cached on the model/overhead instances and
+    # computed through the scalar API, so every gathered value is the
+    # exact float the dict engine uses
+    speeds_arr = power.level_speed_table()
     n_lv = speeds_arr.size
-    # per-level constants, computed once through the scalar API so every
-    # gathered value is the exact float the dict engine uses
-    pow_arr = np.asarray([power.power(s) for s in power._speeds])
-    tc_arr = np.asarray([overhead.computation_time(power, s)
-                         for s in power._speeds])
+    pow_arr = power.level_power_table()
+    tc_arr = overhead.computation_time_table(power)
     adjust_time = overhead.adjust_time
     adj_energy = overhead.adjustment_energy(power)
     idle_power = power.idle_power

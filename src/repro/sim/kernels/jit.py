@@ -1,0 +1,329 @@
+"""The ``jit`` kernel tier: numba-compiled scalar cores over the tape.
+
+The drivers here do everything the vectorized tiers do *outside* the
+entry loop — preamble constants, per-group gathers, deadline/idle
+epilogue, error raising — in NumPy, and hand the per-group replay to
+the scalar cores in :mod:`.jitcore`.  Per executed path, the tape's
+sections are flattened once (concatenated entry arrays with ``sec_end``
+boundaries, CSR predecessor rows left in global-slot terms) and cached
+on the :class:`~repro.sim.kernels.tape.ProgramTape`.
+
+When numba is importable the cores are wrapped with
+``numba.njit(fastmath=False)`` — IEEE semantics, no reassociation, so
+bit-identity with the other tiers holds; without numba the very same
+Python functions run uncompiled (slow, but exercised by unit tests so
+the core logic is verified even where the ``[jit]`` extra is absent).
+
+Scalar preamble constants are pre-broadcast to per-run vectors before
+entering a core; broadcasting changes no float.  Errors come back from
+a core as ``(code, entry, run, payload...)`` and are raised here with
+the flattened entry names — which *run* raises may differ from the
+vectorized tiers (first violating run, not first violating entry
+lane), within the documented group-order error contract.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ...errors import DeadlineMissError, SimulationError
+from ...power.model import PowerModel
+from ...power.overhead import OverheadModel
+from ..compiled import (
+    _EPS,
+    DynamicBatchResult,
+    FixedBatchResult,
+    _at,
+    _gather,
+)
+from .tape import ProgramTape, build_tape
+
+_cores = None
+
+
+def _get_cores():
+    """The (fixed, dynamic) cores, numba-compiled when available."""
+    global _cores
+    if _cores is None:
+        from . import jit_available
+        from .jitcore import dynamic_core, fixed_core
+
+        if jit_available():
+            import numba
+
+            wrap = numba.njit(cache=False, fastmath=False)
+            _cores = (wrap(fixed_core), wrap(dynamic_core))
+        else:
+            _cores = (fixed_core, dynamic_core)
+    return _cores
+
+
+_EMPTY_STK = np.zeros((0, 0))
+
+
+def _flatten_path(tape: ProgramTape, path):
+    """Concatenate the path's section tapes into one flat tape.
+
+    CSR predecessor indices are already global finish-slot ids, so only
+    the offsets need rebasing.  Stacked constants are merged into
+    ``(n_entries, n_points)`` matrices (sections whose constants are all
+    point-agreed broadcast their scalar lanes — same floats).  Cached
+    per path on the tape.
+    """
+    key = tuple(path)
+    flat = tape.path_cache.get(key)
+    if flat is not None:
+        return flat
+    secs = [tape.sections[sid] for sid in path]
+    total = sum(s.n_entries for s in secs)
+    kind = np.concatenate([s.kind for s in secs])
+    gid = np.concatenate([s.gid for s in secs])
+    col = np.concatenate([s.col for s in secs])
+    c_flat = np.concatenate([s.c for s in secs])
+    fb_flat = np.concatenate([s.fb for s in secs])
+    pred_idx = np.concatenate([s.pred_idx for s in secs])
+    sec_end = np.zeros(len(secs) + 1, dtype=np.int64)
+    np.cumsum([s.n_entries for s in secs], out=sec_end[1:])
+    pred_off = np.zeros(total + 1, dtype=np.int32)
+    pos = 0
+    base = 0
+    for s in secs:
+        pred_off[pos + 1:pos + 1 + s.n_entries] = s.pred_off[1:] + base
+        pos += s.n_entries
+        base += s.pred_idx.size
+    names = tuple(name for s in secs for name in s.names)
+    stacked = tape.n_points > 0 and any(s.c_pt is not None for s in secs)
+    if stacked:
+        c_stk = np.concatenate(
+            [s.c_pt if s.c_pt is not None
+             else np.repeat(s.c[:, None], tape.n_points, axis=1)
+             for s in secs])
+        fb_stk = np.concatenate(
+            [s.fb_pt if s.fb_pt is not None
+             else np.repeat(s.fb[:, None], tape.n_points, axis=1)
+             for s in secs])
+    else:
+        c_stk = _EMPTY_STK
+        fb_stk = _EMPTY_STK
+    flat = (kind, gid, col, c_flat, c_stk, fb_flat, fb_stk, stacked,
+            sec_end, pred_off, pred_idx, names)
+    tape.path_cache[key] = flat
+    return flat
+
+
+def _per_run(value, pt, ng):
+    """A per-run ``(ng,)`` float vector of a possibly per-point
+    constant; scalars are broadcast (bit-identical — see module
+    docstring)."""
+    if isinstance(value, np.ndarray):
+        return np.ascontiguousarray(value[pt], dtype=np.float64)
+    return np.full(ng, float(value))
+
+
+def run_fixed_jit(prog, power: PowerModel,
+                  overhead: OverheadModel, matrix: np.ndarray,
+                  groups, path_keys: List[str], speed,
+                  scheme: str,
+                  check_deadline: bool = True,
+                  point_of: Optional[np.ndarray] = None
+                  ) -> FixedBatchResult:
+    """JIT-tier :func:`repro.sim.compiled.run_fixed_batch`."""
+    tape = build_tape(prog)
+    fixed_core = _get_cores()[0]
+    n = matrix.shape[0]
+    m = prog.m
+    deadline = prog.deadline
+    s_max = power.s_max
+
+    if isinstance(speed, np.ndarray):
+        switched = np.abs(speed - s_max) > _EPS
+        t0 = np.where(switched, overhead.adjust_time, 0.0)
+        overhead_time = np.where(switched, m * overhead.adjust_time, 0.0)
+        e_over = np.where(switched, m * overhead.adjustment_energy(power),
+                          0.0)
+        n_changes = np.where(switched, m, 0)
+        p_busy = power.power_table(speed)
+    else:
+        switched = abs(speed - s_max) > _EPS
+        t0 = overhead.adjust_time if switched else 0.0
+        overhead_time = m * overhead.adjust_time if switched else 0.0
+        e_over = m * overhead.adjustment_energy(power) if switched else 0.0
+        n_changes = m if switched else 0
+        p_busy = power.power(speed)
+    idle_power = power.idle_power
+
+    total_energy = np.empty(n)
+    finish_time = np.empty(n)
+
+    for path, idx in groups:
+        block = matrix[idx]
+        ng = idx.size
+        pt = point_of[idx] if point_of is not None else None
+        (kind, gid, col, c_flat, c_stk_pt, _fb_flat, _fb_stk, stacked,
+         sec_end, pred_off, pred_idx, names) = _flatten_path(tape, path)
+        stacked = stacked and pt is not None
+        c_stk = (np.ascontiguousarray(c_stk_pt[:, pt]) if stacked
+                 else _EMPTY_STK)
+        speed_g = _per_run(speed, pt, ng)
+        p_busy_g = _per_run(p_busy, pt, ng)
+        t0_g = _per_run(t0, pt, ng)
+        dl_g = _gather(deadline, pt)
+        ot_g = _gather(overhead_time, pt)
+        eo_g = _gather(e_over, pt)
+        busy_time = np.empty(ng)
+        e_busy = np.empty(ng)
+        t_end = np.empty(ng)
+        code, e, k, v0, v1 = fixed_core(
+            block, kind, gid, col, c_flat, c_stk, stacked, sec_end,
+            pred_off, pred_idx, m, prog.n_slots, t0_g, speed_g, p_busy_g,
+            busy_time, e_busy, t_end)
+        if code != 0:
+            raise SimulationError(
+                f"actual time {v0} of {names[e]!r} exceeds WCET {v1}")
+
+        if check_deadline:
+            late = t_end > dl_g * (1 + 1e-9) + _EPS
+            if late.any():
+                k = int(np.argmax(late))
+                raise DeadlineMissError(float(t_end[k]),
+                                        float(_at(dl_g, k)),
+                                        scheme=scheme)
+        window = m * np.maximum(dl_g, t_end)
+        idle_time = window - busy_time - ot_g
+        if isinstance(dl_g, np.ndarray):
+            thresh = -1e-6 * np.where(dl_g > 1.0, dl_g, 1.0)
+        else:
+            thresh = -1e-6 * (dl_g if dl_g > 1.0 else 1.0)
+        bad = idle_time < thresh
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise SimulationError(
+                f"negative idle time {idle_time[k]}: busy={busy_time[k]}, "
+                f"overhead={_at(ot_g, k)}, window={window[k]}")
+        e_idle = idle_power * np.maximum(idle_time, 0.0)
+        total_energy[idx] = e_busy + e_idle + eo_g
+        finish_time[idx] = t_end
+
+    return FixedBatchResult(scheme, total_energy, finish_time, n_changes,
+                            list(path_keys))
+
+
+def run_dynamic_jit(prog, power: PowerModel,
+                    overhead: OverheadModel, matrix: np.ndarray,
+                    groups, path_keys: List[str], policy_run,
+                    scheme: str,
+                    check_deadline: bool = True,
+                    point_of: Optional[np.ndarray] = None
+                    ) -> DynamicBatchResult:
+    """JIT-tier :func:`repro.sim.compiled.run_dynamic_batch`."""
+    tape = build_tape(prog)
+    dynamic_core = _get_cores()[1]
+    n = matrix.shape[0]
+    m = prog.m
+    deadline = prog.deadline
+    s_max = power.s_max
+    s_max_guard = s_max * (1 + 1e-6)
+
+    speeds_arr = power.level_speed_table()
+    pow_arr = power.level_power_table()
+    tc_arr = overhead.computation_time_table(power)
+    adjust_time = overhead.adjust_time
+    adj_energy = overhead.adjustment_energy(power)
+    idle_power = power.idle_power
+
+    fc = policy_run.floor_const
+    step = policy_run.floor_step
+    respec = policy_run.or_respec
+    has_step = step is not None
+
+    total_energy = np.empty(n)
+    finish_time = np.empty(n)
+    n_changes = np.empty(n, dtype=np.int64)
+    zeros1 = np.zeros(1)
+
+    for path, idx in groups:
+        block = matrix[idx]
+        ng = idx.size
+        pt = point_of[idx] if point_of is not None else None
+        (kind, gid, col, c_flat, c_stk_pt, fb_flat, fb_stk_pt, stacked,
+         sec_end, pred_off, pred_idx, names) = _flatten_path(tape, path)
+        stacked = stacked and pt is not None
+        if stacked:
+            c_stk = np.ascontiguousarray(c_stk_pt[:, pt])
+            fb_stk = np.ascontiguousarray(fb_stk_pt[:, pt])
+        else:
+            c_stk = _EMPTY_STK
+            fb_stk = _EMPTY_STK
+        fc_g = _per_run(fc if fc is not None else 0.0, pt, ng)
+        if has_step:
+            f_lo_g = _per_run(step[0], pt, ng)
+            f_hi_g = _per_run(step[1], pt, ng)
+            theta_g = _per_run(step[2], pt, ng)
+        else:
+            f_lo_g = f_hi_g = theta_g = zeros1
+        dl_g = _gather(deadline, pt)
+        dl_run = _per_run(deadline, pt, ng)
+        has_respec = respec is not None
+        if has_respec and len(path) > 1:
+            # the respec floor needs each OR firing's remaining-work
+            # statistic; gather them up front into an (n_secs-1, ng)
+            # matrix so the core never touches branch_stats
+            work = np.empty((len(path) - 1, ng))
+            for pos in range(len(path) - 1):
+                sec = prog.sections[path[pos]]
+                worst, average = sec.branch_stats[path[pos + 1]]
+                work[pos] = _gather(
+                    average if respec == "average" else worst, pt)
+        else:
+            work = np.zeros((0, ng))
+        busy_time = np.empty(ng)
+        overhead_time = np.empty(ng)
+        e_busy = np.empty(ng)
+        e_over = np.empty(ng)
+        changes = np.empty(ng, dtype=np.int64)
+        t_end = np.empty(ng)
+        code, e, k, v0, v1 = dynamic_core(
+            block, kind, gid, col, c_flat, c_stk, fb_flat, fb_stk,
+            stacked, sec_end, pred_off, pred_idx, m, prog.n_slots,
+            speeds_arr, pow_arr, tc_arr, adjust_time, adj_energy, s_max,
+            s_max_guard, _EPS, fc_g, f_lo_g, f_hi_g, theta_g, has_step,
+            work, has_respec, dl_run,
+            busy_time, overhead_time, e_busy, e_over, changes, t_end)
+        if code == 1:
+            raise SimulationError(
+                f"actual time {v0} of {names[e]!r} exceeds WCET {v1}")
+        if code == 2:
+            fb_k = (fb_stk[e, k] if stacked else fb_flat[e])
+            raise SimulationError(
+                f"guarantee violated for {names[e]!r}: required "
+                f"speed {v0:.6g} exceeds maximum "
+                f"(t={v1:.6g}, bound={fb_k:.6g})")
+
+        if check_deadline:
+            late = t_end > dl_g * (1 + 1e-9) + _EPS
+            if late.any():
+                k = int(np.argmax(late))
+                raise DeadlineMissError(float(t_end[k]),
+                                        float(_at(dl_g, k)),
+                                        scheme=scheme)
+        window = m * np.maximum(dl_g, t_end)
+        idle_time = window - busy_time - overhead_time
+        if isinstance(dl_g, np.ndarray):
+            thresh = -1e-6 * np.where(dl_g > 1.0, dl_g, 1.0)
+        else:
+            thresh = -1e-6 * (dl_g if dl_g > 1.0 else 1.0)
+        bad = idle_time < thresh
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise SimulationError(
+                f"negative idle time {idle_time[k]}: busy={busy_time[k]}, "
+                f"overhead={overhead_time[k]}, window={window[k]}")
+        e_idle = idle_power * np.maximum(idle_time, 0.0)
+        total_energy[idx] = e_busy + e_idle + e_over
+        finish_time[idx] = t_end
+        n_changes[idx] = changes
+
+    return DynamicBatchResult(scheme, total_energy, finish_time, n_changes,
+                              list(path_keys))

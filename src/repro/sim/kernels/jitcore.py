@@ -1,0 +1,286 @@
+"""Scalar tape cores for the ``jit`` tier.
+
+Each core replays one path group run by run as a plain scalar loop over
+the flattened tape (sections of the executed path concatenated, with
+``sec_end`` marking boundaries).  The functions here are written in the
+numba *nopython* subset — flat loops, no Python objects, fixed-dtype
+arrays, tuple returns — but they are ordinary Python functions:
+:mod:`.jit` wraps them with ``numba.njit(cache=True, fastmath=False)``
+when numba is importable and runs them uncompiled otherwise, so the
+exact code the JIT compiles is also directly unit-testable without
+numba.
+
+Bit-identity with the vectorized tiers: a vectorized kernel applies
+each elementwise operation to every lane of a group in entry order;
+these cores apply the same operations to one lane at a time in the same
+entry order.  Elementwise float ops have no cross-lane interaction, so
+the per-run float sequences — and therefore the results — are
+identical.  ``fastmath=False`` keeps numba from licensing reassociation
+that would break this.
+
+Errors are returned as codes (entry index, run index, payload floats)
+and raised by the driver, which still owns the entry names; *which* run
+surfaces an error may differ from the vectorized tiers (first run with
+any violation, vs. the first violating lane of the first violating
+entry), matching the documented group-order error contract.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: error codes returned by the cores
+OK = 0
+ERR_WCET = 1
+ERR_GUARANTEE = 2
+
+
+def fixed_core(block, kind, gid, col, c_flat, c_stk, stacked, sec_end,
+               pred_off, pred_idx, m, n_slots, t0, speed, p_busy,
+               busy_time, e_busy, t_end_out):
+    """Fixed-speed replay of one path group.
+
+    ``block`` is the group's ``(ng, n_tasks)`` actual-time matrix;
+    ``t0``/``speed``/``p_busy`` are per-run ``(ng,)`` vectors (scalars
+    pre-broadcast by the driver — same floats, see module docstring).
+    ``c_stk`` is the ``(n_entries, ng)`` per-run WCET matrix when
+    ``stacked``, else an empty placeholder and ``c_flat`` holds the
+    scalar lane.  Outputs are written into ``busy_time``/``e_busy``/
+    ``t_end_out``; returns ``(code, entry, run, v0, v1)``.
+    """
+    ng = block.shape[0]
+    n_secs = sec_end.shape[0] - 1
+    fin = np.zeros(n_slots)
+    proc_free = np.zeros(m)
+    for k in range(ng):
+        t_section = t0[k]
+        last_dispatch = t0[k]
+        for j in range(m):
+            proc_free[j] = t_section
+        sp = speed[k]
+        pb = p_busy[k]
+        bt = 0.0
+        eb = 0.0
+        t_end = t_section
+        for s in range(n_secs):
+            have_max = False
+            sec_max = 0.0
+            for e in range(sec_end[s], sec_end[s + 1]):
+                ready = t_section
+                for q in range(pred_off[e], pred_off[e + 1]):
+                    f = fin[pred_idx[q]]
+                    if f > ready:
+                        ready = f
+                if kind[e] == 1:
+                    fin[gid[e]] = ready
+                    if not have_max or ready > sec_max:
+                        sec_max = ready
+                        have_max = True
+                    continue
+
+                j = 0
+                pf = proc_free[0]
+                for jj in range(1, m):
+                    if proc_free[jj] < pf:  # first-idle, lowest id
+                        pf = proc_free[jj]
+                        j = jj
+                t = ready
+                if last_dispatch > t:
+                    t = last_dispatch
+                if pf > t:
+                    t = pf
+                last_dispatch = t
+                actual = block[k, col[e]]
+                cv = c_stk[e, k] if stacked else c_flat[e]
+                if actual > cv * (1 + 1e-9):
+                    return (ERR_WCET, e, k, actual, cv)
+                wall = actual / sp
+                finish = t + wall
+                bt += wall
+                eb += pb * wall
+                proc_free[j] = finish
+                fin[gid[e]] = finish
+                if not have_max or finish > sec_max:
+                    sec_max = finish
+                    have_max = True
+
+            if have_max and sec_max > t_section:
+                t_end = sec_max
+            else:
+                t_end = t_section
+            t_section = t_end
+            last_dispatch = t_end
+            for j in range(m):
+                proc_free[j] = t_end
+        busy_time[k] = bt
+        e_busy[k] = eb
+        t_end_out[k] = t_end
+    return (OK, -1, -1, 0.0, 0.0)
+
+
+def dynamic_core(block, kind, gid, col, c_flat, c_stk, fb_flat, fb_stk,
+                 stacked, sec_end, pred_off, pred_idx, m, n_slots,
+                 speeds, pows, tcs, adjust_time, adj_energy, s_max,
+                 s_max_guard, eps, fc, f_lo, f_hi, theta, has_step,
+                 work, has_respec, dl,
+                 busy_time, overhead_time, e_busy, e_over, changes,
+                 t_end_out):
+    """Dynamic-scheme replay of one path group.
+
+    ``speeds``/``pows``/``tcs`` are the discrete level tables;
+    ``fc``/``f_lo``/``f_hi``/``theta``/``dl`` per-run ``(ng,)`` vectors;
+    ``work`` the ``(n_secs - 1, ng)`` respec work matrix (empty when
+    ``has_respec`` is false).  Snap-up is an inlined
+    ``bisect_left(speeds, want - 1e-12)`` clipped to the top level —
+    the same epsilon and side as ``DiscretePowerModel.snap_up`` and the
+    vectorized ``searchsorted``.
+    """
+    ng = block.shape[0]
+    n_secs = sec_end.shape[0] - 1
+    n_lv = speeds.shape[0]
+    fin = np.zeros(n_slots)
+    proc_free = np.zeros(m)
+    proc_idx = np.zeros(m, dtype=np.intp)
+    for k in range(ng):
+        t_section = 0.0
+        last_dispatch = 0.0
+        for j in range(m):
+            proc_free[j] = 0.0
+            proc_idx[j] = n_lv - 1
+        bt = 0.0
+        ot = 0.0
+        eb = 0.0
+        eo = 0.0
+        ch = 0
+        fl_respec = 0.0
+        use_respec_floor = False
+        t_end = 0.0
+        for s in range(n_secs):
+            have_max = False
+            sec_max = 0.0
+            for e in range(sec_end[s], sec_end[s + 1]):
+                ready = t_section
+                for q in range(pred_off[e], pred_off[e + 1]):
+                    f = fin[pred_idx[q]]
+                    if f > ready:
+                        ready = f
+                if kind[e] == 1:
+                    fin[gid[e]] = ready
+                    if not have_max or ready > sec_max:
+                        sec_max = ready
+                        have_max = True
+                    continue
+
+                j = 0
+                pf = proc_free[0]
+                for jj in range(1, m):
+                    if proc_free[jj] < pf:  # first-idle, lowest id
+                        pf = proc_free[jj]
+                        j = jj
+                t = ready
+                if last_dispatch > t:
+                    t = last_dispatch
+                if pf > t:
+                    t = pf
+                last_dispatch = t
+                actual = block[k, col[e]]
+                if stacked:
+                    cv = c_stk[e, k]
+                    fbv = fb_stk[e, k]
+                else:
+                    cv = c_flat[e]
+                    fbv = fb_flat[e]
+                if actual > cv * (1 + 1e-9):
+                    return (ERR_WCET, e, k, actual, cv)
+
+                si = proc_idx[j]
+                t_comp = tcs[si]
+                avail = fbv - t - t_comp
+                denom = avail - adjust_time
+                if denom > 0:
+                    s_req = cv / denom
+                else:
+                    s_req = math.inf
+                if has_step:
+                    fl = f_lo[k] if t < theta[k] else f_hi[k]
+                elif use_respec_floor:
+                    fl = fl_respec
+                else:
+                    fl = fc[k]
+                target = s_req if s_req > fl else fl
+                if target > s_max_guard:
+                    return (ERR_GUARANTEE, e, k, target, t)
+                want = target if target < s_max else s_max
+                # snap up: bisect_left(speeds, want - 1e-12), clipped
+                x = want - 1e-12
+                lo = 0
+                hi = n_lv
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if speeds[mid] < x:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                new_idx = lo if lo < n_lv else n_lv - 1
+                sp = speeds[new_idx]
+                s_cur = speeds[si]
+                diff = sp - s_cur
+                if diff < 0.0:
+                    diff = -diff
+                changed = diff > eps
+                t_adj = adjust_time if changed else 0.0
+                start_exec = t + t_comp + t_adj
+                ot += t_comp
+                eo += pows[si] * t_comp
+                ot += t_adj
+                if changed:
+                    eo += adj_energy
+                    ch += 1
+                    proc_idx[j] = new_idx
+
+                wall = actual / sp
+                finish = start_exec + wall
+                bt += wall
+                eb += pows[new_idx] * wall
+                proc_free[j] = finish
+                fin[gid[e]] = finish
+                if not have_max or finish > sec_max:
+                    sec_max = finish
+                    have_max = True
+
+            if have_max and sec_max > t_section:
+                t_end = sec_max
+            else:
+                t_end = t_section
+            t_section = t_end
+            last_dispatch = t_end
+            for j in range(m):
+                proc_free[j] = t_end
+            if has_respec and s + 1 < n_secs:
+                horizon = dl[k] - t_end
+                if horizon > 0:
+                    raw = work[s, k] / horizon
+                    want = raw if raw < s_max else s_max
+                    x = want - 1e-12
+                    lo = 0
+                    hi = n_lv
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        if speeds[mid] < x:
+                            lo = mid + 1
+                        else:
+                            hi = mid
+                    snap = lo if lo < n_lv else n_lv - 1
+                    fl_respec = speeds[snap]
+                else:
+                    fl_respec = s_max
+                use_respec_floor = True
+        busy_time[k] = bt
+        overhead_time[k] = ot
+        e_busy[k] = eb
+        e_over[k] = eo
+        changes[k] = ch
+        t_end_out[k] = t_end
+    return (OK, -1, -1, 0.0, 0.0)

@@ -30,7 +30,8 @@ pooled at the *point* level when a pool is available.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -139,17 +140,61 @@ class StackedProgram:
     realization_matrix = CompiledPlan.realization_matrix
 
 
+#: stacked programs keyed by the tuple of point-program fingerprints:
+#: re-sweeping the same point set (a report rebuilding a figure, a
+#: cache-warm benchmark pass) reuses the stacked program *and* the tape
+#: lowered onto it, instead of re-stacking per sweep.  Per-process,
+#: bounded LRU, like the compiled-program cache.
+_STACKED_CACHE: "OrderedDict[tuple, StackedProgram]" = OrderedDict()
+_STACKED_CACHE_MAX = 8
+_stacked_hits = 0
+_stacked_misses = 0
+
+
+def stacked_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of this process's stacked-program cache."""
+    return {"hits": _stacked_hits, "misses": _stacked_misses,
+            "size": len(_STACKED_CACHE)}
+
+
+def clear_stacked_cache() -> None:
+    """Drop every cached stacked program and reset the counters."""
+    global _stacked_hits, _stacked_misses
+    _STACKED_CACHE.clear()
+    _stacked_hits = 0
+    _stacked_misses = 0
+
+
 def stack_programs(progs: Sequence[CompiledPlan]
                    ) -> Optional[StackedProgram]:
     """Stack compatible per-point programs, or ``None``.
 
     ``None`` means the points do not share section-program structure —
-    the fused path must fall back to per-point evaluation.
+    the fused path must fall back to per-point evaluation.  Results are
+    cached by the tuple of point-program fingerprints when every input
+    carries one (i.e. came through ``compile_plan``'s cache); stacked
+    programs are immutable once built, so sharing them across identical
+    point sets cannot leak state.
     """
+    global _stacked_hits, _stacked_misses
     if not progs:
         return None
     base = progs[0]
     for other in progs[1:]:
         if not programs_compatible(base, other):
             return None
-    return StackedProgram(progs)
+    fps = tuple(getattr(p, "fingerprint", None) for p in progs)
+    key = fps if all(fp is not None for fp in fps) else None
+    if key is not None:
+        stacked = _STACKED_CACHE.get(key)
+        if stacked is not None:
+            _stacked_hits += 1
+            _STACKED_CACHE.move_to_end(key)
+            return stacked
+    _stacked_misses += 1
+    stacked = StackedProgram(progs)
+    if key is not None:
+        _STACKED_CACHE[key] = stacked
+        while len(_STACKED_CACHE) > _STACKED_CACHE_MAX:
+            _STACKED_CACHE.popitem(last=False)
+    return stacked
