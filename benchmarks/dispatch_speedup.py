@@ -10,9 +10,13 @@ processors) three ways and emits ``BENCH_dispatch.json``:
    work outgrows one machine;
 3. **dispatch** — the sweep sharded over a work-stealing executor
    fleet (``--executors`` local worker processes speaking the socket
-   protocol), the multi-host execution shape measured on one host.
+   protocol), the multi-host execution shape measured on one host;
+4. **sharded dispatch** — the fused array program itself split across
+   the fleet (``shards=--executors``): each executor runs a contiguous
+   run-range of the stacked program and the driver reduces the blocks
+   in shard order, so even a *single* sweep point can use the fleet.
 
-All three passes are asserted bit-identical point by point before any
+All passes are asserted bit-identical point by point before any
 timing is reported, and the dispatch pass must have computed every
 point on the fleet (no degradations).  There is **no speedup floor**:
 on shared CI runners (often one or two cores) dispatch-vs-serial is
@@ -48,6 +52,15 @@ def _assert_series_equal(a, b, label: str) -> None:
     assert a.points == b.points, f"{label}: sweep points diverged"
     assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
         f"{label}: speed-change counts diverged"
+
+
+def _peak_rss_mb() -> dict:
+    """Lifetime peak RSS in MiB for this process and its children."""
+    import resource
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {"self": round(own / scale, 1), "children": round(kids / scale, 1)}
 
 
 def main(argv=None) -> int:
@@ -92,13 +105,22 @@ def main(argv=None) -> int:
     t_serial = time.perf_counter() - t0
     print(f"  serial   (point by point)    {t_serial:8.3f} s")
 
+    rss_baseline = _peak_rss_mb()
     with ExecutionContext(backend="dispatch",
                           executors=args.executors) as ctx:
         t0 = time.perf_counter()
         series_dispatch = sweep_load(graph, cfg, loads, context=ctx)
         t_dispatch = time.perf_counter() - t0
         stats = ctx.dispatch_stats()
+
+        # pass 4: the fused program itself split across the same fleet
+        cfg_sharded = cfg.with_(shards=args.executors)
+        t0 = time.perf_counter()
+        series_sharded = sweep_load(graph, cfg_sharded, loads, context=ctx)
+        t_sharded = time.perf_counter() - t0
     per_executor = stats.pop("per_executor")
+    shard_meta = series_sharded.meta.get("fused", {})
+    rss_after = _peak_rss_mb()
     assert stats["completed"] == args.points, \
         f"fleet completed {stats['completed']}/{args.points} points"
     assert stats["degraded_points"] == 0, \
@@ -106,10 +128,16 @@ def main(argv=None) -> int:
     print(f"  dispatch ({args.executors} executors)        "
           f"{t_dispatch:8.3f} s  "
           f"({', '.join(f'{n}:{c}' for n, c in sorted(per_executor.items()))})")
+    print(f"  sharded  ({shard_meta.get('shards', '?')} shards, "
+          f"{shard_meta.get('transport', '?')})   {t_sharded:8.3f} s  "
+          f"(rss self {rss_after['self']:.0f} MiB, "
+          f"workers {rss_after['children']:.0f} MiB)")
 
     _assert_series_equal(series_serial, series_fused, "fused vs serial")
     _assert_series_equal(series_serial, series_dispatch,
                          "dispatch vs serial")
+    _assert_series_equal(series_serial, series_sharded,
+                         "sharded dispatch vs serial")
 
     vs_serial = t_serial / t_dispatch if t_dispatch > 0 else float("inf")
     vs_fused = t_fused / t_dispatch if t_dispatch > 0 else float("inf")
@@ -132,6 +160,12 @@ def main(argv=None) -> int:
         "duplicates": stats["duplicates"],
         "worker_deaths": stats["worker_deaths"],
         "per_executor": dict(sorted(per_executor.items())),
+        "sharded_dispatch_seconds": round(t_sharded, 4),
+        "sharded_vs_fused_speedup": round(
+            t_fused / t_sharded if t_sharded > 0 else float("inf"), 3),
+        "shards_ran": shard_meta.get("shards"),
+        "shard_transport": shard_meta.get("transport"),
+        "peak_rss_mb": {"baseline": rss_baseline, "final": rss_after},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)

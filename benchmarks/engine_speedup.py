@@ -77,6 +77,15 @@ from repro.sim.realization import sample_realization_batch
 from repro.workloads import AtrConfig, application_with_load, atr_graph
 
 
+def _peak_rss_mb() -> dict:
+    """Lifetime peak RSS in MiB for this process and its children."""
+    import resource
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {"self": round(own / scale, 1), "children": round(kids / scale, 1)}
+
+
 def _best_of(fn, reps: int) -> float:
     best = float("inf")
     for _ in range(reps):
@@ -249,6 +258,7 @@ def main(argv=None) -> int:
         "speedup_large_pooled": round(speedup_large_pooled, 3),
         "run_level_pool_default": False,
         "parallel_min_runs": cfg.parallel_min_runs,
+        "peak_rss_mb": _peak_rss_mb(),
         "bit_identical": True,
     }
     with open(args.out, "w", encoding="utf-8") as fh:

@@ -26,7 +26,18 @@ compile caches, so ``BENCH_sweep.json`` records ``tape_speedup`` (and
 ``jit_speedup``) at sweep scale alongside the per-point numbers in
 ``BENCH_engine.json``.
 
-All four passes are asserted bit-identical point by point before any
+A fifth **fused_shard** section times the sharded fused path at a
+larger run count (``--shard-runs``): the same sweep executed
+monolithically in one process versus split into ``--shards``
+seed-aligned run-range shards (0 = auto: one per schedulable core,
+raised to fit ``--shard-mem-mb``) on a warmed worker pool.
+``shard_speedup`` is monolithic/sharded; both passes are asserted
+bit-identical and the record carries the resolved shard count,
+transport and the high-water RSS of the parent and its pool workers.
+On a single-core host auto-sharding correctly resolves to one shard
+(the monolithic pass), so the ratio sits at ~1.0 by construction.
+
+All passes are asserted bit-identical point by point before any
 timing is reported — a speedup that changes results is a bug, not a
 feature — and the fused pass is asserted to create **zero** pools.
 
@@ -35,8 +46,9 @@ exceeds the budget.  ``--min-warm-speedup`` / ``--min-cache-speedup``
 (> 0) gate the legacy ratios against cold.  ``--min-fused-speedup``
 (> 0) gates ``fused_vs_warm_speedup`` — the headline number: the fused
 array program must beat the best pool configuration (the warm
-persistent context) without engaging a run-level pool at all.  CI
-smoke runs it at 1.0.
+persistent context) without engaging a run-level pool at all.
+``--min-shard-speedup`` (> 0) gates ``shard_speedup`` with the usual
+5% timing-noise tolerance.  CI smoke runs both at 1.0.
 
 Run from the repo root::
 
@@ -68,6 +80,26 @@ def _assert_series_equal(a, b, label: str) -> None:
         f"{label}: speed-change counts diverged"
 
 
+def _peak_rss_mb() -> dict:
+    """High-water RSS in MiB: this process and its reaped children.
+
+    ``ru_maxrss`` is a lifetime high-water mark (KiB on Linux, bytes on
+    macOS), so successive snapshots only ever grow — compare the
+    children figure across sections to see what the pool workers added.
+    """
+    import resource
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {"self": round(own / scale, 1),
+            "children": round(kids / scale, 1)}
+
+
+def _warm_task(x):
+    """Pool warm-up no-op: spin the workers up outside the timing."""
+    return x
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--points", type=int, default=10,
@@ -89,6 +121,22 @@ def main(argv=None) -> int:
     ap.add_argument("--min-fused-speedup", type=float, default=0.0,
                     dest="min_fused_speedup",
                     help="required fused-vs-warm speedup (0 = no gate)")
+    ap.add_argument("--shards", type=int, default=0,
+                    help="shard count for the fused_shard section "
+                         "(0 = auto: one per schedulable core)")
+    ap.add_argument("--shard-runs", type=int, default=360,
+                    dest="shard_runs",
+                    help="Monte-Carlo runs per point for the "
+                         "fused_shard section (larger than --runs so "
+                         "the fan-out has work to amortize against)")
+    ap.add_argument("--shard-mem-mb", type=int, default=0,
+                    dest="shard_mem_mb",
+                    help="per-shard memory budget for auto shard "
+                         "selection (0 = unbudgeted)")
+    ap.add_argument("--min-shard-speedup", type=float, default=0.0,
+                    dest="min_shard_speedup",
+                    help="required monolithic-vs-sharded speedup "
+                         "(0 = no gate; 5%% timing-noise tolerance)")
     args = ap.parse_args(argv)
     if args.points < 1:
         ap.error("--points must be >= 1")
@@ -170,6 +218,37 @@ def main(argv=None) -> int:
         assert stats["hits"] >= args.points, \
             "cache pass did not hit on every sweep point"
 
+    # -- fused_shard: the sharded fused path at a larger run count ----------
+    cfg_shard_scale = cfg_fused.with_(n_runs=args.shard_runs)
+    rss_before_shards = _peak_rss_mb()
+    with ExecutionContext(n_jobs=1) as ctx:
+        t0 = time.perf_counter()
+        series_mono = sweep_load(graph, cfg_shard_scale, loads, context=ctx)
+        t_mono = time.perf_counter() - t0
+    rss_mono = _peak_rss_mb()
+    print(f"  mono  ({args.shard_runs} runs, 1 proc) {t_mono:8.3f} s")
+
+    shard_request = args.shards if args.shards > 0 else effective_cores()
+    pool_jobs = max(1, min(shard_request, args.shard_runs))
+    cfg_sharded = cfg_shard_scale.with_(shards=args.shards or 0,
+                                        shard_mem_mb=args.shard_mem_mb)
+    with ExecutionContext(n_jobs=pool_jobs) as ctx:
+        if pool_jobs > 1:  # spin the workers up outside the timing
+            ctx.map(_warm_task, [(i,) for i in range(pool_jobs)])
+        t0 = time.perf_counter()
+        series_shard = sweep_load(graph, cfg_sharded, loads, context=ctx)
+        t_shard = time.perf_counter() - t0
+    rss_shard = _peak_rss_mb()
+    shard_meta = series_shard.meta.get("fused", {})
+    shards_ran = shard_meta.get("shards", 1)
+    shard_transport = shard_meta.get("transport", "inline")
+    print(f"  shard ({shards_ran} shards, {shard_transport})"
+          f"{t_shard:11.3f} s  "
+          f"(rss self {rss_shard['self']:.0f} MiB, "
+          f"workers {rss_shard['children']:.0f} MiB)")
+    _assert_series_equal(series_mono, series_shard, "sharded vs mono")
+    shard_speedup = t_mono / t_shard if t_shard > 0 else float("inf")
+
     _assert_series_equal(series_cold, series_fused, "fused vs cold")
     _assert_series_equal(series_cold, series_warm, "warm vs cold")
     _assert_series_equal(series_cold, series_hit, "cache vs cold")
@@ -206,6 +285,16 @@ def main(argv=None) -> int:
         "warm_pools_created": pools_created,
         "cache_hits": stats["hits"],
         "cache_misses": stats["misses"],
+        "shard_runs": args.shard_runs,
+        "shards_requested": args.shards,
+        "shards_ran": shards_ran,
+        "shard_transport": shard_transport,
+        "mono_seconds": round(t_mono, 4),
+        "shard_seconds": round(t_shard, 4),
+        "shard_speedup": round(shard_speedup, 3),
+        "peak_rss_mb": {"baseline": rss_before_shards,
+                        "monolithic": rss_mono,
+                        "sharded": rss_shard},
     }
     with open(args.out, "w", encoding="utf-8") as fh:
         json.dump(record, fh, indent=2, sort_keys=True)
@@ -214,6 +303,8 @@ def main(argv=None) -> int:
     print(f"  fused vs warm {fused_vs_warm:8.2f} x")
     print(f"  tape speedup  {tape_speedup:8.2f} x  (legacy -> numpy, fused)")
     print(f"  warm speedup  {warm_speedup:8.2f} x")
+    print(f"  shard speedup {shard_speedup:8.2f} x  "
+          f"({shards_ran} shards vs mono at {args.shard_runs} runs)")
     print(f"  cache speedup {cache_speedup:8.2f} x  -> {args.out}")
 
     if args.budget_seconds > 0 and t_cold > args.budget_seconds:
@@ -231,6 +322,14 @@ def main(argv=None) -> int:
     if args.min_fused_speedup > 0 and fused_vs_warm < args.min_fused_speedup:
         print(f"FAIL: fused-vs-warm speedup {fused_vs_warm:.2f}x below "
               f"required {args.min_fused_speedup:.2f}x", file=sys.stderr)
+        return 1
+    # 5% tolerance: on a single-core host auto-sharding resolves to one
+    # shard and the honest ratio is two timings of identical work
+    if args.min_shard_speedup > 0 and \
+            shard_speedup < args.min_shard_speedup * 0.95:
+        print(f"FAIL: shard speedup {shard_speedup:.2f}x below required "
+              f"{args.min_shard_speedup:.2f}x (with 5% tolerance)",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -94,11 +94,25 @@ def build_parser() -> argparse.ArgumentParser:
                              "$REPRO_KERNEL_TIER; 'auto' prefers the "
                              "numba JIT when the [jit] extra is "
                              "installed)")
+        fp.add_argument("--shards", type=int, default=None,
+                        help="split the fused sweep's runs axis into "
+                             "this many seed-aligned shards executed on "
+                             "pool workers or dispatch executors "
+                             "(0 = auto from cores and --shard-mem-mb; "
+                             "default: unsharded; results are "
+                             "bit-identical)")
+        fp.add_argument("--shard-mem-mb", type=int, default=0,
+                        dest="shard_mem_mb",
+                        help="peak-memory budget per shard in MiB for "
+                             "--shards 0: the auto shard count is "
+                             "raised until the estimated fused "
+                             "footprint fits (0 = unbudgeted)")
         fp.add_argument("--cache-stats", action="store_true",
                         dest="cache_stats",
                         help="print the kernel-side cache counters "
                              "(compiled-program / tape / stacked-program "
-                             "caches) after the figure")
+                             "caches) after the figure, aggregated "
+                             "across live pool workers")
         fp.add_argument("--profile", action="store_true",
                         help="run under cProfile and print the top 25 "
                              "functions by cumulative time")
@@ -274,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
     wk.add_argument("--name", type=str, default=None,
                     help="executor name reported to the driver "
                          "(default: worker-<pid>)")
+    wk.add_argument("--cache-dir", type=str, default=None, dest="cache_dir",
+                    help="probe this evaluation-cache directory before "
+                         "computing each task and store fresh results "
+                         "back (default: .repro-cache)")
+    wk.add_argument("--no-cache", action="store_true",
+                    help="compute every task, without probing or "
+                         "filling the local evaluation cache")
     return p
 
 
@@ -311,8 +332,17 @@ def _print_cache_stats(context) -> None:
               + ")")
 
 
-def _print_kernel_stats(kernel_tier: Optional[str]) -> None:
-    """--cache-stats: the resolved tier plus compile-side cache counters."""
+def _print_kernel_stats(kernel_tier: Optional[str],
+                        context=None) -> None:
+    """--cache-stats: the resolved tier plus compile-side cache counters.
+
+    The parent-process counters come first; when the context still has
+    a live worker pool, each worker's program/tape/stacked counters are
+    collected (one probe per process) and printed as an aggregated
+    ``workers`` line — sharded fused sweeps compile in the workers, so
+    parent-only counters would read as all-miss.  Dispatch executors
+    are separate processes reached over sockets and are not probed.
+    """
     from .sim.kernels import kernel_meta
     meta = kernel_meta(kernel_tier)
     parts = []
@@ -324,6 +354,23 @@ def _print_kernel_stats(kernel_tier: Optional[str]) -> None:
             part += f" size={stats['size']}"
         parts.append(part)
     print(f"(kernel: tier={meta['tier']}; " + ", ".join(parts) + ")")
+    if context is None:
+        return
+    worker_stats = context.worker_kernel_stats()
+    if not worker_stats:
+        return
+    totals = {"program_cache": {"hits": 0, "misses": 0},
+              "tape_cache": {"hits": 0, "misses": 0},
+              "stacked_cache": {"hits": 0, "misses": 0}}
+    for counters in worker_stats:
+        for label, agg in totals.items():
+            stats = counters.get(label, {})
+            agg["hits"] += int(stats.get("hits", 0))
+            agg["misses"] += int(stats.get("misses", 0))
+    joined = ", ".join(
+        f"{label.replace('_cache', '')} {agg['hits']}h/{agg['misses']}m"
+        for label, agg in totals.items())
+    print(f"(kernel workers: {len(worker_stats)} probed; {joined})")
 
 
 def _emit_figure(series_by_model: Dict[str, SeriesResult],
@@ -390,6 +437,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 degrade=not args.no_degrade,
                 backend=args.backend, executors=executors,
                 connect=args.connect, kernel_tier=args.kernel_tier,
+                shards=args.shards, shard_mem_mb=args.shard_mem_mb,
                 context=ctx, fused=not args.no_fused)
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
@@ -398,7 +446,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             _emit_figure(series, args.csv, chart=args.chart)
             _print_cache_stats(ctx)
             if args.cache_stats:
-                _print_kernel_stats(args.kernel_tier)
+                _print_kernel_stats(args.kernel_tier, context=ctx)
         if args.save:
             from .experiments.persist import save_series
             save_series(series, args.save)
@@ -524,8 +572,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         from .experiments.dispatch import DispatchWorker, parse_endpoint
         host, port = parse_endpoint(args.connect)
         name = args.name or f"worker-{os.getpid()}"
-        print(f"joining dispatch fleet at {host}:{port} as {name}")
-        return DispatchWorker(host, port, name=name).run()
+        cache_dir = None
+        if not args.no_cache:
+            from .experiments.evalcache import DEFAULT_CACHE_DIR
+            cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+        print(f"joining dispatch fleet at {host}:{port} as {name}"
+              + (f" (cache: {cache_dir})" if cache_dir else ""))
+        return DispatchWorker(host, port, name=name,
+                              cache_dir=cache_dir).run()
 
     if args.command == "suite":
         from .experiments.suite import SuiteConfig, render_suite, run_suite

@@ -213,6 +213,12 @@ class FrameBuffer:
 # the executor side
 # ---------------------------------------------------------------------------
 
+def _is_shard(app) -> bool:
+    """Whether a task payload is a fused-sweep shard, not an app."""
+    from .fused import ShardTask
+    return isinstance(app, ShardTask)
+
+
 class DispatchWorker:
     """One executor process: connect, say hello, evaluate tasks forever.
 
@@ -223,11 +229,22 @@ class DispatchWorker:
     ``worker-chunk`` fault site fires with identical keys; the
     ``worker-dead`` site fires before evaluation begins (its ``crash``
     action kills this process, which the driver sees as EOF).
+
+    With a ``cache_dir``, the executor probes the shared
+    content-addressed cache (``.repro-cache/``) **before** computing a
+    point and stores fresh results back, so a (re)joining worker —
+    and stolen or duplicated points in long-running fleets — skip work
+    the fleet already did.  Purely an optimization: cache hits are
+    bit-identical to recomputation by the cache's contract.  Fused-sweep
+    shards (:class:`~repro.experiments.fused.ShardTask`) bypass the
+    probe — a shard is an execution slice, not an addressable
+    evaluation point.
     """
 
     def __init__(self, host: str, port: int, name: Optional[str] = None,
                  fault_plan=None,
-                 heartbeat_interval: Optional[float] = None):
+                 heartbeat_interval: Optional[float] = None,
+                 cache_dir: Optional[str] = None):
         self.host = host
         self.port = int(port)
         self.name = name or f"worker-{os.getpid()}"
@@ -235,6 +252,8 @@ class DispatchWorker:
         self.heartbeat_interval = (HEARTBEAT_INTERVAL
                                    if heartbeat_interval is None
                                    else heartbeat_interval)
+        self.cache_dir = cache_dir
+        self._cache = None
 
     def run(self) -> int:
         """Serve tasks until shutdown/EOF; returns a process exit code."""
@@ -276,13 +295,35 @@ class DispatchWorker:
             except OSError:
                 return
 
+    def _open_cache(self):
+        if self.cache_dir is None:
+            return None
+        if self._cache is None:
+            from .evalcache import EvaluationCache
+            self._cache = EvaluationCache(self.cache_dir)
+        return self._cache
+
+    def _evaluate(self, index: int, app, config):
+        """One task, probing the shared result cache around the compute."""
+        from .parallel import _evaluate_app_point
+        cache = self._open_cache()
+        if cache is not None and not _is_shard(app):
+            from .evalcache import evaluation_key
+            key = evaluation_key(app, config)
+            hit = cache.get(key, app.name, config)
+            if hit is not None:
+                return hit
+            result = _evaluate_app_point(index, app, config)
+            cache.put(key, result)
+            return result
+        return _evaluate_app_point(index, app, config)
+
     def _run_task(self, sock, lock, msg) -> None:
         _, task_id, index, app, config = msg
         # worker-dead's crash/hang actions are performed inside fire()
         faults.fire("worker-dead", key=index)
-        from .parallel import _evaluate_app_point
         try:
-            result = _evaluate_app_point(index, app, config)
+            result = self._evaluate(index, app, config)
         except BaseException as exc:
             try:
                 send_frame(sock, ("error", task_id, index, exc), lock)
@@ -296,10 +337,11 @@ class DispatchWorker:
 
 
 def worker_main(host: str, port: int, name: Optional[str] = None,
-                fault_plan=None) -> int:
+                fault_plan=None, cache_dir: Optional[str] = None) -> int:
     """Process entry point for locally spawned executors."""
     return DispatchWorker(host, port, name=name,
-                          fault_plan=fault_plan).run()
+                          fault_plan=fault_plan,
+                          cache_dir=cache_dir).run()
 
 
 # ---------------------------------------------------------------------------
@@ -378,9 +420,11 @@ class DispatchServer:
     endpoint.
     """
 
-    def __init__(self, connect: Optional[str] = None, fault_plan=None):
+    def __init__(self, connect: Optional[str] = None, fault_plan=None,
+                 cache_dir: Optional[str] = None):
         self.connect = connect
         self.fault_plan = fault_plan
+        self.cache_dir = cache_dir
         self._sel: Optional[selectors.BaseSelector] = None
         self._listener: Optional[socket.socket] = None
         self._executors: Dict[socket.socket, _Executor] = {}
@@ -473,7 +517,8 @@ class DispatchServer:
             self._spawn_seq += 1
             proc = mp.Process(target=worker_main, args=(host, port),
                               kwargs={"name": name,
-                                      "fault_plan": self.fault_plan},
+                                      "fault_plan": self.fault_plan,
+                                      "cache_dir": self.cache_dir},
                               daemon=True, name=name)
             proc.start()
             self._procs.append(proc)
@@ -609,9 +654,12 @@ class DispatchServer:
         has_timeout = policy.chunk_timeout > 0
 
         def _evaluate_locally(idx: int):
-            from .runner import evaluate_application
+            # the same entry point executors use, so a fused-sweep
+            # shard degrades to an in-driver run_shard exactly like an
+            # app point degrades to evaluate_application
+            from .parallel import _evaluate_app_point
             try:
-                return evaluate_application(apps[idx], configs[idx])
+                return _evaluate_app_point(idx, apps[idx], configs[idx])
             except Exception as exc:
                 raise ParallelError(labels[idx], exc) from exc
 

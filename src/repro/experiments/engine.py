@@ -249,13 +249,10 @@ _ATTACHED: "OrderedDict[str, object]" = OrderedDict()
 _ATTACHED_MAX = 2
 
 
-def _attach_segment(name: str):
-    seg = _ATTACHED.get(name)
-    if seg is not None:
-        _ATTACHED.move_to_end(name)
-        return seg
+def _open_segment(name: str):
+    """Attach an existing segment without registering ownership."""
     try:  # Python >= 3.13: opt out of resource tracking directly
-        seg = _shared_memory.SharedMemory(name=name, track=False)
+        return _shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
         # Pre-3.13 the resource tracker registers attached segments as
         # if the attaching process owned them (bpo-39959): forked
@@ -273,9 +270,17 @@ def _attach_segment(name: str):
 
         resource_tracker.register = _register_skipping_shm
         try:
-            seg = _shared_memory.SharedMemory(name=name)
+            return _shared_memory.SharedMemory(name=name)
         finally:
             resource_tracker.register = original_register
+
+
+def _attach_segment(name: str):
+    seg = _ATTACHED.get(name)
+    if seg is not None:
+        _ATTACHED.move_to_end(name)
+        return seg
+    seg = _open_segment(name)
     _ATTACHED[name] = seg
     while len(_ATTACHED) > _ATTACHED_MAX:
         _, old = _ATTACHED.popitem(last=False)
@@ -334,6 +339,106 @@ def share_batch(batch) -> Optional[SharedBatch]:
         return SharedBatch(batch)
     except OSError:  # pragma: no cover - depends on host state
         return None
+
+
+# ---------------------------------------------------------------------------
+# shard result transport (worker-published segments)
+# ---------------------------------------------------------------------------
+
+#: shard result matrices at least this large travel back from local
+#: pool workers through a shared-memory segment instead of the result
+#: pickle; below it the pickling cost is already negligible.  Module
+#: attribute so tests can force either transport.
+SHARD_SHM_MIN_BYTES = 1 << 20
+
+
+class ShardBlock:
+    """Picklable descriptor of one shard's packed result matrix.
+
+    The inverse direction of :class:`ShmChunk`: the *worker* creates
+    the segment and ships ``(name, shape, dtype)``; the parent attaches
+    exactly once, copies the matrix out, and closes **and unlinks** the
+    segment (:meth:`take`).  A block whose result the resilient
+    executor discards (a straggler beaten by its own re-dispatch) can
+    leak its segment until process teardown — acceptable because blocks
+    only exist above :data:`SHARD_SHM_MIN_BYTES` and stragglers are
+    rare; the pickled fallback has no such window.
+    """
+
+    __slots__ = ("name", "shape", "dtype")
+
+    def __init__(self, name: str, shape: Tuple[int, int], dtype: str):
+        self.name = name
+        self.shape = shape
+        self.dtype = dtype
+
+    def __getstate__(self):
+        return (self.name, self.shape, self.dtype)
+
+    def __setstate__(self, state):
+        self.name, self.shape, self.dtype = state
+
+    def take(self) -> np.ndarray:
+        """Copy the matrix out and release the segment (parent, once).
+
+        Attach problems surface as :class:`~repro.errors.TransportError`
+        — the caller recomputes that shard inline rather than failing
+        the sweep.
+        """
+        if not _SHM_AVAILABLE:  # pragma: no cover - publisher had shm
+            raise TransportError(
+                f"no shared memory to attach shard block {self.name!r}")
+        try:
+            seg = _open_segment(self.name)
+        except (OSError, ValueError) as exc:
+            raise TransportError(
+                f"could not attach shard result block {self.name!r}: "
+                f"{exc!r}") from exc
+        try:
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype),
+                              buffer=seg.buf)
+            return np.array(view, copy=True)
+        finally:
+            try:
+                seg.close()
+                seg.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover
+                pass
+
+
+def _create_segment(size: int):
+    """Create a fresh segment without registering ownership here.
+
+    The attaching *parent* unlinks shard-block segments, so the
+    creating worker must not leave a tracker registration behind
+    (Python >= 3.13 tracks per-instance; earlier interpreters share one
+    forked tracker whose registration the parent's unlink clears)."""
+    try:
+        return _shared_memory.SharedMemory(create=True, size=size,
+                                           track=False)
+    except TypeError:  # pre-3.13: tracker shared across fork
+        return _shared_memory.SharedMemory(create=True, size=size)
+
+
+def publish_shard_block(matrix: np.ndarray) -> Optional[ShardBlock]:
+    """Publish a packed shard result in shared memory, or ``None``.
+
+    ``None`` means "ship the matrix pickled instead": the platform has
+    no shared memory, the matrix is empty, or segment creation failed
+    (e.g. ``/dev/shm`` exhausted).  Values are identical either way.
+    """
+    if not _SHM_AVAILABLE or matrix.nbytes == 0:
+        return None
+    m = np.ascontiguousarray(matrix)
+    try:
+        seg = _create_segment(m.nbytes)
+    except OSError:  # pragma: no cover - depends on host state
+        return None
+    view = np.ndarray(m.shape, dtype=m.dtype, buffer=seg.buf)
+    view[:] = m
+    block = ShardBlock(seg.name, m.shape, m.dtype.str)
+    seg.close()  # drop this mapping; the segment lives until take()
+    return block
 
 
 # ---------------------------------------------------------------------------
@@ -396,6 +501,28 @@ def _eval_chunk_task(setup_key: str, app, config, start: int, chunk):
         npm, absolute, changes, keys = _simulate_runs(
             plan_dyn, plan_static, scheme_names, power, overhead, chunk)
     return start, npm, absolute, changes, keys
+
+
+def _kernel_probe_task(scratch: str, want: int, deadline_s: float):
+    """Worker task: report this process's kernel-cache counters.
+
+    Rendezvous probe: each worker drops a pid marker in ``scratch`` and
+    waits (bounded by ``deadline_s``) until ``want`` markers exist, so
+    submitting ``want`` probes reaches every pool worker exactly once
+    instead of letting one idle worker answer them all.
+    """
+    pid = os.getpid()
+    with open(os.path.join(scratch, str(pid)), "w"):
+        pass
+    deadline = time.monotonic() + deadline_s
+    while len(os.listdir(scratch)) < want and time.monotonic() < deadline:
+        time.sleep(0.005)
+    from ..sim.compiled import program_cache_stats
+    from ..sim.kernels import tape_cache_stats
+    from ..sim.sweepc import stacked_cache_stats
+    return pid, {"program_cache": program_cache_stats(),
+                 "tape_cache": tape_cache_stats(),
+                 "stacked_cache": stacked_cache_stats()}
 
 
 # ---------------------------------------------------------------------------
@@ -540,8 +667,13 @@ class ExecutionContext:
         want = self.dispatch_jobs(n_items=n_items)
         from .dispatch import DispatchServer
         if self._fleet is None:
+            # executors probe/populate the same content-addressed cache
+            # the driver uses, so rejoining fleets skip finished work
+            cache_dir = (str(self.cache.root)
+                         if self.cache is not None else None)
             self._fleet = DispatchServer(connect=self.connect,
-                                         fault_plan=self.fault_plan)
+                                         fault_plan=self.fault_plan,
+                                         cache_dir=cache_dir)
         try:
             self._fleet.start(executors=want)
         except DispatchError as exc:
@@ -752,6 +884,36 @@ class ExecutionContext:
         return results
 
     # -- bookkeeping --------------------------------------------------------
+    def worker_kernel_stats(self) -> List[Dict[str, Dict[str, int]]]:
+        """Per-worker kernel-cache counters from the live pool.
+
+        Best effort and read-only: returns ``[]`` when no pool is live
+        (nothing pooled ran, or the backend is dispatch — remote
+        executors are not probed), and skips workers whose probe fails.
+        ``repro ... --cache-stats`` sums these with the parent's own
+        counters so pooled runs stop under-counting.
+        """
+        if not self.has_live_pool():
+            return []
+        import shutil
+        import tempfile
+        want = self.jobs()
+        scratch = tempfile.mkdtemp(prefix="repro-kprobe-")
+        try:
+            pool = self.pool()
+            futures = [pool.submit(_kernel_probe_task, scratch, want, 1.0)
+                       for _ in range(want)]
+            per_pid: Dict[int, Dict[str, Dict[str, int]]] = {}
+            for future in futures:
+                try:
+                    pid, stats = future.result(timeout=10.0)
+                except Exception:  # pragma: no cover - best effort
+                    continue
+                per_pid[pid] = stats
+            return list(per_pid.values())
+        finally:
+            shutil.rmtree(scratch, ignore_errors=True)
+
     def cache_stats(self) -> Optional[Dict[str, int]]:
         """The attached cache's hit/miss counters, or ``None``."""
         return self.cache.stats() if self.cache is not None else None

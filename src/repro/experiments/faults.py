@@ -37,6 +37,13 @@ sites**:
     Start of a task inside a :class:`~repro.experiments.dispatch.
     DispatchWorker` process.  Action: ``crash`` (``os._exit`` — the
     driver sees EOF and must re-dispatch the worker's points).
+``shard-exec``
+    Start of one fused-sweep shard in
+    :func:`~repro.experiments.fused.run_shard`, keyed by the shard
+    index — fires identically on pool workers and dispatch executors.
+    Actions: ``crash``, ``hang``, ``raise`` (the owning backend's
+    retry/steal/degrade semantics must recover the shard
+    bit-identically).
 
 Determinism and replay: a spec fires on the Nth occurrence of its site
 in a process (``occurrence``), or whenever the call site's ``key``
@@ -70,7 +77,8 @@ CORE_SITES = ("worker-chunk", "shm-attach", "cache-read")
 
 #: the full fault-site registry, including the distributed-dispatch
 #: sites added with :mod:`repro.experiments.dispatch`
-SITES = CORE_SITES + ("dispatch-send", "dispatch-recv", "worker-dead")
+SITES = CORE_SITES + ("dispatch-send", "dispatch-recv", "worker-dead",
+                      "shard-exec")
 
 #: actions a spec may request (interpreted by the firing site)
 ACTIONS = ("crash", "hang", "raise", "corrupt")
@@ -84,6 +92,7 @@ SITE_ACTIONS = {
     "dispatch-send": ("raise",),
     "dispatch-recv": ("raise",),
     "worker-dead": ("crash", "hang"),
+    "shard-exec": ("crash", "hang", "raise"),
 }
 
 #: exit code of an injected worker crash (recognizable in pool logs)

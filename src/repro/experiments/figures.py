@@ -46,7 +46,9 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                 backend: Optional[str] = None,
                 executors: Optional[int] = None,
                 connect: Optional[str] = None,
-                kernel_tier: Optional[str] = None) -> RunConfig:
+                kernel_tier: Optional[str] = None,
+                shards: Optional[int] = None,
+                shard_mem_mb: int = 0) -> RunConfig:
     # asking for run-level workers is the explicit opt-in to the legacy
     # chunked pool — the default path fuses the sweep with no pool
     return RunConfig(schemes=tuple(schemes), power_model=power_model,
@@ -56,7 +58,8 @@ def _fig_config(n_runs: int, n_processors: int, power_model: str,
                      chunk_timeout=chunk_timeout, degrade=degrade,
                      run_level_pool=(run_jobs != 1),
                      backend=backend, executors=executors, connect=connect,
-                     kernel_tier=kernel_tier)
+                     kernel_tier=kernel_tier,
+                     shards=shards, shard_mem_mb=shard_mem_mb)
 
 
 def figure4(n_runs: int = 1000,
@@ -74,6 +77,8 @@ def figure4(n_runs: int = 1000,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
             kernel_tier: Optional[str] = None,
+            shards: Optional[int] = None,
+            shard_mem_mb: int = 0,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, dual-processor (Figure 4a/4b).
 
@@ -92,7 +97,8 @@ def figure4(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect, kernel_tier)
+                          backend, executors, connect, kernel_tier,
+                          shards, shard_mem_mb)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure4-{model}", context=context,
                                 fused=fused)
@@ -114,6 +120,8 @@ def figure5(n_runs: int = 1000,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
             kernel_tier: Optional[str] = None,
+            shards: Optional[int] = None,
+            shard_mem_mb: int = 0,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs load, ATR, 6 processors, overhead 5 µs (Figure 5a/5b).
 
@@ -130,7 +138,8 @@ def figure5(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 6, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect, kernel_tier)
+                          backend, executors, connect, kernel_tier,
+                          shards, shard_mem_mb)
         out[model] = sweep_load(graph, cfg, loads, n_jobs=n_jobs,
                                 name=f"figure5-{model}", context=context,
                                 fused=fused)
@@ -152,6 +161,8 @@ def figure6(n_runs: int = 1000,
             executors: Optional[int] = None,
             connect: Optional[str] = None,
             kernel_tier: Optional[str] = None,
+            shards: Optional[int] = None,
+            shard_mem_mb: int = 0,
             context=None, fused: bool = True) -> Dict[str, SeriesResult]:
     """Energy vs α, synthetic application, dual-processor (Figure 6a/6b).
 
@@ -163,7 +174,8 @@ def figure6(n_runs: int = 1000,
         cfg = _fig_config(n_runs, 2, model, schemes, seed,
                           run_jobs, runs_per_chunk, engine,
                           max_retries, chunk_timeout, degrade,
-                          backend, executors, connect, kernel_tier)
+                          backend, executors, connect, kernel_tier,
+                          shards, shard_mem_mb)
         out[model] = sweep_alpha(figure3_graph, cfg, load, alphas,
                                  n_jobs=n_jobs, name=f"figure6-{model}",
                                  context=context, fused=fused)

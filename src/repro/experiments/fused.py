@@ -17,6 +17,24 @@ gather index.  The result list is sliced back per point, so callers —
 and the per-point evaluation cache — see ordinary
 :class:`~repro.experiments.runner.EvaluationResult`\\ s.
 
+**Sharded execution.**  The fused pass itself is embarrassingly
+parallel along the run axis: every run's outputs are elementwise in its
+own realization row.  With ``shards=N`` (``RunConfig.shards``, CLI
+``--shards``, or the ``REPRO_SHARDS`` session default) the run axis is
+partitioned by :func:`~repro.sim.sweepc.plan_shards` into deterministic
+ranges and each shard executes the same stacked program over its row
+slice as an independent :class:`ShardTask` — on the persistent worker
+pool (``backend="local"``) or on the dispatch executor fleet
+(``backend="dispatch"``), inheriting the full retry/steal/degrade
+semantics of :meth:`~repro.experiments.engine.ExecutionContext.map` and
+:func:`~repro.experiments.dispatch.dispatch_points`.  Seed alignment
+makes this exact, not approximate: a shard samples each point's *full*
+realization batch from the config seed and slices its row range, so it
+sees bit-for-bit the rows the monolithic pass would have, and the
+parent reduces shard blocks back by concatenation in shard-index order
+(fixed accumulation order).  Sharded output is therefore byte-identical
+to the unsharded fused reference — pinned by the golden suites.
+
 Returns ``None`` whenever fusion does not apply (heterogeneous configs,
 incompatible graph structure, a non-"compiled" engine); the caller
 falls back to per-point evaluation, pooled at the point level.  Every
@@ -27,19 +45,61 @@ pins exactly.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import os
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.registry import get_policy
+from ..errors import ConfigError, FaultInjected, ParallelError, TransportError
 from ..graph.andor import Application
 from ..power.overhead import NO_OVERHEAD
 from ..sim.compiled import (CompiledKernel, compile_plan, run_dynamic_batch,
                             run_fixed_batch, supports_dynamic_batch)
 from ..sim.realization import sample_realization_batch
-from ..sim.sweepc import (StackedProgram, _stack_values,
-                          programs_compatible, stack_programs)
+from ..sim.sweepc import (StackedProgram, _stack_values, fused_bytes_estimate,
+                          plan_shards, programs_compatible, stack_programs)
+from . import faults
+from .engine import (SHARD_SHM_MIN_BYTES, ExecutionContext, default_executors,
+                     effective_cores, publish_shard_block)
 from .runner import EvaluationResult, RunConfig, build_plans
+
+#: session default consulted when ``RunConfig.shards`` is None, seeded
+#: from ``REPRO_SHARDS`` (module attribute so tests can monkeypatch it;
+#: read via :func:`default_shards` at call time).  ``None`` = unsharded
+#: monolithic execution, ``0`` = auto (cores + memory budget), ``N`` =
+#: exactly N shards.
+DEFAULT_SHARDS = os.environ.get("REPRO_SHARDS")
+
+
+def default_shards() -> Optional[int]:
+    """The session-default shard request (env/monkeypatch, call time)."""
+    raw = DEFAULT_SHARDS
+    if raw in (None, ""):
+        return None
+    try:
+        value = int(raw)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"REPRO_SHARDS must be an integer, got {raw!r}") from None
+    if value < 0:
+        raise ConfigError(f"REPRO_SHARDS must be >= 0, got {value}")
+    return value
+
+
+#: observability snapshot of the most recent fused pass in this process
+#: (shard count, run ranges, transport); popped by the sweep layer into
+#: ``series.meta["fused"]`` via :func:`take_fused_meta`
+_LAST_FUSED: Optional[Dict[str, object]] = None
+
+
+def take_fused_meta() -> Optional[Dict[str, object]]:
+    """Pop the most recent fused pass's meta (``None`` if none ran)."""
+    global _LAST_FUSED
+    out = _LAST_FUSED
+    _LAST_FUSED = None
+    return out
 
 
 class _FusedRunSpec:
@@ -85,6 +145,37 @@ class _View:
         self.rows = rows
 
 
+class _FusedBuild:
+    """The structural half of a fused sweep: plans, programs, stacks.
+
+    Built once in the parent (and rebuilt deterministically inside each
+    shard worker, where the per-process plan/program/stacked caches make
+    it nearly free); holds everything that does not depend on sampled
+    runs, so the sampling/execution half can be invoked per run-range.
+    """
+
+    __slots__ = ("base", "power", "overhead", "scheme_names", "tier",
+                 "plans", "static_plans", "static_progs", "stacked_static",
+                 "dyn_points", "dyn_plans", "dyn_progs", "stacked_dyn")
+
+    def __init__(self, base, power, overhead, scheme_names, tier, plans,
+                 static_plans, static_progs, stacked_static, dyn_points,
+                 dyn_plans, dyn_progs, stacked_dyn):
+        self.base = base
+        self.power = power
+        self.overhead = overhead
+        self.scheme_names = scheme_names
+        self.tier = tier
+        self.plans = plans
+        self.static_plans = static_plans
+        self.static_progs = static_progs
+        self.stacked_static = stacked_static
+        self.dyn_points = dyn_points
+        self.dyn_plans = dyn_plans
+        self.dyn_progs = dyn_progs
+        self.stacked_dyn = stacked_dyn
+
+
 def _configs_fusable(configs: Sequence[RunConfig]) -> bool:
     """Whether every point shares the knobs a fused kernel hard-codes."""
     base = configs[0]
@@ -102,6 +193,54 @@ def _configs_fusable(configs: Sequence[RunConfig]) -> bool:
         if tuple(get_policy(n).name for n in cfg.schemes) != base_schemes:
             return False
     return True
+
+
+def _build_fused(apps: Sequence[Application],
+                 configs: Sequence[RunConfig]) -> Optional[_FusedBuild]:
+    """Compile and stack a sweep's section programs, or ``None``.
+
+    ``None`` means the points do not share executable structure (or the
+    engine is not "compiled"); the caller falls back to per-point
+    evaluation.  Bails at the first structural mismatch — cheap for
+    heterogeneous app sets, since plan construction is itself cached by
+    fingerprint.
+    """
+    base = configs[0]
+    power = base.make_power()
+    overhead = base.overhead
+    scheme_names = tuple(get_policy(n).name for n in base.schemes)
+    # resolved once so every kernel call of the sweep uses one tier
+    # (kernel_tier is an execution knob: not fusability-gated, not part
+    # of the evaluation-cache key)
+    from ..sim.kernels import resolve_kernel_tier
+    tier = resolve_kernel_tier(base.kernel_tier)
+
+    plans = []
+    static_progs = []
+    for app, cfg in zip(apps, configs):
+        plan_dyn, plan_static = build_plans(app, cfg, power)
+        prog = compile_plan(plan_static)
+        if static_progs and not programs_compatible(static_progs[0], prog):
+            return None
+        plans.append((plan_dyn, plan_static))
+        static_progs.append(prog)
+    static_plans = [ps for _pd, ps in plans]
+    stacked_static = stack_programs(static_progs)
+    if stacked_static is None:
+        return None
+
+    dyn_points = [i for i, (pd, _ps) in enumerate(plans) if pd is not None]
+    dyn_plans = [plans[i][0] for i in dyn_points]
+    stacked_dyn: Optional[StackedProgram] = None
+    dyn_progs: List = []
+    if dyn_points:
+        dyn_progs = [compile_plan(p) for p in dyn_plans]
+        stacked_dyn = stack_programs(dyn_progs)
+        if stacked_dyn is None:
+            return None
+    return _FusedBuild(base, power, overhead, scheme_names, tier, plans,
+                       static_plans, static_progs, stacked_static,
+                       dyn_points, dyn_plans, dyn_progs, stacked_dyn)
 
 
 def _stack_probes(name: str, probes) -> Optional[_FusedRunSpec]:
@@ -205,67 +344,39 @@ def _eval_scheme(policy, name: str, view: _View, power, overhead,
     return _scalar_fallback(policy, view, power, overhead)
 
 
-def evaluate_points_fused(apps: Sequence[Application],
-                          configs: Sequence[RunConfig]
-                          ) -> Optional[List[EvaluationResult]]:
-    """Evaluate a homogeneous sweep as one fused array program.
+def _compute_fused(build: _FusedBuild, configs: Sequence[RunConfig],
+                   run_range: Optional[Tuple[int, int]] = None):
+    """Sample and execute a fused sweep over one run-range.
 
-    Returns per-point :class:`EvaluationResult`\\ s — bit-identical to
-    calling :func:`~repro.experiments.runner.evaluate_application` per
-    point — or ``None`` when the points cannot fuse (the caller then
-    falls back to per-point evaluation).
+    ``run_range=None`` covers every run (the monolithic pass); a
+    ``(lo, hi)`` range samples each point's *full* batch from its seed
+    and slices rows ``[lo, hi)`` — seed alignment — so a shard computes
+    bit-for-bit the rows the monolithic pass holds at those positions.
+    Returns ``(offsets, npm_energy, absolute, changes, path_keys)``
+    over the covered rows, or ``None`` when a scheme's shape punts the
+    sweep to per-point evaluation.
     """
-    n_points = len(apps)
-    if n_points == 0:
-        return []
-    if not _configs_fusable(configs):
-        return None
-    base = configs[0]
-    power = base.make_power()
-    overhead = base.overhead
-    scheme_names = tuple(get_policy(n).name for n in base.schemes)
-    # resolved once so every kernel call of the sweep uses one tier
-    # (kernel_tier is an execution knob: not fusability-gated, not part
-    # of the evaluation-cache key)
-    from ..sim.kernels import resolve_kernel_tier
-    tier = resolve_kernel_tier(base.kernel_tier)
-
-    # build + compile per point, bailing at the first structural mismatch
-    # (cheap for heterogeneous app sets: only the mismatching prefix is
-    # built, and plan construction is itself cached by fingerprint)
-    plans = []
-    static_progs = []
-    for app, cfg in zip(apps, configs):
-        plan_dyn, plan_static = build_plans(app, cfg, power)
-        prog = compile_plan(plan_static)
-        if static_progs and not programs_compatible(static_progs[0], prog):
-            return None
-        plans.append((plan_dyn, plan_static))
-        static_progs.append(prog)
-    static_plans = [ps for _pd, ps in plans]
-    stacked_static = stack_programs(static_progs)
-    if stacked_static is None:
-        return None
-
-    dyn_points = [i for i, (pd, _ps) in enumerate(plans) if pd is not None]
-    dyn_plans = [plans[i][0] for i in dyn_points]
-    stacked_dyn: Optional[StackedProgram] = None
-    dyn_progs: List = []
-    if dyn_points:
-        dyn_progs = [compile_plan(p) for p in dyn_plans]
-        stacked_dyn = stack_programs(dyn_progs)
-        if stacked_dyn is None:
-            return None
+    n_points = len(configs)
+    power, overhead, tier = build.power, build.overhead, build.tier
+    scheme_names = build.scheme_names
+    static_plans = build.static_plans
+    static_progs = build.static_progs
+    stacked_static = build.stacked_static
+    dyn_points, dyn_plans = build.dyn_points, build.dyn_plans
+    dyn_progs, stacked_dyn = build.dyn_progs, build.stacked_dyn
 
     # per-point sampling from each config's own generator: the exact
     # stream evaluate_application draws, so fused results (and the cache
     # entries they fill) are interchangeable with per-point ones
     batches = []
-    for (pd, ps), cfg in zip(plans, configs):
+    for (pd, ps), cfg in zip(build.plans, configs):
         rng = np.random.default_rng(cfg.seed)
-        batches.append(sample_realization_batch(
+        batch = sample_realization_batch(
             ps.structure, rng, cfg.n_runs,
-            sigma_fraction=cfg.sigma_fraction))
+            sigma_fraction=cfg.sigma_fraction)
+        if run_range is not None:
+            batch = batch[run_range[0]:run_range[1]]
+        batches.append(batch)
     counts = [len(b) for b in batches]
     offsets = np.concatenate(([0], np.cumsum(counts)))
     total = int(offsets[-1])
@@ -342,7 +453,381 @@ def evaluate_points_fused(apps: Sequence[Application],
             c[view.rows] = chg_v
             absolute[name] = a
             changes[name] = c
+    return offsets, npm_energy, absolute, changes, path_keys
 
+
+# ---------------------------------------------------------------------------
+# sharded execution
+# ---------------------------------------------------------------------------
+
+class ShardTask:
+    """One run-range of a fused sweep, shipped to a worker whole.
+
+    Picklable and self-contained: carries the applications and configs
+    so the worker rebuilds the stacked program deterministically (the
+    per-process plan/program caches make the rebuild nearly free) and
+    samples its rows seed-aligned.  Travels in place of an ``app``
+    through both execution backends —
+    :func:`~repro.experiments.parallel._evaluate_app_point` detects it
+    on pool workers and dispatch executors alike — so shards inherit
+    retry, stealing, dedup and degrade semantics without a wire-protocol
+    change.
+    """
+
+    __slots__ = ("index", "n_shards", "lo", "hi", "apps", "configs",
+                 "allow_shm")
+
+    def __init__(self, index: int, n_shards: int, lo: int, hi: int,
+                 apps: Tuple[Application, ...],
+                 configs: Tuple[RunConfig, ...], allow_shm: bool):
+        self.index = index
+        self.n_shards = n_shards
+        self.lo = lo
+        self.hi = hi
+        self.apps = apps
+        self.configs = configs
+        self.allow_shm = allow_shm
+
+    @property
+    def name(self) -> str:
+        return (f"shard {self.index + 1}/{self.n_shards} "
+                f"runs[{self.lo}:{self.hi})")
+
+    def __getstate__(self):
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    def __setstate__(self, state):
+        for s, v in state.items():
+            setattr(self, s, v)
+
+
+class ShardResult:
+    """One shard's result block: a packed matrix, inline or via shm.
+
+    The matrix stacks, over the shard's point-major row axis,
+    ``[npm, absolute per scheme..., speed changes per scheme...]``; the
+    path keys ride as an ordinary pickled list (shared key strings
+    memoize well).  ``block`` is an
+    :class:`~repro.experiments.engine.ShardBlock` descriptor when the
+    worker published the matrix through shared memory (local pool only;
+    dispatch executors may live on other hosts).
+    """
+
+    __slots__ = ("matrix", "block", "path_keys", "schemes", "n_points")
+
+    def __init__(self, matrix, block, path_keys, schemes, n_points):
+        self.matrix = matrix
+        self.block = block
+        self.path_keys = path_keys
+        self.schemes = schemes
+        self.n_points = n_points
+
+    def __getstate__(self):
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    def __setstate__(self, state):
+        for s, v in state.items():
+            setattr(self, s, v)
+
+
+def _pack_shard(scheme_names, npm, absolute, changes) -> np.ndarray:
+    rows = [np.asarray(npm, dtype=float)]
+    rows += [np.asarray(absolute[n], dtype=float) for n in scheme_names]
+    rows += [np.asarray(changes[n], dtype=float) for n in scheme_names]
+    return np.vstack(rows)
+
+
+def run_shard(task: ShardTask) -> ShardResult:
+    """Execute one shard (worker side): rebuild, sample, run, pack.
+
+    Fires the ``shard-exec`` fault site first, so the chaos tier can
+    crash/hang/fail a shard mid-sweep on either backend and prove the
+    retry/steal/degrade recovery bit-identical.
+    """
+    if faults.fire("shard-exec", key=task.index) == "raise":
+        raise FaultInjected(f"injected shard-exec fault on {task.name}")
+    build = _build_fused(task.apps, task.configs)
+    if build is None:
+        raise ParallelError(
+            task.name, RuntimeError("shard is no longer fusable"))
+    out = _compute_fused(build, task.configs, run_range=(task.lo, task.hi))
+    if out is None:
+        raise ParallelError(
+            task.name,
+            RuntimeError("shard punted to per-point evaluation"))
+    _offsets, npm, absolute, changes, path_keys = out
+    matrix = _pack_shard(build.scheme_names, npm, absolute, changes)
+    if task.allow_shm and matrix.nbytes >= SHARD_SHM_MIN_BYTES:
+        block = publish_shard_block(matrix)
+        if block is not None:
+            return ShardResult(None, block, list(path_keys),
+                               build.scheme_names, len(task.apps))
+    return ShardResult(matrix, None, list(path_keys),
+                       build.scheme_names, len(task.apps))
+
+
+def _stateful_scalar_schemes(build: _FusedBuild) -> Optional[List[str]]:
+    """Schemes whose scalar-path runs declare themselves stateful.
+
+    Sharding splits the run sequence across processes; a policy whose
+    ``PolicyRun`` declares ``stateless=False`` on the scalar-fallback
+    path may legitimately carry state across its ``start_run`` sequence
+    (that is what the declaration reserves the right to do), so such
+    sweeps refuse to shard and run monolithically instead.  Schemes
+    covered by the batch kernels never consult run state per row, and
+    ``needs_realization`` schemes construct every run independently
+    from its realization — both shard freely.
+
+    Returns ``None`` when the sweep mixes fixed and dynamic shapes for
+    one scheme — the monolithic pass would punt those to per-point
+    evaluation anyway.
+    """
+    power, overhead = build.power, build.overhead
+    stateful: List[str] = []
+    for name in build.scheme_names:
+        policy = get_policy(name)
+        if name == "NPM":
+            continue
+        if policy.requires_reserve and not build.dyn_points:
+            continue
+        plans = (build.dyn_plans if policy.requires_reserve
+                 else build.static_plans)
+        speeds = [policy.batch_fixed_speed(p, power, overhead)
+                  for p in plans]
+        if all(s is not None for s in speeds):
+            continue
+        if any(s is not None for s in speeds):
+            return None
+        if policy.needs_realization:
+            continue
+        probes = [policy.start_run(p, power, overhead) for p in plans]
+        if all(supports_dynamic_batch(pr, power) for pr in probes) \
+                and _stack_probes(name, probes) is not None:
+            continue
+        if not all(pr.stateless for pr in probes):
+            stateful.append(name)
+    return stateful
+
+
+def _resolve_shard_count(build: _FusedBuild, configs: Sequence[RunConfig],
+                         shards: Optional[int]) -> int:
+    """The effective shard count: explicit request, config, or auto.
+
+    Resolution order: the ``shards`` argument, then the base config's
+    ``shards`` field, then the ``REPRO_SHARDS`` session default; absent
+    everywhere means 1 (monolithic).  ``0`` selects automatically:
+    :func:`~repro.experiments.engine.effective_cores`, raised further
+    when ``shard_mem_mb`` caps the per-shard working set below the
+    sweep's estimated fused footprint.  Always clamped to the run count,
+    and to 1 when the points disagree on ``n_runs`` (run ranges must
+    mean the same rows at every point).
+    """
+    base = configs[0]
+    request = shards
+    if request is None:
+        request = base.shards
+    if request is None:
+        request = default_shards()
+    if request is None:
+        return 1
+    n_runs = base.n_runs
+    if any(cfg.n_runs != n_runs for cfg in configs):
+        return 1
+    if request == 0:
+        k = effective_cores()
+        budget_mb = base.shard_mem_mb
+        if budget_mb:
+            est = fused_bytes_estimate(build.stacked_static,
+                                       len(configs) * n_runs)
+            need = -(-est // (budget_mb * 1024 * 1024))
+            k = max(k, int(need))
+    else:
+        k = request
+    return max(1, min(k, n_runs))
+
+
+def _run_sharded(build: _FusedBuild, apps: Sequence[Application],
+                 configs: Sequence[RunConfig], ranges,
+                 context: Optional[ExecutionContext]):
+    """Fan shards out over a backend; ``(shard results, transport)``.
+
+    Routes through the provided context when it can host the fan-out
+    (a dispatch fleet, or a local pool of two or more workers);
+    otherwise spins up an ephemeral pool sized to the shards and the
+    schedulable cores.  Returns ``None`` when no backend is usable
+    (e.g. an unreachable dispatch fleet on a one-job context) — the
+    caller then runs the monolithic pass, which is always correct.
+    """
+    base = build.base
+    policy = base.retry_policy()
+    n_points = len(apps)
+    owned = False
+    ctx = context
+    if ctx is None or (ctx.backend != "dispatch" and ctx.jobs() < 2):
+        # honor the configs' execution knobs and the session defaults,
+        # exactly like an owned context in map_evaluations
+        ctx = ExecutionContext(
+            n_jobs=min(len(ranges), effective_cores()),
+            backend=base.backend,
+            executors=(base.executors if base.executors is not None
+                       else default_executors()),
+            connect=base.connect)
+        owned = True
+    try:
+        allow_shm = (ctx.backend != "dispatch"
+                     and getattr(ctx, "shared_memory", True))
+        tasks = [ShardTask(s, len(ranges), lo, hi, tuple(apps),
+                           tuple(configs), allow_shm)
+                 for s, (lo, hi) in enumerate(ranges)]
+        labels = [f"{t.name} x {n_points} point(s)" for t in tasks]
+        if ctx.backend == "dispatch" \
+                and ctx.dispatch_jobs(n_items=len(tasks)) >= 2:
+            from .dispatch import dispatch_points
+            results = dispatch_points(
+                ctx, tasks, [base.with_(n_jobs=1)] * len(tasks),
+                labels=labels, policy=policy)
+            if results is not None:
+                return results, "dispatch"
+            return None  # fleet unreachable: monolithic fallback
+        if ctx.backend == "dispatch":
+            return None  # a one-executor fleet is never engaged
+        if ctx.jobs(n_items=len(tasks)) < 2:
+            return None
+        results = ctx.map(run_shard, [(t,) for t in tasks],
+                          labels=labels, policy=policy)
+        return results, "pool"
+    finally:
+        if owned:
+            ctx.close()
+
+
+def _reduce_shards(build: _FusedBuild, configs: Sequence[RunConfig],
+                   ranges, shard_results, context):
+    """Merge shard blocks into full sweep arrays, in shard-index order.
+
+    The reduction is pure placement — each shard's rows are copied into
+    their monolithic positions (concat, never summation), so float
+    accumulation order is fixed by construction.  A shard whose shm
+    block cannot be attached is recomputed inline in the parent (warned
+    and counted as an shm fallback): slower, still bit-identical.
+    """
+    scheme_names = build.scheme_names
+    n_points = len(configs)
+    n_runs = configs[0].n_runs
+    n_schemes = len(scheme_names)
+    total = n_points * n_runs
+    npm = np.empty(total)
+    absolute = {n: np.empty(total) for n in scheme_names}
+    changes = {n: np.empty(total) for n in scheme_names}
+    path_keys: List = [None] * total
+    for (lo, hi), res in zip(ranges, shard_results):
+        span = hi - lo
+        matrix = None
+        keys = None
+        if res is not None:
+            keys = res.path_keys
+            if res.matrix is not None:
+                matrix = res.matrix
+            else:
+                try:
+                    matrix = res.block.take()
+                except TransportError as exc:
+                    if context is not None:
+                        context.resilience["shm_fallbacks"] += 1
+                    warnings.warn(
+                        f"could not attach shard result block for "
+                        f"runs[{lo}:{hi}) ({exc}); recomputing the shard "
+                        "in the parent", RuntimeWarning, stacklevel=3)
+        if matrix is None:
+            out = _compute_fused(build, configs, run_range=(lo, hi))
+            if out is None:  # pragma: no cover - parent pre-checked
+                raise ParallelError(
+                    f"shard runs[{lo}:{hi})",
+                    RuntimeError("shard recompute punted"))
+            _off, s_npm, s_abs, s_chg, keys = out
+            matrix = _pack_shard(scheme_names, s_npm, s_abs, s_chg)
+        expected = (1 + 2 * n_schemes, n_points * span)
+        if matrix.shape != expected:
+            raise ParallelError(
+                f"shard runs[{lo}:{hi})",
+                RuntimeError(f"shard block shape {matrix.shape} != "
+                             f"expected {expected}"))
+        for p in range(n_points):
+            src = slice(p * span, (p + 1) * span)
+            dst = slice(p * n_runs + lo, p * n_runs + hi)
+            npm[dst] = matrix[0, src]
+            for j, name in enumerate(scheme_names):
+                absolute[name][dst] = matrix[1 + j, src]
+                changes[name][dst] = matrix[1 + n_schemes + j, src]
+            path_keys[p * n_runs + lo:p * n_runs + hi] = \
+                keys[p * span:(p + 1) * span]
+    offsets = np.arange(n_points + 1) * n_runs
+    return offsets, npm, absolute, changes, path_keys
+
+
+def evaluate_points_fused(apps: Sequence[Application],
+                          configs: Sequence[RunConfig],
+                          context: Optional[ExecutionContext] = None,
+                          shards: Optional[int] = None
+                          ) -> Optional[List[EvaluationResult]]:
+    """Evaluate a homogeneous sweep as one fused array program.
+
+    Returns per-point :class:`EvaluationResult`\\ s — bit-identical to
+    calling :func:`~repro.experiments.runner.evaluate_application` per
+    point — or ``None`` when the points cannot fuse (the caller then
+    falls back to per-point evaluation).
+
+    ``shards`` overrides the sharding request (``None`` defers to the
+    base config and the ``REPRO_SHARDS`` session default; ``0`` selects
+    automatically from cores and the memory budget; ``N >= 2`` fans the
+    run axis out over ``context``'s backend).  ``context`` supplies the
+    pool or fleet for sharded execution; without one, an ephemeral pool
+    honoring the config's backend knobs is used and closed again.
+    """
+    n_points = len(apps)
+    if n_points == 0:
+        return []
+    if not _configs_fusable(configs):
+        return None
+    build = _build_fused(apps, configs)
+    if build is None:
+        return None
+
+    n_shards = _resolve_shard_count(build, configs, shards)
+    if n_shards > 1:
+        stateful = _stateful_scalar_schemes(build)
+        if stateful is None:
+            return None  # mixed shapes: per-point fallback either way
+        if stateful:
+            warnings.warn(
+                f"scheme(s) {', '.join(sorted(stateful))} declare stateful "
+                "runs (PolicyRun.stateless=False) on the scalar path; "
+                "sharding would split their run sequence across processes "
+                "— running the sweep unsharded", RuntimeWarning,
+                stacklevel=2)
+            n_shards = 1
+
+    transport = "inline"
+    shard_runs: List[int] = []
+    out = None
+    if n_shards > 1:
+        ranges = plan_shards(configs[0].n_runs, n_shards)
+        if len(ranges) > 1:
+            fanned = _run_sharded(build, apps, configs, ranges, context)
+            if fanned is not None:
+                shard_results, transport = fanned
+                out = _reduce_shards(build, configs, ranges,
+                                     shard_results, context)
+                shard_runs = [hi - lo for lo, hi in ranges]
+    if out is None:
+        transport = "inline"
+        shard_runs = []
+        out = _compute_fused(build, configs)
+        if out is None:
+            return None
+    offsets, npm_energy, absolute, changes, path_keys = out
+
+    scheme_names = build.scheme_names
     results = []
     for i, (app, cfg) in enumerate(zip(apps, configs)):
         lo, hi = int(offsets[i]), int(offsets[i + 1])
@@ -354,4 +839,14 @@ def evaluate_points_fused(apps: Sequence[Application],
             res.normalized[name] = res.absolute[name] / res.npm_energy
             res.speed_changes[name] = changes[name][lo:hi].copy()
         results.append(res)
+
+    global _LAST_FUSED
+    meta: Dict[str, object] = {
+        "points": n_points,
+        "shards": len(shard_runs) if shard_runs else 1,
+        "transport": transport,
+    }
+    if shard_runs:
+        meta["shard_runs"] = shard_runs
+    _LAST_FUSED = meta
     return results

@@ -76,6 +76,13 @@ def _evaluate_app_point(index: int, app: Application,
                         config: RunConfig) -> EvaluationResult:
     from ..errors import FaultInjected
     from . import faults
+    from .fused import ShardTask, run_shard
+    if isinstance(app, ShardTask):
+        # a fused-sweep shard traveling through the point protocol
+        # (both backends route their tasks here, so shards inherit
+        # retry/steal/degrade without a wire-protocol change); its own
+        # shard-exec fault site fires inside run_shard
+        return run_shard(app)
     if faults.fire("worker-chunk", key=index) == "raise":
         raise FaultInjected(f"injected worker fault at point {index}")
     return evaluate_application(app, config)
@@ -159,6 +166,38 @@ def map_evaluations(apps: Sequence[Application],
         if not pending:
             return results
 
+        def _fused_attempt():
+            from .fused import evaluate_points_fused
+            try:
+                computed = evaluate_points_fused(
+                    [apps[i] for i in pending],
+                    [configs[i] for i in pending],
+                    context=ctx)
+            except Exception as exc:
+                raise ParallelError(
+                    f"fused sweep over {len(pending)} point(s)",
+                    exc) from exc
+            if computed is not None:
+                for i, res in zip(pending, computed):
+                    results[i] = res
+                    if ctx.cache is not None:
+                        ctx.cache.put(keys[i], res)
+            return computed
+
+        shard_requested = False
+        if fused and len(pending) > 1:
+            from .fused import default_shards
+            shard_requested = (configs[0].shards is not None
+                               or default_shards() is not None)
+
+        if shard_requested:
+            # a sharded fused sweep fans out over this context's own
+            # backend (pool workers or the dispatch fleet), so it
+            # outranks per-point dispatch of the demoted path
+            if _fused_attempt() is not None:
+                return results
+            # not fusable: the per-point strategies below still apply
+
         if ctx.backend == "dispatch" and ctx.dispatch_jobs() >= 2:
             # distributed fan-out: pending points go to the executor
             # fleet; cache misses only, exactly like the local paths
@@ -177,21 +216,8 @@ def map_evaluations(apps: Sequence[Application],
                 return results
             # no executors reachable: degrade to the local paths below
 
-        if fused and len(pending) > 1:
-            from .fused import evaluate_points_fused
-            try:
-                computed = evaluate_points_fused(
-                    [apps[i] for i in pending],
-                    [configs[i] for i in pending])
-            except Exception as exc:
-                raise ParallelError(
-                    f"fused sweep over {len(pending)} point(s)",
-                    exc) from exc
-            if computed is not None:
-                for i, res in zip(pending, computed):
-                    results[i] = res
-                    if ctx.cache is not None:
-                        ctx.cache.put(keys[i], res)
+        if fused and len(pending) > 1 and not shard_requested:
+            if _fused_attempt() is not None:
                 return results
             # not fusable: fall through to per-point evaluation
 

@@ -142,6 +142,19 @@ class RunConfig:
     #: bit-identical — execution knob, never part of the evaluation
     #: cache key.
     kernel_tier: Optional[str] = None
+    #: shard request for the fused sweep path: ``None`` (resolve the
+    #: ``REPRO_SHARDS`` session default; unset everywhere = monolithic),
+    #: ``0`` (auto: effective cores, raised to fit ``shard_mem_mb``) or
+    #: ``N >= 1`` explicit shards of the fused run axis, executed on the
+    #: sweep's backend (pool workers or dispatch executors).  Sharded
+    #: output is bit-identical to unsharded — execution knob, never part
+    #: of the evaluation cache key.
+    shards: Optional[int] = None
+    #: peak-memory budget in MiB for one fused shard (0 = unbudgeted);
+    #: only consulted by automatic shard selection (``shards=0``), which
+    #: raises the shard count until the estimated per-shard footprint
+    #: fits.  Execution knob — never part of the evaluation cache key.
+    shard_mem_mb: int = 0
 
     def __post_init__(self) -> None:
         if self.n_runs < 1:
@@ -196,6 +209,13 @@ class RunConfig:
             raise ConfigError(
                 f"kernel_tier must be 'auto', 'legacy', 'numpy' or "
                 f"'jit', got {self.kernel_tier!r}")
+        if self.shards is not None and self.shards < 0:
+            raise ConfigError(
+                f"shards must be >= 0 (0 = auto), got {self.shards}")
+        if self.shard_mem_mb < 0:
+            raise ConfigError(
+                f"shard_mem_mb must be >= 0 (0 = unbudgeted), "
+                f"got {self.shard_mem_mb}")
 
     def retry_policy(self):
         """The :class:`~repro.experiments.engine.RetryPolicy` this

@@ -93,6 +93,20 @@ def _cache_meta(context: Optional[ExecutionContext], before,
     return meta
 
 
+def _fused_meta(meta: Dict[str, object]) -> Dict[str, object]:
+    """Record how the sweep's fused pass executed, if one ran.
+
+    ``meta["fused"]`` carries the shard count, per-shard run counts and
+    the transport (``inline``/``pool``/``dispatch``) of the most recent
+    fused pass — popped, so one pass is never attributed to two sweeps.
+    """
+    from .fused import take_fused_meta
+    fused = take_fused_meta()
+    if fused is not None:
+        meta["fused"] = fused
+    return meta
+
+
 def sweep_load(graph: AndOrGraph, config: RunConfig,
                loads: Sequence[float] = DEFAULT_LOADS,
                n_jobs: int = 1,
@@ -115,13 +129,13 @@ def sweep_load(graph: AndOrGraph, config: RunConfig,
     results = map_load_points(graph, list(loads), config, n_jobs=n_jobs,
                               context=context, fused=fused)
     return _series_from(name, "load", loads, results,
-                        meta=_cache_meta(context, before,
+                        meta=_cache_meta(context, before, _fused_meta(
                                          {"app": graph.name,
                                           "power_model": config.power_model,
                                           "n_processors": config.n_processors,
                                           "n_runs": config.n_runs,
                                           "kernel": kernel_meta(
-                                              config.kernel_tier)}))
+                                              config.kernel_tier)})))
 
 
 def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
@@ -146,14 +160,14 @@ def sweep_alpha(graph_factory: Callable[[float], AndOrGraph],
     results = map_applications(apps, config, n_jobs=n_jobs, context=context,
                                fused=fused)
     return _series_from(name, "alpha", alphas, results,
-                        meta=_cache_meta(context, before,
+                        meta=_cache_meta(context, before, _fused_meta(
                                          {"app": apps[0].name if apps else "?",
                                           "load": load,
                                           "power_model": config.power_model,
                                           "n_processors": config.n_processors,
                                           "n_runs": config.n_runs,
                                           "kernel": kernel_meta(
-                                              config.kernel_tier)}))
+                                              config.kernel_tier)})))
 
 
 def sweep_processors(graph_builder: Callable[[], AndOrGraph],

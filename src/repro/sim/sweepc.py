@@ -41,6 +41,52 @@ from .compiled import CompiledPlan, _CompiledSection
 #: point agrees, else one value per point
 Stacked = Union[float, np.ndarray]
 
+#: coarse multiplier of the realization-matrix footprint covering the
+#: batch kernels' per-run scratch lanes (actual/speed/wall/energy per
+#: slot plus the path-grouped gathers); used only to pick a shard count
+#: against a memory budget, never to allocate
+FUSED_MEM_FACTOR = 6.0
+
+
+def plan_shards(n_runs: int, shards: int) -> List[tuple]:
+    """Deterministic near-equal run ranges ``[(lo, hi), ...]``.
+
+    Partitions the run axis — every point keeps all its points-axis
+    structure; a shard is the same sweep over a contiguous slice of
+    each point's run rows.  The requested count is clamped into
+    ``[1, n_runs]`` (a shard must hold at least one run), the first
+    ``n_runs % shards`` ranges take the extra run, and ranges tile
+    ``[0, n_runs)`` exactly: run ``r`` lands in precisely one shard,
+    in run order, so a concat in shard-index order reproduces the
+    monolithic run axis.
+    """
+    if n_runs < 1:
+        raise ValueError(f"n_runs must be >= 1, got {n_runs}")
+    k = max(1, min(int(shards), n_runs))
+    base, rem = divmod(n_runs, k)
+    ranges = []
+    lo = 0
+    for i in range(k):
+        hi = lo + base + (1 if i < rem else 0)
+        ranges.append((lo, hi))
+        lo = hi
+    return ranges
+
+
+def fused_bytes_estimate(prog, total_runs: int) -> int:
+    """Rough peak-memory bytes of one fused pass over ``total_runs`` rows.
+
+    The dominant allocations scale with the run axis: the float64
+    realization matrix (``total_runs × n_cols``) plus the kernels'
+    per-slot scratch, folded into :data:`FUSED_MEM_FACTOR`.  Accepts a
+    :class:`CompiledPlan` or :class:`StackedProgram` (both expose
+    ``comp_names``/``n_slots``).  Intentionally coarse — it only
+    informs automatic shard-count selection against ``--shard-mem-mb``.
+    """
+    n_cols = max(len(prog.comp_names), 1)
+    per_run = 8.0 * (n_cols + prog.n_slots) * FUSED_MEM_FACTOR
+    return int(per_run * max(total_runs, 0))
+
 
 def _stack_values(values: Sequence[float]) -> Stacked:
     """Collapse one per-point constant column to a scalar when possible.

@@ -11,11 +11,18 @@ import pickle
 import socket
 import struct
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigError, DispatchError
-from repro.experiments import RunConfig
+from repro.experiments import (
+    EvaluationCache,
+    RunConfig,
+    evaluate_application,
+    evaluation_key,
+)
 from repro.experiments.dispatch import (
+    DispatchWorker,
     FrameBuffer,
     PointLedger,
     dispatch_points,
@@ -139,6 +146,72 @@ class TestBackendResolution:
                                 backend="dispatch").dispatch_jobs() == 1
         with pytest.raises(ConfigError):
             ExecutionContext(backend="dispatch", executors=-2)
+
+
+class TestExecutorCacheProbe:
+    """A (re)joining executor must skip work the fleet already did."""
+
+    @pytest.fixture
+    def point(self):
+        from repro.workloads import application_with_load
+        app = application_with_load(build_chain_graph(), 0.5, 2)
+        cfg = RunConfig(schemes=("GSS",), n_runs=10, seed=3)
+        return app, cfg
+
+    def test_cache_hit_returns_without_computing(self, tmp_path, point,
+                                                 monkeypatch):
+        app, cfg = point
+        cache = EvaluationCache(tmp_path)
+        expected = evaluate_application(app, cfg)
+        cache.put(evaluation_key(app, cfg), expected)
+        worker = DispatchWorker("localhost", 1, cache_dir=str(tmp_path))
+        import repro.experiments.parallel as parallel_mod
+
+        def _boom(*args, **kwargs):
+            raise AssertionError("computed despite a cache hit")
+
+        monkeypatch.setattr(parallel_mod, "_evaluate_app_point", _boom)
+        result = worker._evaluate(0, app, cfg)
+        assert np.array_equal(result.npm_energy, expected.npm_energy)
+        assert np.array_equal(result.absolute["GSS"],
+                              expected.absolute["GSS"])
+
+    def test_cache_miss_computes_and_fills_the_store(self, tmp_path,
+                                                     point):
+        app, cfg = point
+        worker = DispatchWorker("localhost", 1, cache_dir=str(tmp_path))
+        result = worker._evaluate(0, app, cfg)
+        # the fresh result landed in the shared store: a second worker
+        # (or this one, re-joining) now hits
+        hit = EvaluationCache(tmp_path).get(
+            evaluation_key(app, cfg), app.name, cfg)
+        assert hit is not None
+        assert np.array_equal(hit.npm_energy, result.npm_energy)
+
+    def test_shard_tasks_bypass_the_probe(self, tmp_path, point,
+                                          monkeypatch):
+        """A shard is an execution slice, not an addressable point: it
+        must neither probe nor fill the evaluation cache."""
+        from repro.experiments import evalcache as evalcache_mod
+        from repro.experiments.fused import ShardTask
+        app, cfg = point
+        task = ShardTask(0, 2, 0, 5, (app,), (cfg,), False)
+        worker = DispatchWorker("localhost", 1, cache_dir=str(tmp_path))
+
+        def _no_key(*args, **kwargs):
+            raise AssertionError("shard task was keyed for the cache")
+
+        monkeypatch.setattr(evalcache_mod, "evaluation_key", _no_key)
+        result = worker._evaluate(0, task, cfg)
+        assert result.n_points == 1  # a ShardResult, computed directly
+
+    def test_no_cache_dir_stays_cache_blind(self, tmp_path, point):
+        app, cfg = point
+        worker = DispatchWorker("localhost", 1)
+        assert worker._open_cache() is None
+        result = worker._evaluate(0, app, cfg)
+        expected = evaluate_application(app, cfg)
+        assert np.array_equal(result.npm_energy, expected.npm_energy)
 
 
 class TestFleetShapes:
