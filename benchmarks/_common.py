@@ -1,0 +1,73 @@
+"""Shared plumbing for the benchmark emitters.
+
+Every ``benchmarks/*_speedup.py`` script measures a different execution
+shape but emits the same kind of record: wall-clock sections, a
+bit-identical assertion against a reference pass, a peak-RSS snapshot
+and a ``BENCH_*.json`` file.  This module holds that plumbing once:
+
+* :func:`peak_rss_mb` — lifetime high-water RSS of the process and its
+  reaped children,
+* :func:`assert_series_equal` — the point-by-point + speed-change-meta
+  equality every timed pass must satisfy before its time is reported,
+* :func:`best_of` — best-of-N wall-clock for cheap repeatable sections,
+* :func:`write_record` — the canonical ``BENCH_*.json`` serialization
+  (sorted keys, indent 2, trailing newline),
+* :data:`FIG5_ATR` — the widened ATR shape shared by the sweep-scale
+  benchmarks,
+* :func:`effective_cores` — re-exported from the engine so scripts can
+  report the scheduler-visible core count without a second import.
+
+Scripts run from the repo root with ``PYTHONPATH=src``; ``sys.path[0]``
+is ``benchmarks/``, so a plain ``from _common import ...`` resolves.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.experiments.engine import effective_cores  # noqa: F401
+
+#: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
+FIG5_ATR = dict(max_rois=6,
+                roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
+
+
+def peak_rss_mb() -> dict:
+    """High-water RSS in MiB: this process and its reaped children.
+
+    ``ru_maxrss`` is a lifetime high-water mark (KiB on Linux, bytes on
+    macOS), so successive snapshots only ever grow — compare the
+    children figure across sections to see what the pool workers added.
+    """
+    import resource
+    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
+    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+    return {"self": round(own / scale, 1),
+            "children": round(kids / scale, 1)}
+
+
+def assert_series_equal(a, b, label: str) -> None:
+    """Two timed passes over the same sweep must agree bit for bit."""
+    assert a.points == b.points, f"{label}: sweep points diverged"
+    assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
+        f"{label}: speed-change counts diverged"
+
+
+def best_of(fn, reps: int) -> float:
+    """Best-of-``reps`` wall-clock seconds of ``fn()``."""
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def write_record(record: dict, path: str) -> None:
+    """Write one ``BENCH_*.json`` record in the canonical format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")

@@ -35,32 +35,18 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
+from _common import (
+    FIG5_ATR,
+    assert_series_equal,
+    effective_cores,
+    peak_rss_mb,
+    write_record,
+)
 from repro.experiments import ExecutionContext, RunConfig, sweep_load
-from repro.experiments.engine import effective_cores
 from repro.workloads import AtrConfig, atr_graph
-
-#: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
-FIG5_ATR = dict(max_rois=6,
-                roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
-
-
-def _assert_series_equal(a, b, label: str) -> None:
-    assert a.points == b.points, f"{label}: sweep points diverged"
-    assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
-        f"{label}: speed-change counts diverged"
-
-
-def _peak_rss_mb() -> dict:
-    """Lifetime peak RSS in MiB for this process and its children."""
-    import resource
-    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
-    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
-    return {"self": round(own / scale, 1), "children": round(kids / scale, 1)}
 
 
 def main(argv=None) -> int:
@@ -105,7 +91,7 @@ def main(argv=None) -> int:
     t_serial = time.perf_counter() - t0
     print(f"  serial   (point by point)    {t_serial:8.3f} s")
 
-    rss_baseline = _peak_rss_mb()
+    rss_baseline = peak_rss_mb()
     with ExecutionContext(backend="dispatch",
                           executors=args.executors) as ctx:
         t0 = time.perf_counter()
@@ -120,7 +106,7 @@ def main(argv=None) -> int:
         t_sharded = time.perf_counter() - t0
     per_executor = stats.pop("per_executor")
     shard_meta = series_sharded.meta.get("fused", {})
-    rss_after = _peak_rss_mb()
+    rss_after = peak_rss_mb()
     assert stats["completed"] == args.points, \
         f"fleet completed {stats['completed']}/{args.points} points"
     assert stats["degraded_points"] == 0, \
@@ -133,10 +119,10 @@ def main(argv=None) -> int:
           f"(rss self {rss_after['self']:.0f} MiB, "
           f"workers {rss_after['children']:.0f} MiB)")
 
-    _assert_series_equal(series_serial, series_fused, "fused vs serial")
-    _assert_series_equal(series_serial, series_dispatch,
+    assert_series_equal(series_serial, series_fused, "fused vs serial")
+    assert_series_equal(series_serial, series_dispatch,
                          "dispatch vs serial")
-    _assert_series_equal(series_serial, series_sharded,
+    assert_series_equal(series_serial, series_sharded,
                          "sharded dispatch vs serial")
 
     vs_serial = t_serial / t_dispatch if t_dispatch > 0 else float("inf")
@@ -167,9 +153,7 @@ def main(argv=None) -> int:
         "shard_transport": shard_meta.get("transport"),
         "peak_rss_mb": {"baseline": rss_baseline, "final": rss_after},
     }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_record(record, args.out)
     print(f"  dispatch vs serial {vs_serial:8.2f} x")
     print(f"  dispatch vs fused  {vs_fused:8.2f} x  -> {args.out}")
 

@@ -57,15 +57,14 @@ so the default tier can never regress below the loop it replaced.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 
 import numpy as np
 
+from _common import best_of, effective_cores, peak_rss_mb, write_record
 from repro.core.registry import get_policy
 from repro.experiments import RunConfig, evaluate_application
-from repro.experiments.engine import effective_cores
 from repro.experiments.figures import ATR_ALPHA
 from repro.experiments.runner import (
     _simulate_runs,
@@ -75,24 +74,6 @@ from repro.experiments.runner import (
 from repro.sim.kernels import jit_available
 from repro.sim.realization import sample_realization_batch
 from repro.workloads import AtrConfig, application_with_load, atr_graph
-
-
-def _peak_rss_mb() -> dict:
-    """Lifetime peak RSS in MiB for this process and its children."""
-    import resource
-    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
-    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
-    return {"self": round(own / scale, 1), "children": round(kids / scale, 1)}
-
-
-def _best_of(fn, reps: int) -> float:
-    best = float("inf")
-    for _ in range(reps):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def main(argv=None) -> int:
@@ -154,10 +135,10 @@ def main(argv=None) -> int:
         for scheme in d_abs:
             assert np.array_equal(d_abs[scheme], c_abs[scheme]), \
                 f"{tier} kernel diverged for {scheme}"
-        tier_seconds[tier] = _best_of(lambda: compiled_kernel(tier),
-                                      args.reps)
+        tier_seconds[tier] = best_of(lambda: compiled_kernel(tier),
+                                     args.reps)
 
-    t_dict = _best_of(dict_kernel, args.reps)
+    t_dict = best_of(dict_kernel, args.reps)
     # the default tier is what "the compiled kernel" means everywhere
     # else in the repo — keep kernel_speedup comparable across PRs
     t_compiled = tier_seconds["numpy"]
@@ -258,12 +239,10 @@ def main(argv=None) -> int:
         "speedup_large_pooled": round(speedup_large_pooled, 3),
         "run_level_pool_default": False,
         "parallel_min_runs": cfg.parallel_min_runs,
-        "peak_rss_mb": _peak_rss_mb(),
+        "peak_rss_mb": peak_rss_mb(),
         "bit_identical": True,
     }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_record(record, args.out)
 
     print(f"engine_speedup: {args.runs} runs, load={args.load}, "
           f"m={args.procs}")

@@ -1,0 +1,165 @@
+"""Online streaming-simulator benchmark: admitted jobs per second.
+
+Times one sporadic-arrival stream (Figure 3 synthetic application,
+Poisson arrivals, admission control) through
+:func:`repro.experiments.online.simulate_online` and emits
+``BENCH_online.json``:
+
+1. **compiled** — the default engine: the stream's admitted jobs are
+   batched through the compiled/tape kernels for every registered
+   scheme (best-of ``--reps``); ``jobs_per_sec`` is admitted jobs over
+   that wall-clock (each job simulated under *all* schemes —
+   ``scheme_jobs_per_sec`` counts per-scheme job simulations);
+2. **dict** — the same stream on the reference string-keyed engine,
+   asserted bit-identical (energies, realized finish instants, the
+   admit/reject ledger) before ``engine_speedup`` is reported.
+
+The record carries the stream's ledger — arrivals, admitted, rejected
+and the per-scheme admitted-then-late counts — plus the peak RSS of
+the process, so the admission throughput and the miss accounting are
+tracked across PRs alongside the kernel numbers.
+
+``--quick`` shrinks the stream for the CI smoke job.
+``--budget-seconds`` (> 0) fails the invocation if the *compiled* pass
+exceeds the budget.  ``--min-engine-speedup`` (> 0) requires the
+compiled stream to beat the dict reference by at least that factor
+(with the usual 5% timing-noise tolerance).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/online_speedup.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from _common import best_of, effective_cores, peak_rss_mb, write_record
+from repro.experiments import OnlineConfig, RunConfig, simulate_online
+from repro.workloads import figure3_graph
+
+
+def _assert_streams_equal(a, b) -> None:
+    """Two engines simulating one stream must agree bit for bit."""
+    assert np.array_equal(a.arrivals, b.arrivals), "arrival traces diverged"
+    assert np.array_equal(a.admitted, b.admitted), "admission diverged"
+    assert a.path_keys == b.path_keys, "executed paths diverged"
+    for scheme, st in a.per_scheme.items():
+        other = b.per_scheme[scheme]
+        assert np.array_equal(st.job_energy, other.job_energy), \
+            f"{scheme}: per-job energies diverged"
+        assert np.array_equal(st.job_finish, other.job_finish), \
+            f"{scheme}: realized finish instants diverged"
+        assert np.array_equal(st.job_miss, other.job_miss), \
+            f"{scheme}: miss flags diverged"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--arrivals", type=int, default=2000,
+                    help="expected arrivals in the stream "
+                         "(OnlineConfig.target_arrivals)")
+    ap.add_argument("--rate", type=float, default=1.0,
+                    help="mean arrivals per canonical worst-case length")
+    ap.add_argument("--load", type=float, default=0.7,
+                    help="per-job relative-deadline load D = T_worst/load")
+    ap.add_argument("--arrival", choices=("poisson", "bursty"),
+                    default="poisson")
+    ap.add_argument("--procs", type=int, default=2)
+    ap.add_argument("--seed", type=int, default=2002)
+    ap.add_argument("--reps", type=int, default=3,
+                    help="compiled-pass timing repetitions (best-of)")
+    ap.add_argument("--quick", action="store_true",
+                    help="CI smoke shape: a ~200-arrival stream, one rep")
+    ap.add_argument("--out", default="BENCH_online.json")
+    ap.add_argument("--budget-seconds", type=float, default=0.0,
+                    dest="budget_seconds",
+                    help="fail if the compiled pass exceeds this "
+                         "(0 = no gate)")
+    ap.add_argument("--min-engine-speedup", type=float, default=0.0,
+                    dest="min_engine_speedup",
+                    help="required compiled-vs-dict speedup "
+                         "(0 = report only; 5%% timing-noise tolerance)")
+    args = ap.parse_args(argv)
+    if args.quick:
+        args.arrivals = min(args.arrivals, 200)
+        args.reps = 1
+
+    graph = figure3_graph()
+    cfg = RunConfig(power_model="transmeta", n_processors=args.procs,
+                    seed=args.seed)
+    online = OnlineConfig(arrival=args.arrival, rate=args.rate,
+                          load=args.load, target_arrivals=args.arrivals)
+
+    print(f"online_speedup: ~{args.arrivals} arrivals, rate={args.rate}, "
+          f"load={args.load}, {args.arrival}, m={args.procs}, "
+          f"cores={effective_cores()}")
+
+    result = simulate_online(graph, cfg, online)  # warm-up + reference
+    t_compiled = best_of(lambda: simulate_online(graph, cfg, online),
+                         args.reps)
+
+    cfg_dict = cfg.with_(engine="dict")
+    result_dict = simulate_online(graph, cfg_dict, online)
+    _assert_streams_equal(result, result_dict)
+    t_dict = best_of(lambda: simulate_online(graph, cfg_dict, online), 1)
+    engine_speedup = t_dict / t_compiled if t_compiled > 0 else float("inf")
+
+    n_schemes = len(result.per_scheme)
+    jobs_per_sec = (result.n_admitted / t_compiled
+                    if t_compiled > 0 else float("inf"))
+    missed = {s: st.n_missed for s, st in result.per_scheme.items()}
+    miss_ratio = {s: round(st.miss_ratio(), 4)
+                  for s, st in result.per_scheme.items()}
+    record = {
+        "benchmark": "online_speedup",
+        "bit_identical": True,
+        "arrival": args.arrival,
+        "rate": args.rate,
+        "load": args.load,
+        "n_processors": args.procs,
+        "cores": effective_cores(),
+        "seed": args.seed,
+        "quick": args.quick,
+        "arrivals": result.n_arrivals,
+        "admitted": result.n_admitted,
+        "rejected": result.n_rejected,
+        "missed": missed,
+        "miss_ratio": miss_ratio,
+        "schemes": sorted(result.per_scheme),
+        "compiled_seconds": round(t_compiled, 4),
+        "dict_seconds": round(t_dict, 4),
+        "engine_speedup": round(engine_speedup, 3),
+        "jobs_per_sec": round(jobs_per_sec, 1),
+        "scheme_jobs_per_sec": round(jobs_per_sec * n_schemes, 1),
+        "peak_rss_mb": peak_rss_mb(),
+    }
+    write_record(record, args.out)
+
+    print(f"  stream: {result.n_arrivals} arrivals -> "
+          f"{result.n_admitted} admitted, {result.n_rejected} rejected")
+    print(f"  missed: " + ", ".join(f"{s}:{n}"
+                                    for s, n in sorted(missed.items())))
+    print(f"  compiled stream  {t_compiled:8.3f} s  "
+          f"({jobs_per_sec:,.0f} jobs/s x {n_schemes} schemes)")
+    print(f"  dict stream      {t_dict:8.3f} s")
+    print(f"  engine speedup   {engine_speedup:8.2f} x  -> {args.out}")
+
+    if args.budget_seconds > 0 and t_compiled > args.budget_seconds:
+        print(f"FAIL: compiled stream took {t_compiled:.2f} s, budget "
+              f"{args.budget_seconds:.2f} s", file=sys.stderr)
+        return 1
+    if args.min_engine_speedup > 0 and \
+            engine_speedup < args.min_engine_speedup * 0.95:
+        print(f"FAIL: engine speedup {engine_speedup:.2f}x below required "
+              f"{args.min_engine_speedup:.2f}x (with 5% tolerance)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -58,41 +58,21 @@ Run from the repo root::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import tempfile
 import time
 
+from _common import (
+    FIG5_ATR,
+    assert_series_equal,
+    effective_cores,
+    peak_rss_mb,
+    write_record,
+)
 from repro.experiments import (EvaluationCache, ExecutionContext, RunConfig,
                                sweep_load)
-from repro.experiments.engine import effective_cores
 from repro.sim.kernels import jit_available
 from repro.workloads import AtrConfig, atr_graph
-
-#: the widened ATR used by Figure 5 (six simultaneous ROIs, m=6)
-FIG5_ATR = dict(max_rois=6,
-                roi_probs=(0.05, 0.15, 0.20, 0.20, 0.15, 0.15, 0.10))
-
-
-def _assert_series_equal(a, b, label: str) -> None:
-    assert a.points == b.points, f"{label}: sweep points diverged"
-    assert a.meta.get("speed_changes") == b.meta.get("speed_changes"), \
-        f"{label}: speed-change counts diverged"
-
-
-def _peak_rss_mb() -> dict:
-    """High-water RSS in MiB: this process and its reaped children.
-
-    ``ru_maxrss`` is a lifetime high-water mark (KiB on Linux, bytes on
-    macOS), so successive snapshots only ever grow — compare the
-    children figure across sections to see what the pool workers added.
-    """
-    import resource
-    scale = 1024.0 * 1024.0 if sys.platform == "darwin" else 1024.0
-    own = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    kids = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
-    return {"self": round(own / scale, 1),
-            "children": round(kids / scale, 1)}
 
 
 def _warm_task(x):
@@ -179,7 +159,7 @@ def main(argv=None) -> int:
             series_tier = sweep_load(
                 graph, cfg_fused.with_(kernel_tier=tier), loads, context=ctx)
             fused_tier_seconds[tier] = time.perf_counter() - t0
-        _assert_series_equal(series_fused, series_tier, f"fused[{tier}]")
+        assert_series_equal(series_fused, series_tier, f"fused[{tier}]")
         print(f"  fused [{tier:>6}] tier    "
               f"{fused_tier_seconds[tier]:8.3f} s")
     tape_speedup = (fused_tier_seconds["legacy"]
@@ -220,12 +200,12 @@ def main(argv=None) -> int:
 
     # -- fused_shard: the sharded fused path at a larger run count ----------
     cfg_shard_scale = cfg_fused.with_(n_runs=args.shard_runs)
-    rss_before_shards = _peak_rss_mb()
+    rss_before_shards = peak_rss_mb()
     with ExecutionContext(n_jobs=1) as ctx:
         t0 = time.perf_counter()
         series_mono = sweep_load(graph, cfg_shard_scale, loads, context=ctx)
         t_mono = time.perf_counter() - t0
-    rss_mono = _peak_rss_mb()
+    rss_mono = peak_rss_mb()
     print(f"  mono  ({args.shard_runs} runs, 1 proc) {t_mono:8.3f} s")
 
     shard_request = args.shards if args.shards > 0 else effective_cores()
@@ -238,7 +218,7 @@ def main(argv=None) -> int:
         t0 = time.perf_counter()
         series_shard = sweep_load(graph, cfg_sharded, loads, context=ctx)
         t_shard = time.perf_counter() - t0
-    rss_shard = _peak_rss_mb()
+    rss_shard = peak_rss_mb()
     shard_meta = series_shard.meta.get("fused", {})
     shards_ran = shard_meta.get("shards", 1)
     shard_transport = shard_meta.get("transport", "inline")
@@ -246,12 +226,12 @@ def main(argv=None) -> int:
           f"{t_shard:11.3f} s  "
           f"(rss self {rss_shard['self']:.0f} MiB, "
           f"workers {rss_shard['children']:.0f} MiB)")
-    _assert_series_equal(series_mono, series_shard, "sharded vs mono")
+    assert_series_equal(series_mono, series_shard, "sharded vs mono")
     shard_speedup = t_mono / t_shard if t_shard > 0 else float("inf")
 
-    _assert_series_equal(series_cold, series_fused, "fused vs cold")
-    _assert_series_equal(series_cold, series_warm, "warm vs cold")
-    _assert_series_equal(series_cold, series_hit, "cache vs cold")
+    assert_series_equal(series_cold, series_fused, "fused vs cold")
+    assert_series_equal(series_cold, series_warm, "warm vs cold")
+    assert_series_equal(series_cold, series_hit, "cache vs cold")
 
     warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
     cache_speedup = t_cold / t_hit if t_hit > 0 else float("inf")
@@ -296,9 +276,7 @@ def main(argv=None) -> int:
                         "monolithic": rss_mono,
                         "sharded": rss_shard},
     }
-    with open(args.out, "w", encoding="utf-8") as fh:
-        json.dump(record, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    write_record(record, args.out)
     print(f"  fused speedup {fused_speedup:8.2f} x  (vs cold)")
     print(f"  fused vs warm {fused_vs_warm:8.2f} x")
     print(f"  tape speedup  {tape_speedup:8.2f} x  (legacy -> numpy, fused)")

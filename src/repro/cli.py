@@ -6,7 +6,9 @@ Usage::
     python -m repro fig4 [--runs 1000] [--jobs 4 | --n-jobs 4] [--csv out.csv]
     python -m repro fig5 --backend dispatch --executors 8
     python -m repro fig6 ...
+    python -m repro fig_online --runs 500 --arrival bursty
     python -m repro run --app atr --load 0.5 --model xscale --procs 2
+    python -m repro online --arrival poisson --rate 0.8 --horizon 50
     python -m repro gantt --app fig3 --scheme GSS --load 0.5
     python -m repro worker --connect host:7070   # join a remote fleet
 
@@ -22,7 +24,12 @@ from typing import Dict, List, Optional
 
 from .core.registry import ALL_SCHEMES, PAPER_SCHEMES
 from .experiments.figures import ALL_FIGURES
-from .experiments.report import render_series, render_speed_changes, series_to_csv
+from .experiments.report import (
+    render_online_meta,
+    render_series,
+    render_speed_changes,
+    series_to_csv,
+)
 from .experiments.runner import RunConfig, evaluate_application
 from .experiments.tables import all_tables
 from .types import SeriesResult
@@ -45,10 +52,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="print Table 1 and Table 2")
 
-    for fig in ("fig4", "fig5", "fig6"):
-        fp = sub.add_parser(fig, help=f"regenerate {fig} (both power models)")
+    for fig in ("fig4", "fig5", "fig6", "fig_online"):
+        fp = sub.add_parser(fig, help=f"regenerate {fig} (both power models)"
+                            if fig != "fig_online" else
+                            "arrival rate vs energy vs miss ratio through "
+                            "the online streaming simulator")
         fp.add_argument("--runs", type=int, default=1000,
-                        help="Monte-Carlo runs per point (paper: 1000)")
+                        help="Monte-Carlo runs per point (paper: 1000); "
+                             "for fig_online: expected arrivals per rate "
+                             "point")
+        if fig == "fig_online":
+            fp.add_argument("--rates", nargs="*", type=float, default=None,
+                            help="arrival rates to sweep, in mean arrivals "
+                                 "per canonical worst-case length "
+                                 "(default: 0.25..2.0)")
+            fp.add_argument("--arrival", choices=("poisson", "bursty"),
+                            default="poisson",
+                            help="arrival process per stream (trace-driven "
+                                 "streams: see 'repro online --trace')")
+            fp.add_argument("--load", type=float, default=None,
+                            help="per-job relative-deadline load "
+                                 "D = T_worst/load (default: 0.7)")
         fp.add_argument("--jobs", type=int, default=1,
                         help="worker processes across sweep points "
                              "(0 = all cores)")
@@ -221,6 +245,43 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--schemes", nargs="*",
                     default=["NPM", "SPM", "GSS", "SS1", "SS2", "AS"])
 
+    op = sub.add_parser("online",
+                        help="simulate one sporadic-arrival stream with "
+                             "admission control")
+    op.add_argument("--app", choices=sorted(_APPS), default="fig3")
+    op.add_argument("--arrival", choices=("poisson", "bursty", "trace"),
+                    default="poisson",
+                    help="arrival process feeding the admission test")
+    op.add_argument("--rate", type=float, default=0.5,
+                    help="mean arrivals per canonical worst-case length "
+                         "(a utilization-like congestion knob)")
+    op.add_argument("--horizon", type=float, default=50.0,
+                    help="stream length in canonical worst-case lengths")
+    op.add_argument("--load", type=float, default=0.7,
+                    help="per-job relative-deadline load: D = T_worst/load")
+    op.add_argument("--burstiness", type=float, default=1.8,
+                    help="MMPP-2 burstiness in [1, 2] for --arrival bursty")
+    op.add_argument("--dwell", type=float, default=5.0,
+                    help="mean MMPP-2 state sojourn, in worst-case lengths")
+    op.add_argument("--trace", type=str, default=None,
+                    help="JSON arrival-trace file for --arrival trace "
+                         "(a list of times, or {'arrivals': [...]}; in "
+                         "worst-case-length units)")
+    op.add_argument("--model", choices=("transmeta", "xscale"),
+                    default="transmeta")
+    op.add_argument("--procs", type=int, default=2)
+    op.add_argument("--seed", type=int, default=2002)
+    op.add_argument("--engine", choices=("compiled", "dict"),
+                    default="compiled",
+                    help="simulation kernel (results are bit-identical)")
+    op.add_argument("--kernel-tier", dest="kernel_tier",
+                    choices=("auto", "legacy", "numpy", "jit"),
+                    default=None,
+                    help="batch-kernel tier for the compiled engine "
+                         "(results are bit-identical)")
+    op.add_argument("--schemes", nargs="*", default=list(PAPER_SCHEMES),
+                    help=f"subset of {list(ALL_SCHEMES)}")
+
     ex = sub.add_parser("exact",
                         help="deterministic path-enumeration evaluation")
     ex.add_argument("--app", choices=sorted(_APPS), default="fig3")
@@ -382,6 +443,8 @@ def _emit_figure(series_by_model: Dict[str, SeriesResult],
             from .experiments.chart import render_chart
             print(render_chart(series))
         print(render_speed_changes(series))
+        if series.meta.get("online"):
+            print(render_online_meta(series))
         cache = series.meta.get("cache")
         if cache is not None:
             print(f"({series.name}: cache {cache['hits']} hits / "
@@ -439,6 +502,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 connect=args.connect, kernel_tier=args.kernel_tier,
                 shards=args.shards, shard_mem_mb=args.shard_mem_mb,
                 context=ctx, fused=not args.no_fused)
+            if args.command == "fig_online":
+                fig_kwargs["arrival"] = args.arrival
+                if args.rates:
+                    fig_kwargs["rates"] = tuple(args.rates)
+                if args.load is not None:
+                    fig_kwargs["load"] = args.load
             if args.profile:
                 series = _run_profiled(fig_fn, **fig_kwargs)
             else:
@@ -531,6 +600,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"mission: {args.frames} frames, period {period:.2f} "
               f"(load {args.load}), {args.model}, m={args.procs}")
         print(render_stream_report(results))
+        return 0
+
+    if args.command == "online":
+        from .experiments.online import (
+            OnlineConfig,
+            render_online_report,
+            simulate_online,
+        )
+        graph = _APPS[args.app]()
+        cfg = RunConfig(schemes=tuple(args.schemes),
+                        power_model=args.model,
+                        n_processors=args.procs, seed=args.seed,
+                        engine=args.engine,
+                        kernel_tier=args.kernel_tier)
+        online = OnlineConfig(arrival=args.arrival, rate=args.rate,
+                              horizon=args.horizon, load=args.load,
+                              burstiness=args.burstiness,
+                              burst_dwell=args.dwell,
+                              trace_path=args.trace)
+        print(render_online_report(simulate_online(graph, cfg, online)))
         return 0
 
     if args.command == "exact":

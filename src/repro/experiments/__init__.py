@@ -14,7 +14,10 @@
   for the chaos test suite (:class:`FaultPlan`/:class:`FaultSpec`),
 * :mod:`~repro.experiments.dispatch` — the work-stealing distributed
   sweep backend (:class:`DispatchServer`/:class:`DispatchWorker`),
-  selected per sweep via ``backend="dispatch"``.
+  selected per sweep via ``backend="dispatch"``,
+* :mod:`~repro.experiments.online` — the sporadic-arrival streaming
+  simulator with admission control (:func:`simulate_online`,
+  :func:`sweep_arrival_rate`, the ``fig_online`` figure family).
 
 Resilience: :class:`RetryPolicy` (surfaced as the ``max_retries`` /
 ``chunk_timeout`` / ``degrade`` fields of :class:`RunConfig`) governs
@@ -48,9 +51,20 @@ from .figures import (
     ATR_ALPHA,
     FIG6_LOAD,
     PAPER_POWER_MODELS,
+    fig_online,
     figure4,
     figure5,
     figure6,
+)
+from .online import (
+    DEFAULT_RATES,
+    ONLINE_LOAD,
+    OnlineConfig,
+    OnlineResult,
+    StreamStats,
+    render_online_report,
+    simulate_online,
+    sweep_arrival_rate,
 )
 from .persist import (
     load_evaluation,
@@ -72,7 +86,12 @@ from .parallel import (
     map_load_points,
     resolve_jobs,
 )
-from .report import render_series, render_speed_changes, series_to_csv
+from .report import (
+    render_online_meta,
+    render_series,
+    render_speed_changes,
+    series_to_csv,
+)
 from .runner import EvaluationResult, RunConfig, build_plans, evaluate_application
 from .stats import paired_ratio, summarize, summarize_all
 from .suite import SuiteConfig, SuiteResult, default_workloads, render_suite, run_suite
@@ -100,7 +119,17 @@ __all__ = [
     "figure4",
     "figure5",
     "figure6",
+    "fig_online",
     "ALL_FIGURES",
+    "OnlineConfig",
+    "OnlineResult",
+    "StreamStats",
+    "simulate_online",
+    "sweep_arrival_rate",
+    "render_online_report",
+    "render_online_meta",
+    "DEFAULT_RATES",
+    "ONLINE_LOAD",
     "PAPER_POWER_MODELS",
     "ATR_ALPHA",
     "FIG6_LOAD",

@@ -619,9 +619,11 @@ class ExecutionContext:
         self.dispatch_per_executor: Dict[str, int] = {}
         if fault_plan is not None:
             # parent-side sites only: the parent must never crash/hang
-            # itself while recovering (workers get the full plan)
+            # itself while recovering (workers get the full plan);
+            # online-admit runs in the driver and is retryable there
             faults.install(fault_plan.only(
-                "cache-read", "dispatch-send", "dispatch-recv"))
+                "cache-read", "dispatch-send", "dispatch-recv",
+                "online-admit"))
 
     # -- lifecycle ----------------------------------------------------------
     def __enter__(self) -> "ExecutionContext":

@@ -44,6 +44,13 @@ sites**:
     Actions: ``crash``, ``hang``, ``raise`` (the owning backend's
     retry/steal/degrade semantics must recover the shard
     bit-identically).
+``online-admit``
+    The admission probe of the online sporadic-arrival simulator
+    (:func:`~repro.experiments.online.simulate_online`), fired in the
+    driver process for every arrival, keyed by the arrival index.
+    Actions: ``raise`` (the admission decision is retried under the
+    config's retry policy and must land bit-identically), ``hang``
+    (the decision is merely delayed).
 
 Determinism and replay: a spec fires on the Nth occurrence of its site
 in a process (``occurrence``), or whenever the call site's ``key``
@@ -78,7 +85,7 @@ CORE_SITES = ("worker-chunk", "shm-attach", "cache-read")
 #: the full fault-site registry, including the distributed-dispatch
 #: sites added with :mod:`repro.experiments.dispatch`
 SITES = CORE_SITES + ("dispatch-send", "dispatch-recv", "worker-dead",
-                      "shard-exec")
+                      "shard-exec", "online-admit")
 
 #: actions a spec may request (interpreted by the firing site)
 ACTIONS = ("crash", "hang", "raise", "corrupt")
@@ -93,6 +100,7 @@ SITE_ACTIONS = {
     "dispatch-recv": ("raise",),
     "worker-dead": ("crash", "hang"),
     "shard-exec": ("crash", "hang", "raise"),
+    "online-admit": ("raise", "hang"),
 }
 
 #: exit code of an injected worker crash (recognizable in pool logs)

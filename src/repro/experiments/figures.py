@@ -10,6 +10,10 @@ Transmeta, b = Intel XScale):
 * **Figure 6** — normalized energy vs α; the Figure 3 synthetic
   application on 2 processors at load 0.9.
 
+``fig_online`` extends the family beyond the paper: normalized energy
+*and* deadline-miss ratio vs sporadic arrival rate, through the online
+streaming simulator (:mod:`repro.experiments.online`).
+
 ``n_runs`` defaults to the paper's 1000; benches pass a smaller count.
 The schemes plotted are the paper's five (SPM, GSS, SS1, SS2, AS); the
 clairvoyant oracle can be appended for the extension benches.
@@ -23,6 +27,8 @@ from ..core.registry import PAPER_SCHEMES
 from ..types import SeriesResult
 from ..workloads.atr import AtrConfig, atr_graph
 from ..workloads.synthetic import figure3_graph
+from .online import DEFAULT_RATES, ONLINE_LOAD, OnlineConfig, \
+    sweep_arrival_rate
 from .runner import RunConfig
 from .sweeps import DEFAULT_ALPHAS, DEFAULT_LOADS, sweep_alpha, sweep_load
 
@@ -182,8 +188,56 @@ def figure6(n_runs: int = 1000,
     return out
 
 
+def fig_online(n_runs: int = 1000,
+               rates: Sequence[float] = DEFAULT_RATES,
+               schemes: Sequence[str] = PAPER_SCHEMES,
+               n_jobs: int = 1, seed: int = 2002,
+               load: float = ONLINE_LOAD,
+               arrival: str = "poisson",
+               run_jobs: int = 1,
+               runs_per_chunk: int = 0,
+               engine: str = "compiled",
+               max_retries: int = 2,
+               chunk_timeout: float = 0.0,
+               degrade: bool = True,
+               backend: Optional[str] = None,
+               executors: Optional[int] = None,
+               connect: Optional[str] = None,
+               kernel_tier: Optional[str] = None,
+               shards: Optional[int] = None,
+               shard_mem_mb: int = 0,
+               context=None, fused: bool = True) -> Dict[str, SeriesResult]:
+    """Energy and deadline-miss ratio vs sporadic arrival rate (online).
+
+    One independent stream per rate point (Figure 3's synthetic
+    application, 2 processors, per-job relative deadline fixed by
+    ``load``), all fanned out through ``context`` like any other sweep.
+    ``n_runs`` sets the *expected arrivals per point*
+    (``OnlineConfig.target_arrivals``), so every rate sees comparable
+    statistics; the miss/admit/reject ledger lands in
+    ``series.meta["online"]``.  ``fused`` is accepted for signature
+    compatibility — streams are sequential by nature and never fuse.
+    """
+    del fused  # accepted for uniform figure signature, not meaningful
+    out: Dict[str, SeriesResult] = {}
+    online = OnlineConfig(arrival=arrival, load=load,
+                          target_arrivals=n_runs)
+    for model in PAPER_POWER_MODELS:
+        cfg = _fig_config(n_runs, 2, model, schemes, seed,
+                          run_jobs, runs_per_chunk, engine,
+                          max_retries, chunk_timeout, degrade,
+                          backend, executors, connect, kernel_tier,
+                          shards, shard_mem_mb)
+        out[model] = sweep_arrival_rate(figure3_graph(), cfg, online,
+                                        rates, n_jobs=n_jobs,
+                                        name=f"fig-online-{model}",
+                                        context=context)
+    return out
+
+
 ALL_FIGURES = {
     "fig4": figure4,
     "fig5": figure5,
     "fig6": figure6,
+    "fig_online": fig_online,
 }

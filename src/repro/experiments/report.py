@@ -23,7 +23,7 @@ def render_series(series: SeriesResult, precision: int = 3,
     width = max(9, precision + 5 + (7 if with_ci else 0))
     out = io.StringIO()
     header_meta = ", ".join(f"{k}={v}" for k, v in series.meta.items()
-                            if k != "speed_changes")
+                            if k not in ("speed_changes", "online"))
     out.write(f"# {series.name}")
     if header_meta:
         out.write(f"  [{header_meta}]")
@@ -61,6 +61,40 @@ def render_speed_changes(series: SeriesResult, precision: int = 1) -> str:
         out.write(f"{x:>10g} " +
                   " ".join(f"{row.get(c, float('nan')):>{width}.{precision}f}"
                            for c in cols) + "\n")
+    return out.getvalue()
+
+
+def render_online_meta(series: SeriesResult, precision: int = 3) -> str:
+    """The online stream ledger behind an arrival-rate sweep.
+
+    Renders ``series.meta["online"]`` (written by
+    :func:`~repro.experiments.online.sweep_arrival_rate`): per rate the
+    arrival/admit/reject counts and each scheme's deadline-miss ratio.
+    """
+    meta = series.meta.get("online")
+    if not meta:
+        return "(no online stream data recorded)\n"
+    ratios = {x: row for x, row in meta.get("miss_ratio", [])}
+    counts = {
+        name: {x: n for x, n in meta.get(name, [])}
+        for name in ("arrivals", "admitted", "rejected")
+    }
+    cols = sorted({c for row in ratios.values() for c in row})
+    width = max(8, precision + 5)
+    out = io.StringIO()
+    out.write(f"# {series.name}: stream ledger "
+              f"(arrival={meta.get('arrival')}, load={meta.get('load')}, "
+              f"miss ratio per scheme)\n")
+    out.write(f"{series.x_label:>10} {'arriv':>7} {'admit':>7} {'rej':>7} "
+              + " ".join(f"{c:>{width}}" for c in cols) + "\n")
+    for x in sorted(ratios):
+        row = ratios[x]
+        out.write(
+            f"{x:>10g} {counts['arrivals'].get(x, 0):>7} "
+            f"{counts['admitted'].get(x, 0):>7} "
+            f"{counts['rejected'].get(x, 0):>7} "
+            + " ".join(f"{row.get(c, float('nan')):>{width}.{precision}f}"
+                       for c in cols) + "\n")
     return out.getvalue()
 
 

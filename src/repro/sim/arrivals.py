@@ -1,0 +1,217 @@
+"""Arrival processes for the online sporadic-job scenario mode.
+
+The online simulator (:mod:`repro.experiments.online`) feeds a stream
+of AND/OR job arrivals through an admission test.  This module owns the
+*event clock*: where the arrival instants come from and how they are
+seeded so replays are bit-identical.
+
+Three pluggable processes, all sampling against one horizon:
+
+``poisson``
+    Memoryless arrivals with exponential inter-arrival gaps at a
+    constant rate — the classic sporadic model.
+``bursty``
+    A two-state Markov-modulated Poisson process (MMPP-2): the stream
+    alternates between a *high* and a *low* rate, dwelling in each
+    state for an exponentially distributed time.  Same long-run mean
+    rate as the Poisson process (the two state rates average to the
+    requested rate), but arrivals clump — the adversarial input for an
+    admission controller.
+``trace``
+    Replay of an explicit list of arrival instants, e.g. loaded from a
+    JSON file with :func:`load_arrival_trace`.  Deterministic: the rng
+    is never consulted.
+
+Seeding contract
+----------------
+One stream seed fixes everything.  Arrival instants are drawn from a
+*derived* generator (:func:`arrival_rng`: the first spawned child of
+``numpy.random.SeedSequence(seed)``), while job realizations are drawn
+from ``numpy.random.default_rng(seed)`` itself — exactly the stream
+:func:`~repro.experiments.runner.evaluate_application` uses.  The two
+streams are independent, so changing the arrival process never
+perturbs the realizations (and vice versa), and the online evaluation
+of ``n`` admitted jobs sees *exactly* the realizations of an offline
+evaluation with ``n_runs = n``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+
+#: the registered arrival-process kinds (CLI ``--arrival`` choices)
+ARRIVAL_KINDS = ("poisson", "bursty", "trace")
+
+
+def arrival_rng(seed: int) -> np.random.Generator:
+    """The derived arrival stream of one online-stream seed.
+
+    Independent of ``default_rng(seed)`` (the realization stream) by
+    construction: it is the first spawned child of the seed's
+    ``SeedSequence``.
+    """
+    return np.random.default_rng(np.random.SeedSequence(seed).spawn(1)[0])
+
+
+class ArrivalProcess:
+    """Base interface: sample sorted arrival instants on ``[0, horizon)``."""
+
+    #: the registry kind this process implements
+    kind: str = "?"
+
+    def sample(self, horizon: float,
+               rng: np.random.Generator) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.kind
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a constant ``rate`` (events per time unit)."""
+
+    kind = "poisson"
+
+    def __init__(self, rate: float):
+        if rate < 0:
+            raise ConfigError(f"arrival rate must be >= 0, got {rate}")
+        self.rate = float(rate)
+
+    def sample(self, horizon: float,
+               rng: np.random.Generator) -> np.ndarray:
+        return _exponential_scan(rng, self.rate, 0.0, horizon)
+
+    def describe(self) -> str:
+        return f"poisson(rate={self.rate:g})"
+
+
+class BurstyArrivals(ArrivalProcess):
+    """MMPP-2: Poisson arrivals whose rate alternates high/low.
+
+    ``rate`` is the long-run mean; ``burstiness`` in ``[1, 2]`` splits
+    it into ``rate_high = burstiness * rate`` and
+    ``rate_low = (2 - burstiness) * rate`` (equal expected dwell in
+    each state keeps the time-averaged rate at ``rate``; burstiness 1
+    degenerates to the plain Poisson process, 2 to an on/off source).
+    ``dwell`` is the mean sojourn time per state, in the same time unit
+    as ``rate``.
+    """
+
+    kind = "bursty"
+
+    def __init__(self, rate: float, burstiness: float = 1.8,
+                 dwell: float = 5.0):
+        if rate < 0:
+            raise ConfigError(f"arrival rate must be >= 0, got {rate}")
+        if not (1.0 <= burstiness <= 2.0):
+            raise ConfigError(
+                f"burstiness must be in [1, 2], got {burstiness}")
+        if dwell <= 0:
+            raise ConfigError(f"dwell must be > 0, got {dwell}")
+        self.rate = float(rate)
+        self.burstiness = float(burstiness)
+        self.dwell = float(dwell)
+
+    def sample(self, horizon: float,
+               rng: np.random.Generator) -> np.ndarray:
+        rate_high = self.burstiness * self.rate
+        rate_low = (2.0 - self.burstiness) * self.rate
+        out: List[float] = []
+        t = 0.0
+        high = True  # deterministic start state: the burst comes first
+        while t < horizon:
+            end = min(t + rng.exponential(self.dwell), horizon)
+            rate = rate_high if high else rate_low
+            out.extend(_exponential_scan(rng, rate, t, end))
+            t = end
+            high = not high
+        return np.asarray(out, dtype=float)
+
+    def describe(self) -> str:
+        return (f"bursty(rate={self.rate:g}, "
+                f"burstiness={self.burstiness:g}, dwell={self.dwell:g})")
+
+
+class TraceArrivals(ArrivalProcess):
+    """Replay explicit arrival instants (sorted; clipped to the horizon)."""
+
+    kind = "trace"
+
+    def __init__(self, times: Sequence[float]):
+        arr = np.asarray(list(times), dtype=float)
+        if arr.ndim != 1:
+            raise ConfigError("a trace must be a flat sequence of times")
+        if arr.size and float(arr.min()) < 0:
+            raise ConfigError("trace arrival times must be >= 0")
+        self.times = np.sort(arr)
+
+    def sample(self, horizon: float,
+               rng: np.random.Generator) -> np.ndarray:
+        return self.times[self.times < horizon].copy()
+
+    def describe(self) -> str:
+        return f"trace({self.times.size} arrivals)"
+
+
+def _exponential_scan(rng: np.random.Generator, rate: float,
+                      start: float, end: float) -> np.ndarray:
+    """Exponential-gap arrival instants on ``[start, end)``.
+
+    Drawn one gap at a time so the consumed stream length depends only
+    on the realized gaps — never on an implementation block size —
+    which is what keeps multi-segment (bursty) sampling replayable.
+    """
+    if rate <= 0 or end <= start:
+        return np.empty(0)
+    out: List[float] = []
+    t = start
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t >= end:
+            break
+        out.append(t)
+    return np.asarray(out, dtype=float)
+
+
+def load_arrival_trace(path: str) -> List[float]:
+    """Arrival instants from a JSON file.
+
+    Accepts a bare list (``[0.0, 1.7, ...]``) or an object with an
+    ``"arrivals"`` key holding one.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if isinstance(data, dict):
+        data = data.get("arrivals")
+    if not isinstance(data, list) or not all(
+            isinstance(v, (int, float)) and not isinstance(v, bool)
+            for v in data):
+        raise ConfigError(
+            f"{path}: expected a JSON list of arrival times "
+            f"(or an object with an 'arrivals' list)")
+    return [float(v) for v in data]
+
+
+def make_arrival_process(kind: str, rate: float,
+                         burstiness: float = 1.8,
+                         dwell: float = 5.0,
+                         trace: Optional[Sequence[float]] = None
+                         ) -> ArrivalProcess:
+    """Factory keyed by the registry kind (CLI ``--arrival`` values)."""
+    if kind == "poisson":
+        return PoissonArrivals(rate)
+    if kind == "bursty":
+        return BurstyArrivals(rate, burstiness=burstiness, dwell=dwell)
+    if kind == "trace":
+        if trace is None:
+            raise ConfigError(
+                "arrival kind 'trace' needs explicit arrival times "
+                "(pass trace=..., e.g. from load_arrival_trace)")
+        return TraceArrivals(trace)
+    raise ConfigError(
+        f"arrival kind must be one of {ARRIVAL_KINDS}, got {kind!r}")

@@ -1,0 +1,266 @@
+"""Online scenario-mode unit tests: config, ledger, sweep and reports.
+
+The streaming invariants (admission soundness, bit-identical replay,
+the degenerate-stream equality with the offline evaluator) live in
+``tests/property/test_online_invariants.py``; this module pins the
+mechanics — :class:`OnlineConfig` validation, the admission ledger's
+arithmetic, the rate sweep's series/meta shape and the text reports.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    DEFAULT_RATES,
+    OnlineConfig,
+    RunConfig,
+    render_online_meta,
+    render_online_report,
+    simulate_online,
+    sweep_arrival_rate,
+)
+from repro.experiments.online import _admit_stream, _replay_fifo
+from repro.experiments.persist import load_series, save_series
+from repro.experiments.report import render_series
+from repro.types import SeriesResult
+from repro.workloads import figure3_graph
+
+SCHEMES = ("NPM", "SPM", "GSS")  # a fast cross-section of the registry
+
+
+def _policy(**kwargs):
+    return RunConfig(**kwargs).retry_policy()
+
+
+class TestOnlineConfig:
+    def test_defaults_validate(self):
+        oc = OnlineConfig()
+        assert oc.arrival == "poisson"
+        assert oc.resolved_horizon() == oc.horizon
+
+    @pytest.mark.parametrize("kwargs,match", [
+        (dict(arrival="uniform"), "arrival"),
+        (dict(rate=-0.5), "rate"),
+        (dict(horizon=0.0), "horizon"),
+        (dict(load=0.0), "load"),
+        (dict(load=1.5), "load"),
+        (dict(target_arrivals=0), "target_arrivals"),
+        (dict(arrival="trace"), "trace"),
+    ])
+    def test_invalid_fields_rejected(self, kwargs, match):
+        with pytest.raises(ConfigError, match=match):
+            OnlineConfig(**kwargs)
+
+    def test_with_returns_updated_copy(self):
+        oc = OnlineConfig(rate=0.5)
+        assert oc.with_(rate=2.0).rate == 2.0
+        assert oc.rate == 0.5
+
+    def test_target_arrivals_derives_horizon(self):
+        oc = OnlineConfig(rate=2.0, horizon=7.0, target_arrivals=100)
+        assert oc.resolved_horizon() == pytest.approx(50.0)
+
+    def test_trace_times_coerced_to_floats(self):
+        oc = OnlineConfig(arrival="trace", trace=(0, 1, 2))
+        assert oc.trace == (0.0, 1.0, 2.0)
+        assert all(isinstance(t, float) for t in oc.trace)
+
+    def test_trace_arrival_times_scale_with_t_worst(self):
+        oc = OnlineConfig(arrival="trace", trace=(0.0, 1.0, 2.5),
+                          horizon=10.0)
+        times = oc.arrival_times(t_worst=4.0, seed=0)
+        assert np.array_equal(times, [0.0, 4.0, 10.0])
+
+
+class TestAdmissionLedger:
+    def test_spaced_arrivals_all_admitted(self):
+        times = np.array([0.0, 20.0, 40.0])
+        admitted, windows, retries = _admit_stream(
+            times, t_worst=10.0, t_avg=6.0, deadline=15.0,
+            policy=_policy())
+        assert admitted.all()
+        assert np.array_equal(windows, [15.0, 15.0, 15.0])
+        assert retries == 0
+
+    def test_window_shrinks_under_commitment(self):
+        # job 0 books [0, 10); job 1 arriving at 1 with D=10 has only
+        # (1 + 10) - 10 = 1 unit left: the worst case no longer fits
+        times = np.array([0.0, 1.0])
+        admitted, windows, _ = _admit_stream(
+            times, t_worst=10.0, t_avg=10.0, deadline=10.0,
+            policy=_policy())
+        assert admitted.tolist() == [True, False]
+        assert windows.tolist() == [10.0, 1.0]
+
+    def test_rejected_jobs_consume_nothing(self):
+        # the rejected middle arrival must not advance the ledger: the
+        # third job sees the same booking as if the second never came
+        times = np.array([0.0, 1.0, 10.0])
+        admitted, windows, _ = _admit_stream(
+            times, t_worst=10.0, t_avg=10.0, deadline=10.0,
+            policy=_policy())
+        assert admitted.tolist() == [True, False, True]
+        assert windows.tolist() == [10.0, 1.0, 10.0]
+
+    def test_average_case_reservation_admits_more(self):
+        # identical stream, smaller T_avg: the optimistic reservation
+        # frees the platform earlier and the clumped arrival fits
+        times = np.array([0.0, 3.0])
+        tight, _, _ = _admit_stream(times, t_worst=10.0, t_avg=10.0,
+                                    deadline=10.0, policy=_policy())
+        loose, _, _ = _admit_stream(times, t_worst=10.0, t_avg=2.0,
+                                    deadline=10.0, policy=_policy())
+        assert tight.tolist() == [True, False]
+        assert loose.tolist() == [True, True]
+
+    def test_exact_fit_is_admitted(self):
+        # window == T_worst sits on the feasibility boundary; the
+        # ledger grants the same tolerance build_plan does
+        times = np.array([0.0, 6.0])
+        admitted, windows, _ = _admit_stream(
+            times, t_worst=10.0, t_avg=6.0, deadline=10.0,
+            policy=_policy())
+        assert admitted.all()
+        assert windows[1] == pytest.approx(10.0)
+
+    def test_empty_stream(self):
+        admitted, windows, retries = _admit_stream(
+            np.empty(0), t_worst=10.0, t_avg=5.0, deadline=20.0,
+            policy=_policy())
+        assert admitted.size == 0 and windows.size == 0 and retries == 0
+
+
+class TestReplayFifo:
+    def test_idle_gaps_and_queueing(self):
+        arrivals = np.array([0.0, 1.0, 20.0])
+        durations = np.array([5.0, 5.0, 5.0])
+        fin, miss = _replay_fifo(arrivals, durations, deadline=8.0)
+        # job 1 queues behind job 0 (starts at 5); job 2 finds the
+        # platform idle again
+        assert fin.tolist() == [5.0, 10.0, 25.0]
+        assert miss.tolist() == [False, True, False]
+
+    def test_exact_deadline_is_met(self):
+        fin, miss = _replay_fifo(np.array([0.0]), np.array([8.0]),
+                                 deadline=8.0)
+        assert fin.tolist() == [8.0]
+        assert not miss.any()
+
+
+class TestSimulateOnline:
+    def test_zero_rate_stream_is_empty(self):
+        cfg = RunConfig(schemes=SCHEMES, n_processors=2, seed=1)
+        res = simulate_online(figure3_graph(), cfg,
+                              OnlineConfig(rate=0.0, horizon=30.0))
+        assert res.n_arrivals == 0
+        assert res.n_admitted == 0 and res.n_rejected == 0
+        assert set(res.per_scheme) == set(SCHEMES)
+        for st in res.per_scheme.values():
+            assert st.job_energy.size == 0
+            assert st.energy == 0.0
+            assert st.n_missed == 0
+            assert st.miss_ratio() == 0.0
+            assert st.mean_normalized() == 0.0
+
+    def test_ledger_accounting_is_consistent(self):
+        cfg = RunConfig(schemes=SCHEMES, n_processors=2, seed=3)
+        oc = OnlineConfig(rate=1.0, load=0.7, target_arrivals=30)
+        res = simulate_online(figure3_graph(), cfg, oc)
+        assert res.n_arrivals == res.n_admitted + res.n_rejected
+        assert res.arrivals.size == res.admitted.size == res.windows.size
+        assert res.n_admitted > 0
+        assert res.npm_energy.size == res.n_admitted
+        assert len(res.path_keys) == res.n_admitted
+        for st in res.per_scheme.values():
+            assert st.job_energy.size == res.n_admitted
+            assert st.job_finish.size == res.n_admitted
+            # normalization denominator is the per-job NPM energy
+            assert np.array_equal(st.job_normalized,
+                                  st.job_energy / res.npm_energy)
+
+    def test_trace_path_round_trip(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text('{"arrivals": [0.0, 2.0, 4.0]}')
+        cfg = RunConfig(schemes=("NPM",), n_processors=2, seed=5)
+        oc = OnlineConfig(arrival="trace", trace_path=str(path),
+                          horizon=10.0, load=0.7)
+        res = simulate_online(figure3_graph(), cfg, oc)
+        assert res.n_arrivals == 3
+        assert np.array_equal(res.arrivals,
+                              np.array([0.0, 2.0, 4.0]) * res.t_worst)
+
+
+class TestSweepArrivalRate:
+    @pytest.fixture(scope="class")
+    def series(self):
+        cfg = RunConfig(schemes=SCHEMES, n_processors=2, seed=2002)
+        oc = OnlineConfig(load=0.7, target_arrivals=20)
+        return sweep_arrival_rate(figure3_graph(), cfg, oc,
+                                  rates=(0.5, 1.0), name="online-test")
+
+    def test_series_shape(self, series):
+        assert series.name == "online-test"
+        assert series.x_label == "rate"
+        xs = sorted({p.x for p in series.points})
+        assert xs == [0.5, 1.0]
+        for x in xs:
+            schemes = {p.scheme for p in series.points if p.x == x}
+            assert schemes == set(SCHEMES)
+
+    def test_online_meta_is_aligned(self, series):
+        meta = series.meta["online"]
+        assert meta["load"] == 0.7
+        assert meta["target_arrivals"] == 20
+        for key in ("arrivals", "admitted", "rejected", "missed",
+                    "miss_ratio"):
+            assert [row[0] for row in meta[key]] == [0.5, 1.0]
+        for (x, arriv), (_, adm), (_, rej) in zip(
+                meta["arrivals"], meta["admitted"], meta["rejected"]):
+            assert arriv == adm + rej
+        for _, by_scheme in meta["miss_ratio"]:
+            assert set(by_scheme) == set(SCHEMES)
+        assert [row[0] for row in series.meta["speed_changes"]] == [0.5, 1.0]
+
+    def test_header_meta_excludes_ledgers(self, series):
+        # the online ledger and the speed-change pairs are structured
+        # meta: they get their own renderers, not the header line
+        header = render_series(series).splitlines()[0]
+        assert "online=" not in header
+        assert "speed_changes=" not in header
+
+    def test_persistence_round_trip(self, series, tmp_path):
+        path = tmp_path / "online.json"
+        save_series({"transmeta": series}, str(path))
+        loaded = load_series(str(path))["transmeta"]
+        assert loaded.points == series.points
+        assert loaded.meta["online"] == series.meta["online"]
+
+    def test_default_rate_grid_is_increasing(self):
+        assert list(DEFAULT_RATES) == sorted(DEFAULT_RATES)
+        assert all(r > 0 for r in DEFAULT_RATES)
+
+
+class TestReports:
+    def test_stream_report_lists_every_scheme(self):
+        cfg = RunConfig(schemes=SCHEMES, n_processors=2, seed=7)
+        oc = OnlineConfig(rate=1.0, load=0.7, target_arrivals=15)
+        res = simulate_online(figure3_graph(), cfg, oc)
+        text = render_online_report(res)
+        assert f"arrivals={res.n_arrivals}" in text
+        assert f"admitted={res.n_admitted}" in text
+        for name in SCHEMES:
+            assert name in text
+
+    def test_online_meta_report(self):
+        cfg = RunConfig(schemes=("NPM", "GSS"), n_processors=2, seed=7)
+        oc = OnlineConfig(load=0.7, target_arrivals=15)
+        series = sweep_arrival_rate(figure3_graph(), cfg, oc,
+                                    rates=(1.0,))
+        text = render_online_meta(series)
+        assert "GSS" in text
+        assert "1" in text  # the rate column
+
+    def test_online_meta_report_without_stream_data(self):
+        empty = SeriesResult(name="plain", x_label="load")
+        assert "no online stream data" in render_online_meta(empty)
